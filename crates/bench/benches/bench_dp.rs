@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for the DP mechanisms.
+
+use ccdp_dp::gem::{generalized_exponential_mechanism, GemCandidate};
+use ccdp_dp::laplace::LaplaceNoise;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_laplace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laplace");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    let noise = LaplaceNoise::new(2.0);
+    let mut rng = StdRng::seed_from_u64(0);
+    group.bench_function("sample_1000", |b| {
+        b.iter(|| (0..1000).map(|_| noise.sample(&mut rng)).sum::<f64>())
+    });
+    group.finish();
+}
+
+fn bench_gem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gem");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(1);
+    let candidates: Vec<GemCandidate> = (0..14)
+        .map(|i| GemCandidate { delta: (1usize << i) as f64, value: 1000.0f64.min((1 << i) as f64 * 30.0) })
+        .collect();
+    group.bench_function("select_among_14_candidates", |b| {
+        b.iter(|| generalized_exponential_mechanism(&candidates, 1000.0, 1.0, 0.05, &mut rng).delta)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_laplace, bench_gem);
+criterion_main!(benches);

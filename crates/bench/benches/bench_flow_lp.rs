@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks for the max-flow and LP substrates.
+
+use ccdp_flow::{max_weight_closure, ClosureInstance, FlowNetwork};
+use ccdp_lp::LinearProgram;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn grid_network(side: usize) -> (FlowNetwork, usize, usize) {
+    // Source -> left column, right column -> sink, unit-ish capacities.
+    let n = side * side;
+    let mut net = FlowNetwork::new(n + 2);
+    let source = n;
+    let sink = n + 1;
+    let idx = |r: usize, c: usize| r * side + c;
+    for r in 0..side {
+        net.add_edge(source, idx(r, 0), 1.0);
+        net.add_edge(idx(r, side - 1), sink, 1.0);
+        for c in 0..side {
+            if c + 1 < side {
+                net.add_edge(idx(r, c), idx(r, c + 1), 1.0);
+            }
+            if r + 1 < side {
+                net.add_edge(idx(r, c), idx(r + 1, c), 0.5);
+                net.add_edge(idx(r + 1, c), idx(r, c), 0.5);
+            }
+        }
+    }
+    (net, source, sink)
+}
+
+fn bench_dinic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dinic");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for &side in &[10usize, 20] {
+        group.bench_function(format!("grid_{side}x{side}"), |b| {
+            b.iter(|| {
+                let (net, s, t) = grid_network(side);
+                net.max_flow(s, t).value
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_weight_closure");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(1);
+    let num_vertices = 200;
+    let num_edges = 600;
+    let mut inst = ClosureInstance::new();
+    let vs: Vec<usize> = (0..num_vertices).map(|_| inst.add_item(-1.0)).collect();
+    for _ in 0..num_edges {
+        let e = inst.add_item(rng.gen_range(0.1..1.0));
+        let a = rng.gen_range(0..num_vertices);
+        let b = rng.gen_range(0..num_vertices);
+        inst.add_requirement(e, vs[a]);
+        inst.add_requirement(e, vs[b]);
+    }
+    group.bench_function("separation_like_200v_600e", |b| {
+        b.iter(|| max_weight_closure(&inst).weight)
+    });
+    group.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(2);
+    for &(vars, cons) in &[(50usize, 100usize), (150, 300)] {
+        let mut lp = LinearProgram::new(vars, vec![1.0; vars]);
+        for _ in 0..cons {
+            let row: Vec<f64> = (0..vars).map(|_| if rng.gen_bool(0.2) { rng.gen_range(0.0..1.0) } else { 0.0 }).collect();
+            lp.add_constraint_dense(row, rng.gen_range(1.0..5.0));
+        }
+        group.bench_function(format!("random_{vars}v_{cons}c"), |b| {
+            b.iter(|| lp.solve().map(|s| s.objective_value).unwrap_or(0.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dinic, bench_closure, bench_simplex);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the graph substrate: connected components,
+//! induced star number, and the Lemma 1.8 bounded-degree spanning forest.
+
+use ccdp_graph::forest::{bfs_spanning_forest, bounded_degree_spanning_forest};
+use ccdp_graph::generators;
+use ccdp_graph::stars::induced_star_number;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for &n in &[1000usize, 5000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = generators::erdos_renyi(n, 2.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("num_connected_components", n), &g, |b, g| {
+            b.iter(|| g.num_connected_components())
+        });
+        group.bench_with_input(BenchmarkId::new("bfs_spanning_forest", n), &g, |b, g| {
+            b.iter(|| bfs_spanning_forest(g).num_edges())
+        });
+    }
+    group.finish();
+}
+
+fn bench_star_number(c: &mut Criterion) {
+    let mut group = c.benchmark_group("star_number");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(3);
+    let er = generators::erdos_renyi(2000, 3.0 / 2000.0, &mut rng);
+    let geo = generators::random_geometric(1000, 0.04, &mut rng);
+    group.bench_function("erdos_renyi_2000", |b| b.iter(|| induced_star_number(&er).value()));
+    group.bench_function("geometric_1000", |b| b.iter(|| induced_star_number(&geo).value()));
+    group.finish();
+}
+
+fn bench_bounded_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded_degree_spanning_forest");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[200usize, 500] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = generators::erdos_renyi(n, 4.0 / n as f64, &mut rng);
+        let delta = induced_star_number(&g).value() + 1;
+        group.bench_with_input(BenchmarkId::new("repair", n), &g, |b, g| {
+            b.iter(|| bounded_degree_spanning_forest(g, delta).is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components, bench_star_number, bench_bounded_forest);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Experiment E6 (Remark 3.4): the Lipschitz constant of f_Δ is tight. The graph G
+//! of Δ isolated vertices and its node-neighbor G' = K_{1,Δ} (add one dominating
+//! vertex) satisfy f_Δ(G) = 0 and f_Δ(G') = Δ, i.e. one node changes the value by
+//! exactly Δ.
+
+use ccdp_bench::Table;
+use ccdp_core::LipschitzExtension;
+use ccdp_graph::{generators, Graph};
+
+fn main() {
+    let mut table = Table::new(
+        "E6: tightness of the Lipschitz constant (Remark 3.4)",
+        &["Δ", "f_Δ(Δ isolated vertices)", "f_Δ(K_{1,Δ})", "jump", "jump == Δ"],
+    );
+    let mut all_tight = true;
+    for delta in 1..=8usize {
+        let isolated = Graph::new(delta);
+        let star = generators::star(delta);
+        let ext = LipschitzExtension::new(delta);
+        let lo = ext.evaluate(&isolated).unwrap();
+        let hi = ext.evaluate(&star).unwrap();
+        let jump = hi - lo;
+        let tight = (jump - delta as f64).abs() < 1e-6;
+        all_tight &= tight;
+        table.add_row(vec![
+            delta.to_string(),
+            format!("{lo:.2}"),
+            format!("{hi:.2}"),
+            format!("{jump:.2}"),
+            tight.to_string(),
+        ]);
+    }
+    table.print();
+    println!("Lipschitz constant tight for every Δ: {all_tight}");
+}

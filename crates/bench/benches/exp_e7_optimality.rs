@@ -1,0 +1,74 @@
+//! Experiment E7 (Theorem 1.11): ℓ∞-optimality of the polytope extension. For
+//! every sampled small graph G with Err_G(f_Δ, f_sf) > 0 we check
+//! Err_G(f_Δ, f_sf) ≤ 2·Err_G(f*, f_sf) − 1, instantiating the comparator
+//! f* ∈ F_{Δ−1} with the (Δ−1)-Lipschitz down-sensitivity extension of Lemma A.1.
+//! The (Δ+1)-star base case, where the bound is tight, is reported separately.
+
+use ccdp_bench::Table;
+use ccdp_core::{downsens_extension_fsf, LipschitzExtension};
+use ccdp_graph::subgraph::{all_vertex_subsets, induced_subgraph};
+use ccdp_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn err_over_subgraphs<F: Fn(&Graph) -> f64>(g: &Graph, f: F) -> f64 {
+    let mut worst = 0.0f64;
+    for subset in all_vertex_subsets(g) {
+        let (h, _) = induced_subgraph(g, &subset);
+        worst = worst.max((f(&h) - h.spanning_forest_size() as f64).abs());
+    }
+    worst
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut table = Table::new(
+        "E7: Theorem 1.11 — Err(f_Δ) vs 2·Err(f*) − 1 with the Lemma A.1 comparator",
+        &["Δ", "graphs", "cases Err>0", "max ratio", "violations"],
+    );
+    for delta in 2..=4usize {
+        let mut cases = 0;
+        let mut violations = 0;
+        let mut max_ratio = 0.0f64;
+        let graphs = 30;
+        for _ in 0..graphs {
+            let g = generators::erdos_renyi(6, 0.45, &mut rng);
+            let ours = err_over_subgraphs(&g, |h| LipschitzExtension::new(delta).evaluate(h).unwrap());
+            if ours <= 1e-9 {
+                continue;
+            }
+            cases += 1;
+            let comparator = err_over_subgraphs(&g, |h| downsens_extension_fsf(h, delta - 1));
+            let bound = 2.0 * comparator - 1.0;
+            if ours > bound + 1e-6 {
+                violations += 1;
+            }
+            max_ratio = max_ratio.max(ours / bound.max(1e-9));
+        }
+        table.add_row(vec![
+            delta.to_string(),
+            graphs.to_string(),
+            cases.to_string(),
+            format!("{max_ratio:.3}"),
+            violations.to_string(),
+        ]);
+    }
+    table.print();
+
+    let mut base = Table::new(
+        "E7b: (Δ+1)-star base case (the bound is tight: both sides equal 1)",
+        &["Δ", "Err(f_Δ)", "2·Err(f*) − 1"],
+    );
+    for delta in 1..=5usize {
+        let g = generators::star(delta + 1);
+        let ours = err_over_subgraphs(&g, |h| LipschitzExtension::new(delta).evaluate(h).unwrap());
+        let comparator = err_over_subgraphs(&g, |h| downsens_extension_fsf(h, delta - 1).max(0.0));
+        base.add_row(vec![
+            delta.to_string(),
+            format!("{ours:.2}"),
+            format!("{:.2}", 2.0 * comparator - 1.0),
+        ]);
+    }
+    base.print();
+    println!("Expected shape: zero violations; ratios ≤ 1; base case exactly tight.");
+}

@@ -1,0 +1,107 @@
+//! Minimal fixed-width table formatting for experiment output.
+
+/// A printable table with a title, column headers and string rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (missing cells are filled with blanks, extra cells are kept).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as a string.
+    pub fn render(&self) -> String {
+        let num_cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; num_cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:>width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (num_cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = (0..num_cols)
+                .map(|i| {
+                    let cell = row.get(i).map(String::as_str).unwrap_or("");
+                    format!("{:>width$}", cell, width = widths[i])
+                })
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.add_row(vec!["a".into(), "1".into()]);
+        t.add_row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("=== demo ==="));
+        assert!(s.contains("long-name"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("demo", &["a", "b", "c"]);
+        t.add_row(vec!["x".into()]);
+        let s = t.render();
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn fmt_controls_decimals() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(2.0, 0), "2");
+    }
+}

@@ -1,0 +1,120 @@
+//! Error-measurement harness shared by the experiments.
+//!
+//! The paper's accuracy statements are high-probability bounds on the additive
+//! error. The experiments estimate the error distribution empirically by running
+//! an estimator many times on the same graph and summarizing the absolute errors.
+
+/// Summary statistics of a set of absolute errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ErrorStats {
+    /// Number of trials.
+    pub trials: usize,
+    /// Mean absolute error.
+    pub mean: f64,
+    /// Median absolute error.
+    pub median: f64,
+    /// 90th percentile of the absolute error.
+    pub p90: f64,
+    /// Maximum absolute error observed.
+    pub max: f64,
+}
+
+impl ErrorStats {
+    /// Computes statistics from raw absolute errors.
+    ///
+    /// # Panics
+    /// Panics if `errors` is empty.
+    pub fn from_errors(mut errors: Vec<f64>) -> Self {
+        assert!(!errors.is_empty(), "need at least one trial");
+        errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let trials = errors.len();
+        let mean = errors.iter().sum::<f64>() / trials as f64;
+        let median = percentile(&errors, 0.5);
+        let p90 = percentile(&errors, 0.9);
+        let max = *errors.last().unwrap();
+        ErrorStats { trials, mean, median, p90, max }
+    }
+
+    /// Relative error with respect to a reference magnitude (e.g. the true count).
+    pub fn relative_to(&self, reference: f64) -> f64 {
+        if reference == 0.0 {
+            f64::INFINITY
+        } else {
+            self.mean / reference.abs()
+        }
+    }
+}
+
+/// Linear-interpolation percentile of a sorted slice (`q` in `[0, 1]`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Runs `trials` repetitions of an estimator against a known truth and summarizes
+/// the absolute errors.
+pub fn measure_errors<F>(truth: f64, trials: usize, mut run: F) -> ErrorStats
+where
+    F: FnMut() -> f64,
+{
+    let errors: Vec<f64> = (0..trials).map(|_| (run() - truth).abs()).collect();
+    ErrorStats::from_errors(errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_errors() {
+        let s = ErrorStats::from_errors(vec![2.0; 10]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.p90, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.trials, 10);
+    }
+
+    #[test]
+    fn stats_of_spread_errors() {
+        let s = ErrorStats::from_errors(vec![1.0, 3.0, 2.0, 4.0, 5.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!(s.p90 >= 4.0 && s.p90 <= 5.0);
+    }
+
+    #[test]
+    fn relative_error() {
+        let s = ErrorStats::from_errors(vec![5.0, 5.0]);
+        assert!((s.relative_to(100.0) - 0.05).abs() < 1e-12);
+        assert!(s.relative_to(0.0).is_infinite());
+    }
+
+    #[test]
+    fn measure_errors_uses_truth() {
+        let mut values = vec![9.0, 11.0, 10.0].into_iter();
+        let s = measure_errors(10.0, 3, move || values.next().unwrap());
+        assert!((s.mean - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_errors_rejected() {
+        ErrorStats::from_errors(vec![]);
+    }
+
+    #[test]
+    fn single_trial() {
+        let s = ErrorStats::from_errors(vec![7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p90, 7.0);
+    }
+}

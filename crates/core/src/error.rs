@@ -1,0 +1,56 @@
+//! Error type of the core library.
+
+use ccdp_lp::LpError;
+
+/// Errors surfaced by the core algorithms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// The underlying LP solver failed (unbounded / iteration limit / bad input).
+    Lp(LpError),
+    /// The cutting-plane loop did not converge within its round limit.
+    SeparationDidNotConverge { rounds: usize },
+    /// An invalid parameter was supplied.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Lp(e) => write!(f, "LP solver error: {e}"),
+            CoreError::SeparationDidNotConverge { rounds } => {
+                write!(f, "constraint generation did not converge within {rounds} rounds")
+            }
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for CoreError {
+    fn from(e: LpError) -> Self {
+        CoreError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::SeparationDidNotConverge { rounds: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = CoreError::InvalidParameter("epsilon must be positive".into());
+        assert!(e.to_string().contains("epsilon"));
+        let e: CoreError = LpError::Unbounded.into();
+        assert!(e.to_string().contains("unbounded"));
+    }
+}

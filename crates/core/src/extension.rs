@@ -1,0 +1,257 @@
+//! The family of Lipschitz extensions `{f_Δ}` of the spanning-forest size
+//! (Definition 3.1 / Lemma 3.3 of the paper).
+//!
+//! `f_Δ(G)` is the maximum of `x(E)` over the Δ-bounded forest polytope of `G`.
+//! Lemma 3.3 establishes the properties our private algorithm needs:
+//!
+//! 1. **Underestimation**: `f_Δ(G) ≤ f_sf(G)` for every Δ and G.
+//! 2. **Monotonicity in Δ**: `f_Δ₁(G) ≤ f_Δ₂(G)` for `Δ₁ ≤ Δ₂`.
+//! 3. **Δ-Lipschitzness** with respect to node distance.
+//! 4. **Anchor**: if `G` has a spanning Δ-forest then `f_Δ(G) = f_sf(G)`.
+//!
+//! Property 4 doubles as a fast path: when the constructive procedure of Lemma 1.8
+//! produces a spanning Δ-forest we can skip the LP entirely and return `f_sf(G)`.
+//! This is exactly the case for the well-behaved graphs the paper's accuracy
+//! analysis targets; the LP is only exercised when Δ is below the graph's Δ*.
+
+use crate::error::CoreError;
+use crate::polytope::{forest_polytope_max, PolytopeSolution};
+use ccdp_graph::forest::bounded_degree_spanning_forest;
+use ccdp_graph::Graph;
+
+/// How `f_Δ(G)` was computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvaluationPath {
+    /// A spanning Δ-forest was found, so `f_Δ(G) = f_sf(G)` (Lemma 3.3, item 1).
+    SpanningForestFastPath,
+    /// The Δ-bounded forest polytope LP was solved by constraint generation.
+    LinearProgram,
+}
+
+/// Detailed result of evaluating `f_Δ(G)`.
+#[derive(Clone, Debug)]
+pub struct ExtensionEvaluation {
+    /// The value `f_Δ(G)`.
+    pub value: f64,
+    /// The Lipschitz parameter Δ used.
+    pub delta: usize,
+    /// Which evaluation path was taken.
+    pub path: EvaluationPath,
+    /// LP details (present only when the LP path was taken).
+    pub lp: Option<PolytopeSolution>,
+}
+
+/// The Lipschitz extension `f_Δ` for the size of the spanning forest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LipschitzExtension {
+    delta: usize,
+    use_fast_path: bool,
+}
+
+impl LipschitzExtension {
+    /// Creates the extension with Lipschitz parameter `delta ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `delta == 0`.
+    pub fn new(delta: usize) -> Self {
+        assert!(delta >= 1, "delta must be at least 1");
+        LipschitzExtension { delta, use_fast_path: true }
+    }
+
+    /// Disables the spanning-forest fast path so that the LP is always solved
+    /// (used by tests and the runtime ablation experiment).
+    pub fn without_fast_path(mut self) -> Self {
+        self.use_fast_path = false;
+        self
+    }
+
+    /// The Lipschitz parameter Δ.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// Evaluates `f_Δ(G)` (this is `EvalLipschitzExtension` of Algorithm 2).
+    pub fn evaluate(&self, g: &Graph) -> Result<f64, CoreError> {
+        Ok(self.evaluate_detailed(g)?.value)
+    }
+
+    /// Evaluates `f_Δ(G)` and reports how the value was obtained.
+    pub fn evaluate_detailed(&self, g: &Graph) -> Result<ExtensionEvaluation, CoreError> {
+        if g.has_no_edges() {
+            return Ok(ExtensionEvaluation {
+                value: 0.0,
+                delta: self.delta,
+                path: EvaluationPath::SpanningForestFastPath,
+                lp: None,
+            });
+        }
+        if self.use_fast_path
+            && (self.delta >= g.max_degree()
+                || bounded_degree_spanning_forest(g, self.delta).is_some())
+        {
+            return Ok(ExtensionEvaluation {
+                value: g.spanning_forest_size() as f64,
+                delta: self.delta,
+                path: EvaluationPath::SpanningForestFastPath,
+                lp: None,
+            });
+        }
+        let lp = forest_polytope_max(g, self.delta as f64)?;
+        Ok(ExtensionEvaluation {
+            value: lp.value,
+            delta: self.delta,
+            path: EvaluationPath::LinearProgram,
+            lp: Some(lp),
+        })
+    }
+}
+
+/// Evaluates the whole family `{f_Δ}` on the given grid of Δ values.
+///
+/// This is the loop of Algorithm 4 (steps 2–4) that feeds the Generalized
+/// Exponential Mechanism. Values are clamped to be monotone non-decreasing in Δ,
+/// which they are mathematically (Lemma 3.3) but may fail to be by a hair
+/// numerically when different Δ values take different evaluation paths.
+pub fn evaluate_family(g: &Graph, grid: &[usize]) -> Result<Vec<ExtensionEvaluation>, CoreError> {
+    let mut out = Vec::with_capacity(grid.len());
+    let mut running_max = 0.0f64;
+    for &delta in grid {
+        let mut eval = LipschitzExtension::new(delta).evaluate_detailed(g)?;
+        running_max = running_max.max(eval.value);
+        eval.value = running_max;
+        out.push(eval);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdp_graph::generators;
+    use ccdp_graph::subgraph::remove_vertex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn empty_graph_evaluates_to_zero() {
+        let g = Graph::new(6);
+        assert!(approx(LipschitzExtension::new(3).evaluate(&g).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn anchor_property_on_path() {
+        // A path has a spanning 2-forest, so f_2 = f_sf; and f_1 < f_sf.
+        let g = generators::path(7);
+        assert!(approx(LipschitzExtension::new(2).evaluate(&g).unwrap(), 6.0));
+        let f1 = LipschitzExtension::new(1).evaluate(&g).unwrap();
+        assert!(f1 < 6.0);
+        // With Δ=1 the polytope is the fractional matching polytope of the path:
+        // optimum 3 (alternating edges).
+        assert!(approx(f1, 3.0));
+    }
+
+    #[test]
+    fn remark_3_4_star_values() {
+        // Remark 3.4: on K_{1,Δ} built from Δ isolated vertices plus a center,
+        // f_Δ jumps from 0 to Δ, showing the Lipschitz constant is tight.
+        for delta in 1..=4usize {
+            let isolated = Graph::new(delta);
+            let star = generators::star(delta);
+            let ext = LipschitzExtension::new(delta);
+            assert!(approx(ext.evaluate(&isolated).unwrap(), 0.0));
+            assert!(approx(ext.evaluate(&star).unwrap(), delta as f64));
+        }
+    }
+
+    #[test]
+    fn underestimation_and_monotonicity_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..8 {
+            let g = generators::erdos_renyi(10, 0.35, &mut rng);
+            let fsf = g.spanning_forest_size() as f64;
+            let mut prev = 0.0;
+            for delta in 1..=5 {
+                let v = LipschitzExtension::new(delta).evaluate(&g).unwrap();
+                assert!(v <= fsf + 1e-6, "f_{delta} = {v} exceeds f_sf = {fsf}");
+                assert!(v + 1e-6 >= prev, "f_Δ not monotone in Δ");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_and_lp_agree() {
+        // Where a spanning Δ-forest exists, the LP must give the same value as the
+        // fast path (this cross-checks the constraint generation).
+        let mut rng = StdRng::seed_from_u64(37);
+        for _ in 0..5 {
+            let g = generators::erdos_renyi(9, 0.3, &mut rng);
+            for delta in 2..=4usize {
+                let fast = LipschitzExtension::new(delta).evaluate_detailed(&g).unwrap();
+                let slow =
+                    LipschitzExtension::new(delta).without_fast_path().evaluate_detailed(&g).unwrap();
+                assert!(
+                    approx(fast.value, slow.value),
+                    "fast {} vs lp {} at delta {delta}",
+                    fast.value,
+                    slow.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lipschitz_property_under_vertex_removal() {
+        // |f_Δ(G) − f_Δ(G \ v)| ≤ Δ for every vertex v (one step of node distance).
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..5 {
+            let g = generators::erdos_renyi(9, 0.35, &mut rng);
+            for delta in 1..=3usize {
+                let ext = LipschitzExtension::new(delta);
+                let base = ext.evaluate(&g).unwrap();
+                for v in g.vertices() {
+                    let (h, _) = remove_vertex(&g, v);
+                    let val = ext.evaluate(&h).unwrap();
+                    assert!(
+                        (base - val).abs() <= delta as f64 + 1e-6,
+                        "|f_Δ(G) - f_Δ(G-v)| = {} > Δ = {delta}",
+                        (base - val).abs()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn family_evaluation_is_monotone() {
+        let g = generators::caveman(3, 4);
+        let grid = [1usize, 2, 4, 8];
+        let evals = evaluate_family(&g, &grid).unwrap();
+        assert_eq!(evals.len(), 4);
+        for w in evals.windows(2) {
+            assert!(w[0].value <= w[1].value + 1e-9);
+        }
+        // The largest Δ exceeds the max degree, so the last value is exactly f_sf.
+        assert!(approx(evals[3].value, g.spanning_forest_size() as f64));
+    }
+
+    #[test]
+    fn evaluation_path_is_reported() {
+        let star = generators::star(5);
+        let fast = LipschitzExtension::new(5).evaluate_detailed(&star).unwrap();
+        assert_eq!(fast.path, EvaluationPath::SpanningForestFastPath);
+        let lp = LipschitzExtension::new(2).evaluate_detailed(&star).unwrap();
+        assert_eq!(lp.path, EvaluationPath::LinearProgram);
+        assert!(lp.lp.is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_delta_is_rejected() {
+        LipschitzExtension::new(0);
+    }
+}

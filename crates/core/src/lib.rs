@@ -1,0 +1,65 @@
+//! Node-differentially private estimation of the number of connected components.
+//!
+//! This crate reproduces the algorithm of Kalemaj, Raskhodnikova, Smith and
+//! Tsourakakis, *"Node-Differentially Private Estimation of the Number of
+//! Connected Components"* (PODS 2023): the first node-private algorithm for
+//! releasing `f_cc(G)`, built from an efficiently computable family of Lipschitz
+//! extensions of the spanning-forest size.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ccdp_core::{PrivateCcEstimator, LipschitzExtension};
+//! use ccdp_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // A forest of 30 small stars plus 10 isolated sensors: 40 components.
+//! let g = generators::planted_star_forest(30, 3, 10);
+//!
+//! // Release the number of connected components with ε = 1 node-DP.
+//! let estimator = PrivateCcEstimator::new(1.0);
+//! let released = estimator.estimate(&g, &mut rng).unwrap();
+//! let truth = g.num_connected_components() as f64;
+//! assert!((released.value - truth).abs() < 60.0);
+//!
+//! // The Lipschitz extension underlying the algorithm can be evaluated directly.
+//! let f2 = LipschitzExtension::new(2).evaluate(&g).unwrap();
+//! assert!(f2 <= g.spanning_forest_size() as f64);
+//! ```
+//!
+//! # Module map
+//!
+//! * [`polytope`] — the Δ-bounded forest polytope LP with its min-cut separation
+//!   oracle (Definition 3.1, Padberg–Wolsey separation).
+//! * [`extension`] — the Lipschitz extension family `{f_Δ}` (Lemma 3.3) with the
+//!   spanning-forest fast path.
+//! * [`algorithm`] — Algorithm 1 (private spanning-forest size) and the derived
+//!   connected-components estimator.
+//! * [`downsens_extension`] — the exponential-time Lemma A.1 extension used as an
+//!   optimality comparator.
+//! * [`anchor`] — anchor-set membership checks (Lemma 1.9 / A.3).
+//! * [`baselines`] — non-private, edge-DP, naive node-DP and fixed-Δ baselines.
+//! * [`accuracy`] — the error-measurement harness shared by the experiments.
+
+pub mod accuracy;
+pub mod algorithm;
+pub mod anchor;
+pub mod baselines;
+pub mod downsens_extension;
+pub mod error;
+pub mod extension;
+pub mod polytope;
+
+pub use accuracy::{measure_errors, ErrorStats};
+pub use algorithm::{
+    PrivateCcEstimate, PrivateCcEstimator, PrivateEstimate, PrivateSpanningForestEstimator,
+};
+pub use anchor::{in_anchor_set, in_optimal_monotone_anchor_set, smallest_anchor_delta};
+pub use baselines::{
+    CcEstimator, EdgeDpBaseline, FixedDeltaBaseline, NaiveNodeDpBaseline, NonPrivateBaseline,
+};
+pub use downsens_extension::{downsens_extension, downsens_extension_fsf};
+pub use error::CoreError;
+pub use extension::{evaluate_family, EvaluationPath, ExtensionEvaluation, LipschitzExtension};
+pub use polytope::{forest_polytope_max, PolytopeSolution};

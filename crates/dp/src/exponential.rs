@@ -1,0 +1,124 @@
+//! The Exponential Mechanism of McSherry and Talwar (Theorem B.1 of the paper).
+//!
+//! We use the *minimization* convention matching Algorithm 4: given score
+//! functions `q_i` of global sensitivity at most `sensitivity`, the mechanism
+//! samples index `i` with probability proportional to `exp(-ε · q_i / (2·sensitivity))`,
+//! so lower scores are exponentially more likely.
+
+use rand::Rng;
+
+/// Runs the Exponential Mechanism over the given scores (lower is better).
+///
+/// Returns the selected index. `sensitivity` must upper-bound the global
+/// sensitivity of every score function.
+///
+/// # Panics
+/// Panics if `scores` is empty, `epsilon <= 0` or `sensitivity <= 0`.
+pub fn exponential_mechanism_min<R: Rng + ?Sized>(
+    scores: &[f64],
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut R,
+) -> usize {
+    assert!(!scores.is_empty(), "need at least one candidate");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(sensitivity > 0.0, "sensitivity must be positive");
+
+    // Work in log space and subtract the maximum exponent for numerical stability.
+    let exponents: Vec<f64> =
+        scores.iter().map(|&q| -epsilon * q / (2.0 * sensitivity)).collect();
+    let max_exp = exponents.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = exponents.iter().map(|&e| (e - max_exp).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total.is_finite() && total > 0.0);
+
+    let mut draw = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if draw < w {
+            return i;
+        }
+        draw -= w;
+    }
+    weights.len() - 1
+}
+
+/// Probability that the Exponential Mechanism (minimization convention) selects
+/// each index — exposed for tests and diagnostics.
+pub fn selection_probabilities(scores: &[f64], sensitivity: f64, epsilon: f64) -> Vec<f64> {
+    let exponents: Vec<f64> =
+        scores.iter().map(|&q| -epsilon * q / (2.0 * sensitivity)).collect();
+    let max_exp = exponents.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = exponents.iter().map(|&e| (e - max_exp).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_candidate_is_always_chosen() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..5 {
+            assert_eq!(exponential_mechanism_min(&[3.0], 1.0, 1.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn strongly_better_candidate_wins_most_of_the_time() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scores = [0.0, 50.0, 50.0];
+        let wins = (0..1000)
+            .filter(|_| exponential_mechanism_min(&scores, 1.0, 2.0, &mut rng) == 0)
+            .count();
+        assert!(wins > 950, "best candidate won only {wins}/1000 times");
+    }
+
+    #[test]
+    fn equal_scores_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let scores = [1.0, 1.0, 1.0, 1.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[exponential_mechanism_min(&scores, 1.0, 1.0, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 250.0, "counts {counts:?} far from uniform");
+        }
+    }
+
+    #[test]
+    fn probabilities_match_analytic_form() {
+        let probs = selection_probabilities(&[0.0, 1.0], 1.0, 2.0);
+        // Ratio of probabilities is exp(ε·Δq / (2·sens)) = e.
+        let ratio = probs[0] / probs[1];
+        assert!((ratio - std::f64::consts::E).abs() < 1e-9);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_epsilon_flattens_the_distribution() {
+        let sharp = selection_probabilities(&[0.0, 5.0], 1.0, 2.0);
+        let flat = selection_probabilities(&[0.0, 5.0], 1.0, 0.1);
+        assert!(sharp[0] > flat[0]);
+        assert!(flat[0] < 0.7);
+    }
+
+    #[test]
+    fn large_scores_do_not_overflow() {
+        let probs = selection_probabilities(&[1e6, 1e6 + 1.0, 2e6], 1.0, 1.0);
+        assert!(probs.iter().all(|p| p.is_finite()));
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(probs[2] < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_candidates_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        exponential_mechanism_min(&[], 1.0, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,180 @@
+//! The Laplace distribution and the Laplace mechanism (Theorem 2.2 of the paper).
+
+use rand::Rng;
+
+/// A zero-mean Laplace distribution with scale `b` (density `e^{-|z|/b} / (2b)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LaplaceNoise {
+    scale: f64,
+}
+
+impl LaplaceNoise {
+    /// Creates a Laplace distribution with the given scale `b > 0`.
+    ///
+    /// A scale of exactly 0 is allowed and produces the constant 0 (useful for the
+    /// non-private baseline).
+    ///
+    /// # Panics
+    /// Panics if `scale` is negative or not finite.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale.is_finite() && scale >= 0.0, "scale must be a non-negative real");
+        LaplaceNoise { scale }
+    }
+
+    /// The scale parameter `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Standard deviation (`√2·b`).
+    pub fn std_dev(&self) -> f64 {
+        std::f64::consts::SQRT_2 * self.scale
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.scale == 0.0 {
+            return 0.0;
+        }
+        // Inverse-CDF sampling: u uniform in (-1/2, 1/2),
+        // X = -b · sign(u) · ln(1 - 2|u|).
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        let magnitude = -(1.0 - 2.0 * u.abs()).ln() * self.scale;
+        if u < 0.0 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+
+    /// Tail probability `Pr[|X| ≥ t]` (Lemma 2.3: `e^{-t/b}`).
+    pub fn tail_probability(&self, t: f64) -> f64 {
+        if self.scale == 0.0 {
+            return if t <= 0.0 { 1.0 } else { 0.0 };
+        }
+        (-t / self.scale).exp().min(1.0)
+    }
+
+    /// The threshold `t` such that `Pr[|X| ≥ t] = beta` (i.e. `b · ln(1/β)`).
+    pub fn quantile_for_tail(&self, beta: f64) -> f64 {
+        assert!(beta > 0.0 && beta <= 1.0, "beta must lie in (0, 1]");
+        self.scale * (1.0 / beta).ln()
+    }
+}
+
+/// Samples once from `Lap(b)`.
+pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
+    LaplaceNoise::new(scale).sample(rng)
+}
+
+/// The Laplace mechanism (Theorem 2.2): releases `value + Lap(sensitivity/epsilon)`.
+///
+/// The caller is responsible for `sensitivity` being an upper bound on the global
+/// sensitivity of the released statistic with respect to the intended neighbor
+/// relation (node-neighbors throughout this library).
+pub fn laplace_mechanism<R: Rng + ?Sized>(
+    value: f64,
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut R,
+) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(sensitivity >= 0.0, "sensitivity must be non-negative");
+    value + sample_laplace(sensitivity / epsilon, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_scale_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let noise = LaplaceNoise::new(0.0);
+        for _ in 0..10 {
+            assert_eq!(noise.sample(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_mean_is_near_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let noise = LaplaceNoise::new(2.0);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| noise.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "sample mean {mean} too far from 0");
+    }
+
+    #[test]
+    fn sample_variance_matches_2b_squared() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = 1.5;
+        let noise = LaplaceNoise::new(b);
+        let n = 200_000;
+        let var: f64 = (0..n).map(|_| noise.sample(&mut rng).powi(2)).sum::<f64>() / n as f64;
+        let expected = 2.0 * b * b;
+        assert!(
+            (var - expected).abs() / expected < 0.05,
+            "sample variance {var} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn empirical_tail_matches_lemma_2_3() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = 1.0;
+        let noise = LaplaceNoise::new(b);
+        let n = 100_000;
+        let t = 2.0;
+        let exceed = (0..n).filter(|_| noise.sample(&mut rng).abs() >= t).count() as f64 / n as f64;
+        let expected = noise.tail_probability(t);
+        assert!((exceed - expected).abs() < 0.01, "tail {exceed} vs expected {expected}");
+    }
+
+    #[test]
+    fn quantile_inverts_tail() {
+        let noise = LaplaceNoise::new(3.0);
+        for beta in [0.5, 0.1, 0.01] {
+            let t = noise.quantile_for_tail(beta);
+            assert!((noise.tail_probability(t) - beta).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mechanism_noise_scales_with_sensitivity_over_epsilon() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let spread_low: f64 = (0..n)
+            .map(|_| (laplace_mechanism(0.0, 1.0, 1.0, &mut rng)).abs())
+            .sum::<f64>()
+            / n as f64;
+        let spread_high: f64 = (0..n)
+            .map(|_| (laplace_mechanism(0.0, 10.0, 1.0, &mut rng)).abs())
+            .sum::<f64>()
+            / n as f64;
+        // E|Lap(b)| = b, so the ratio should be close to 10.
+        let ratio = spread_high / spread_low;
+        assert!((ratio - 10.0).abs() < 1.0, "ratio {ratio} not close to 10");
+    }
+
+    #[test]
+    fn std_dev_formula() {
+        let noise = LaplaceNoise::new(2.0);
+        assert!((noise.std_dev() - 2.0 * std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_scale_rejected() {
+        LaplaceNoise::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_epsilon_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        laplace_mechanism(1.0, 1.0, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the DP mechanisms.
+
+use ccdp_dp::composition::PrivacyBudget;
+use ccdp_dp::exponential::selection_probabilities;
+use ccdp_dp::gem::{generalized_exponential_mechanism, power_of_two_grid, GemCandidate};
+use ccdp_dp::laplace::LaplaceNoise;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn laplace_tail_is_monotone_decreasing(scale in 0.1f64..10.0, t1 in 0.0f64..5.0, dt in 0.0f64..5.0) {
+        let noise = LaplaceNoise::new(scale);
+        prop_assert!(noise.tail_probability(t1 + dt) <= noise.tail_probability(t1) + 1e-12);
+    }
+
+    #[test]
+    fn laplace_quantile_round_trips(scale in 0.1f64..10.0, beta in 0.001f64..1.0) {
+        let noise = LaplaceNoise::new(scale);
+        let t = noise.quantile_for_tail(beta);
+        prop_assert!((noise.tail_probability(t) - beta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laplace_samples_are_finite(scale in 0.0f64..100.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noise = LaplaceNoise::new(scale);
+        for _ in 0..50 {
+            prop_assert!(noise.sample(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn exponential_mechanism_probabilities_are_a_distribution(
+        scores in proptest::collection::vec(-100.0f64..100.0, 1..12),
+        eps in 0.01f64..5.0,
+        sens in 0.1f64..10.0,
+    ) {
+        let probs = selection_probabilities(&scores, sens, eps);
+        prop_assert_eq!(probs.len(), scores.len());
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(probs.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        // The best (lowest) score never has the strictly smallest probability.
+        let best = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let max_p = probs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(probs[best] >= max_p - 1e-9);
+    }
+
+    #[test]
+    fn gem_selects_from_the_grid(delta_max in 1usize..500, seed in any::<u64>(), truth in 0.0f64..1000.0) {
+        let grid = power_of_two_grid(delta_max);
+        prop_assert!(grid.iter().all(|d| d.is_power_of_two()));
+        prop_assert!(*grid.last().unwrap() <= delta_max.max(1));
+        let candidates: Vec<GemCandidate> = grid
+            .iter()
+            .map(|&d| GemCandidate { delta: d as f64, value: truth.min(d as f64 * 3.0) })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sel = generalized_exponential_mechanism(&candidates, truth, 1.0, 0.1, &mut rng);
+        prop_assert!(grid.contains(&(sel.delta as usize)));
+        prop_assert_eq!(sel.approximation_errors.len(), grid.len());
+    }
+
+    #[test]
+    fn budget_ledger_never_exceeds_total(total in 0.1f64..10.0, spends in proptest::collection::vec(0.01f64..1.0, 1..10)) {
+        let mut budget = PrivacyBudget::new(total);
+        for (i, &s) in spends.iter().enumerate() {
+            let _ = budget.spend(&format!("stage{i}"), s);
+        }
+        prop_assert!(budget.spent_epsilon() <= total + 1e-9);
+        prop_assert!(budget.remaining_epsilon() >= -1e-9);
+    }
+}

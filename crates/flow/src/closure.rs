@@ -1,0 +1,235 @@
+//! Maximum-weight closure (project selection).
+//!
+//! Instance: items with weights (positive = profit, negative = cost) and
+//! precedence constraints `a -> b` meaning "if `a` is selected then `b` must also
+//! be selected". The goal is a closed set of items of maximum total weight.
+//!
+//! The classical reduction solves this with one s-t minimum cut: the source feeds
+//! every positive-weight item with capacity equal to its profit, every
+//! negative-weight item feeds the sink with capacity equal to its cost, and
+//! precedence arcs get infinite capacity. The optimal closure is the source side of
+//! a minimum cut and its weight is (total profit) − (min cut).
+//!
+//! The separation oracle for the forest polytope (core crate) uses this with one
+//! item per LP-positive edge (profit `x_e`) and one item per vertex (cost 1).
+
+use crate::dinic::FlowNetwork;
+
+/// A maximum-weight-closure instance.
+#[derive(Clone, Debug, Default)]
+pub struct ClosureInstance {
+    weights: Vec<f64>,
+    /// Precedence arcs `(a, b)`: selecting `a` forces selecting `b`.
+    arcs: Vec<(usize, usize)>,
+}
+
+/// Solution of a maximum-weight-closure instance.
+#[derive(Clone, Debug)]
+pub struct ClosureSolution {
+    /// Total weight of the optimal closure (always ≥ 0: the empty set is closed).
+    pub weight: f64,
+    /// Membership indicator of the optimal closure.
+    pub selected: Vec<bool>,
+}
+
+impl ClosureInstance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an item with the given weight and returns its index.
+    pub fn add_item(&mut self, weight: f64) -> usize {
+        self.weights.push(weight);
+        self.weights.len() - 1
+    }
+
+    /// Adds the precedence constraint "selecting `a` requires selecting `b`".
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn add_requirement(&mut self, a: usize, b: usize) {
+        assert!(a < self.weights.len() && b < self.weights.len(), "item out of range");
+        self.arcs.push((a, b));
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// Solves a maximum-weight-closure instance exactly via a single min-cut.
+pub fn max_weight_closure(instance: &ClosureInstance) -> ClosureSolution {
+    let n = instance.num_items();
+    if n == 0 {
+        return ClosureSolution { weight: 0.0, selected: Vec::new() };
+    }
+    let source = n;
+    let sink = n + 1;
+    let mut net = FlowNetwork::new(n + 2);
+    let infinite: f64 = 1.0
+        + instance
+            .weights
+            .iter()
+            .map(|w| w.abs())
+            .sum::<f64>();
+    let mut total_profit = 0.0;
+    for (i, &w) in instance.weights.iter().enumerate() {
+        if w > 0.0 {
+            net.add_edge(source, i, w);
+            total_profit += w;
+        } else if w < 0.0 {
+            net.add_edge(i, sink, -w);
+        }
+    }
+    for &(a, b) in &instance.arcs {
+        net.add_edge(a, b, infinite);
+    }
+    let result = net.max_flow(source, sink);
+    let selected: Vec<bool> = (0..n).map(|i| result.source_side[i]).collect();
+    ClosureSolution { weight: (total_profit - result.value).max(0.0), selected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    /// Brute-force closure solver for cross-checks.
+    fn brute_force(instance: &ClosureInstance) -> f64 {
+        let n = instance.num_items();
+        assert!(n <= 20);
+        let mut best = 0.0f64;
+        'outer: for mask in 0u32..(1 << n) {
+            for &(a, b) in &instance.arcs {
+                if mask >> a & 1 == 1 && mask >> b & 1 == 0 {
+                    continue 'outer;
+                }
+            }
+            let w: f64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| instance.weights[i]).sum();
+            best = best.max(w);
+        }
+        best
+    }
+
+    #[test]
+    fn empty_instance() {
+        let sol = max_weight_closure(&ClosureInstance::new());
+        assert!(approx(sol.weight, 0.0));
+    }
+
+    #[test]
+    fn single_profitable_item() {
+        let mut inst = ClosureInstance::new();
+        inst.add_item(2.5);
+        let sol = max_weight_closure(&inst);
+        assert!(approx(sol.weight, 2.5));
+        assert!(sol.selected[0]);
+    }
+
+    #[test]
+    fn unprofitable_item_is_skipped() {
+        let mut inst = ClosureInstance::new();
+        inst.add_item(-1.0);
+        let sol = max_weight_closure(&inst);
+        assert!(approx(sol.weight, 0.0));
+        assert!(!sol.selected[0]);
+    }
+
+    #[test]
+    fn profit_requires_cost() {
+        let mut inst = ClosureInstance::new();
+        let p = inst.add_item(3.0);
+        let c = inst.add_item(-2.0);
+        inst.add_requirement(p, c);
+        let sol = max_weight_closure(&inst);
+        assert!(approx(sol.weight, 1.0));
+        assert!(sol.selected[p] && sol.selected[c]);
+    }
+
+    #[test]
+    fn profit_not_worth_its_cost() {
+        let mut inst = ClosureInstance::new();
+        let p = inst.add_item(1.0);
+        let c = inst.add_item(-5.0);
+        inst.add_requirement(p, c);
+        let sol = max_weight_closure(&inst);
+        assert!(approx(sol.weight, 0.0));
+        assert!(!sol.selected[p]);
+    }
+
+    #[test]
+    fn shared_cost_between_profits() {
+        // Two projects sharing one machine: both are selected because together they
+        // cover the cost.
+        let mut inst = ClosureInstance::new();
+        let p1 = inst.add_item(2.0);
+        let p2 = inst.add_item(2.0);
+        let c = inst.add_item(-3.0);
+        inst.add_requirement(p1, c);
+        inst.add_requirement(p2, c);
+        let sol = max_weight_closure(&inst);
+        assert!(approx(sol.weight, 1.0));
+        assert!(sol.selected[p1] && sol.selected[p2] && sol.selected[c]);
+    }
+
+    #[test]
+    fn edge_vertex_structure_like_separation_oracle() {
+        // Mimics the forest-polytope separation structure: edges with fractional
+        // profit requiring both endpoints (cost 1 each).
+        let mut inst = ClosureInstance::new();
+        let v: Vec<usize> = (0..3).map(|_| inst.add_item(-1.0)).collect();
+        // Triangle with x_e = 0.9 on each edge: total profit 2.7, cost 3 -> skip.
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            let e = inst.add_item(0.9);
+            inst.add_requirement(e, v[a]);
+            inst.add_requirement(e, v[b]);
+        }
+        let sol = max_weight_closure(&inst);
+        assert!(approx(sol.weight, 0.0));
+
+        // With x_e = 1.2 the triangle is worth taking (3.6 - 3 = 0.6).
+        let mut inst2 = ClosureInstance::new();
+        let v2: Vec<usize> = (0..3).map(|_| inst2.add_item(-1.0)).collect();
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            let e = inst2.add_item(1.2);
+            inst2.add_requirement(e, v2[a]);
+            inst2.add_requirement(e, v2[b]);
+        }
+        let sol2 = max_weight_closure(&inst2);
+        assert!(approx(sol2.weight, 0.6));
+    }
+
+    #[test]
+    fn random_instances_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..9);
+            let mut inst = ClosureInstance::new();
+            for _ in 0..n {
+                inst.add_item(rng.gen_range(-3.0..3.0));
+            }
+            for _ in 0..rng.gen_range(0..2 * n) {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b {
+                    inst.add_requirement(a, b);
+                }
+            }
+            let sol = max_weight_closure(&inst);
+            let expected = brute_force(&inst);
+            assert!(
+                (sol.weight - expected).abs() < 1e-6,
+                "closure weight {} != brute force {}",
+                sol.weight,
+                expected
+            );
+        }
+    }
+}

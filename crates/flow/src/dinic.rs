@@ -1,0 +1,236 @@
+//! Dinic's maximum-flow algorithm with floating-point capacities.
+//!
+//! Capacities are `f64`; the algorithm uses a small tolerance to decide whether a
+//! residual edge is usable, which is appropriate for the LP separation use case
+//! where capacities come from an LP solution.
+
+/// Tolerance below which residual capacity is treated as zero.
+const EPS: f64 = 1e-9;
+
+#[derive(Clone, Debug)]
+struct Edge {
+    to: usize,
+    cap: f64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+}
+
+/// A flow network on vertices `0..n` with directed, capacitated edges.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<Edge>>,
+}
+
+/// Result of a max-flow computation.
+#[derive(Clone, Debug)]
+pub struct MaxFlowResult {
+    /// The maximum flow value (equal to the minimum cut capacity).
+    pub value: f64,
+    /// Vertices reachable from the source in the final residual network
+    /// (the source side of a minimum cut).
+    pub source_side: Vec<bool>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { graph: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Adds a directed edge `from -> to` with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if the capacity is negative or an endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: f64) {
+        assert!(cap >= 0.0, "capacity must be non-negative");
+        assert!(from < self.graph.len() && to < self.graph.len(), "vertex out of range");
+        let rev_from = self.graph[to].len() + usize::from(from == to);
+        let rev_to = self.graph[from].len();
+        self.graph[from].push(Edge { to, cap, rev: rev_from });
+        self.graph[to].push(Edge { to: from, cap: 0.0, rev: rev_to });
+    }
+
+    fn bfs_levels(&self, source: usize, sink: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1i32; self.graph.len()];
+        let mut queue = std::collections::VecDeque::new();
+        level[source] = 0;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for e in &self.graph[u] {
+                if e.cap > EPS && level[e.to] < 0 {
+                    level[e.to] = level[u] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        if level[sink] >= 0 {
+            Some(level)
+        } else {
+            None
+        }
+    }
+
+    fn dfs_augment(
+        &mut self,
+        u: usize,
+        sink: usize,
+        pushed: f64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> f64 {
+        if u == sink {
+            return pushed;
+        }
+        while iter[u] < self.graph[u].len() {
+            let (to, cap) = {
+                let e = &self.graph[u][iter[u]];
+                (e.to, e.cap)
+            };
+            if cap > EPS && level[to] == level[u] + 1 {
+                let d = self.dfs_augment(to, sink, pushed.min(cap), level, iter);
+                if d > EPS {
+                    let rev = self.graph[u][iter[u]].rev;
+                    self.graph[u][iter[u]].cap -= d;
+                    self.graph[to][rev].cap += d;
+                    return d;
+                }
+            }
+            iter[u] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum `source -> sink` flow and a minimum cut.
+    ///
+    /// The network is consumed (residual capacities are left in place internally).
+    pub fn max_flow(mut self, source: usize, sink: usize) -> MaxFlowResult {
+        assert_ne!(source, sink, "source and sink must differ");
+        let mut value = 0.0;
+        while let Some(level) = self.bfs_levels(source, sink) {
+            let mut iter = vec![0usize; self.graph.len()];
+            loop {
+                let pushed = self.dfs_augment(source, sink, f64::INFINITY, &level, &mut iter);
+                if pushed <= EPS {
+                    break;
+                }
+                value += pushed;
+            }
+        }
+        // Source side of the min cut: vertices reachable in the residual network.
+        let mut source_side = vec![false; self.graph.len()];
+        let mut queue = std::collections::VecDeque::new();
+        source_side[source] = true;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for e in &self.graph[u] {
+                if e.cap > EPS && !source_side[e.to] {
+                    source_side[e.to] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        MaxFlowResult { value, source_side }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 3.5);
+        let r = net.max_flow(0, 1);
+        assert!(approx(r.value, 3.5));
+        assert!(r.source_side[0]);
+        assert!(!r.source_side[1]);
+    }
+
+    #[test]
+    fn series_edges_bottleneck() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5.0);
+        net.add_edge(1, 2, 2.0);
+        let r = net.max_flow(0, 2);
+        assert!(approx(r.value, 2.0));
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3.0);
+        net.add_edge(1, 3, 3.0);
+        net.add_edge(0, 2, 4.0);
+        net.add_edge(2, 3, 2.0);
+        let r = net.max_flow(0, 3);
+        assert!(approx(r.value, 5.0));
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS-style example with known max flow 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16.0);
+        net.add_edge(0, 2, 13.0);
+        net.add_edge(1, 2, 10.0);
+        net.add_edge(2, 1, 4.0);
+        net.add_edge(1, 3, 12.0);
+        net.add_edge(3, 2, 9.0);
+        net.add_edge(2, 4, 14.0);
+        net.add_edge(4, 3, 7.0);
+        net.add_edge(3, 5, 20.0);
+        net.add_edge(4, 5, 4.0);
+        let r = net.max_flow(0, 5);
+        assert!(approx(r.value, 23.0));
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10.0);
+        let r = net.max_flow(0, 3);
+        assert!(approx(r.value, 0.0));
+        assert!(r.source_side[0] && r.source_side[1]);
+        assert!(!r.source_side[3]);
+    }
+
+    #[test]
+    fn min_cut_separates_source_and_sink() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(0, 2, 1.0);
+        net.add_edge(1, 3, 2.0);
+        net.add_edge(2, 3, 0.5);
+        let r = net.max_flow(0, 3);
+        assert!(approx(r.value, 1.5));
+        assert!(r.source_side[0]);
+        assert!(!r.source_side[3]);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 0.25);
+        net.add_edge(0, 1, 0.5);
+        net.add_edge(1, 2, 0.6);
+        let r = net.max_flow(0, 2);
+        assert!(approx(r.value, 0.6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_capacity_rejected() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, -1.0);
+    }
+}

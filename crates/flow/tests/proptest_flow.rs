@@ -1,0 +1,94 @@
+//! Property-based tests for max-flow / min-cut and the closure reduction.
+
+use ccdp_flow::{max_weight_closure, ClosureInstance, FlowNetwork};
+use proptest::prelude::*;
+
+/// Random small flow network description: (num internal nodes, edges (u, v, cap)).
+fn arb_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..7).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n, 0..n, 0.1f64..3.0).prop_filter("no self loops", |(u, v, _)| u != v),
+            1..15,
+        );
+        (Just(n), edges)
+    })
+}
+
+/// Brute-force minimum s-t cut by enumerating all vertex bipartitions.
+fn brute_force_min_cut(n: usize, edges: &[(usize, usize, f64)], s: usize, t: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for mask in 0u32..(1 << n) {
+        if mask >> s & 1 == 0 || mask >> t & 1 == 1 {
+            continue;
+        }
+        let cut: f64 = edges
+            .iter()
+            .filter(|&&(u, v, _)| mask >> u & 1 == 1 && mask >> v & 1 == 0)
+            .map(|&(_, _, c)| c)
+            .sum();
+        best = best.min(cut);
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn max_flow_equals_brute_force_min_cut((n, edges) in arb_network()) {
+        let s = 0;
+        let t = n - 1;
+        let mut net = FlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            net.add_edge(u, v, c);
+        }
+        let result = net.max_flow(s, t);
+        let expected = brute_force_min_cut(n, &edges, s, t);
+        prop_assert!((result.value - expected).abs() < 1e-6,
+            "flow {} vs min cut {}", result.value, expected);
+        // The reported source side is a valid cut of the same capacity.
+        prop_assert!(result.source_side[s]);
+        prop_assert!(!result.source_side[t]);
+        let reported_cut: f64 = edges
+            .iter()
+            .filter(|&&(u, v, _)| result.source_side[u] && !result.source_side[v])
+            .map(|&(_, _, c)| c)
+            .sum();
+        prop_assert!((reported_cut - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn closure_weight_is_nonnegative_and_closed(
+        weights in proptest::collection::vec(-3.0f64..3.0, 1..8),
+        arcs in proptest::collection::vec((0usize..8, 0usize..8), 0..12),
+    ) {
+        let mut inst = ClosureInstance::new();
+        for &w in &weights {
+            inst.add_item(w);
+        }
+        let n = weights.len();
+        let mut kept = Vec::new();
+        for &(a, b) in &arcs {
+            if a < n && b < n && a != b {
+                inst.add_requirement(a, b);
+                kept.push((a, b));
+            }
+        }
+        let sol = max_weight_closure(&inst);
+        prop_assert!(sol.weight >= -1e-9);
+        // The selected set is closed under the requirements.
+        for &(a, b) in &kept {
+            if sol.selected[a] {
+                prop_assert!(sol.selected[b], "closure not closed under {a} -> {b}");
+            }
+        }
+        // The reported weight matches the selected set.
+        let recomputed: f64 = weights
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| sol.selected[*i])
+            .map(|(_, &w)| w)
+            .sum();
+        prop_assert!((recomputed - sol.weight).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,143 @@
+//! Connected components and the two central graph statistics of the paper:
+//! `f_cc(G)` (number of connected components) and `f_sf(G)` (size of a spanning
+//! forest), related by `f_cc(G) = |V(G)| - f_sf(G)` (Equation (1) of the paper).
+
+use crate::graph::Graph;
+use crate::unionfind::UnionFind;
+
+/// Labels every vertex with the index of its connected component.
+///
+/// Components are numbered `0..k` in order of their smallest vertex.
+pub fn connected_component_labels(g: &Graph) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// Number of connected components, `f_cc(G)`.
+///
+/// The empty graph has 0 components.
+pub fn num_connected_components(g: &Graph) -> usize {
+    let mut uf = UnionFind::new(g.num_vertices());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    uf.num_sets()
+}
+
+/// Number of edges in any spanning forest, `f_sf(G) = |V(G)| - f_cc(G)`.
+pub fn spanning_forest_size(g: &Graph) -> usize {
+    g.num_vertices() - num_connected_components(g)
+}
+
+/// Sizes of the connected components, ordered by their smallest vertex.
+pub fn component_sizes(g: &Graph) -> Vec<usize> {
+    let labels = connected_component_labels(g);
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; k];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    sizes
+}
+
+/// Vertex sets of the connected components, ordered by their smallest vertex.
+pub fn components(g: &Graph) -> Vec<Vec<usize>> {
+    let labels = connected_component_labels(g);
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut comps = vec![Vec::new(); k];
+    for (v, &l) in labels.iter().enumerate() {
+        comps[l].push(v);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_zero_components() {
+        let g = Graph::new(0);
+        assert_eq!(num_connected_components(&g), 0);
+        assert_eq!(spanning_forest_size(&g), 0);
+        assert!(components(&g).is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_components() {
+        let g = Graph::new(7);
+        assert_eq!(num_connected_components(&g), 7);
+        assert_eq!(spanning_forest_size(&g), 0);
+        assert_eq!(component_sizes(&g), vec![1; 7]);
+    }
+
+    #[test]
+    fn path_is_connected() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(num_connected_components(&g), 1);
+        assert_eq!(spanning_forest_size(&g), 4);
+    }
+
+    #[test]
+    fn two_triangles() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        assert_eq!(num_connected_components(&g), 2);
+        assert_eq!(spanning_forest_size(&g), 4);
+        assert_eq!(component_sizes(&g), vec![3, 3]);
+        let comps = components(&g);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn labels_agree_with_components() {
+        let g = Graph::from_edges(6, &[(0, 3), (1, 4)]);
+        let labels = connected_component_labels(&g);
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[1], labels[4]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[2], labels[5]);
+        assert_eq!(num_connected_components(&g), 4);
+    }
+
+    #[test]
+    fn identity_fcc_plus_fsf_equals_n() {
+        let g = Graph::from_edges(8, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (5, 7)]);
+        assert_eq!(
+            num_connected_components(&g) + spanning_forest_size(&g),
+            g.num_vertices()
+        );
+    }
+
+    #[test]
+    fn adding_a_dominating_vertex_makes_graph_connected() {
+        // The obstacle discussed in the introduction: every graph is a node-neighbor
+        // of a connected graph.
+        let mut g = Graph::new(6);
+        assert_eq!(num_connected_components(&g), 6);
+        let hub = g.add_vertex();
+        for v in 0..6 {
+            g.add_edge(hub, v);
+        }
+        assert_eq!(num_connected_components(&g), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Core undirected graph representation.
+//!
+//! The representation is adjacency lists with sorted neighbor vectors, which keeps
+//! `has_edge` at `O(log deg)` and iteration allocation-free. All graphs in this
+//! library are simple and undirected, matching the databases of the paper.
+
+/// An undirected, unweighted, simple graph on vertices `0..n`.
+///
+/// Neighbor lists are kept sorted; there are no self-loops or parallel edges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Creates a graph with `n` vertices and the given edges.
+    ///
+    /// Self-loops and duplicate edges are silently ignored.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Returns `true` if the graph has no edges.
+    pub fn has_no_edges(&self) -> bool {
+        self.num_edges == 0
+    }
+
+    /// Adds a new isolated vertex and returns its index.
+    pub fn add_vertex(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// Returns `true` if the edge was inserted, `false` if it already existed or
+    /// `u == v`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
+        if u == v {
+            return false;
+        }
+        match self.adj[u].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos_u) => {
+                self.adj[u].insert(pos_u, v);
+                let pos_v = self.adj[v].binary_search(&u).unwrap_err();
+                self.adj[v].insert(pos_v, u);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes the undirected edge `(u, v)`. Returns `true` if it was present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if u >= self.adj.len() || v >= self.adj.len() || u == v {
+            return false;
+        }
+        match self.adj[u].binary_search(&v) {
+            Ok(pos_u) => {
+                self.adj[u].remove(pos_u);
+                let pos_v = self.adj[v].binary_search(&u).unwrap();
+                self.adj[v].remove(pos_v);
+                self.num_edges -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Returns `true` if the edge `(u, v)` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        if u >= self.adj.len() || v >= self.adj.len() {
+            return false;
+        }
+        self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Sorted slice of neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over vertices `0..n`.
+    pub fn vertices(&self) -> std::ops::Range<usize> {
+        0..self.adj.len()
+    }
+
+    /// Iterator over edges as pairs `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Collects all edges `(u, v)` with `u < v` into a vector.
+    pub fn edge_vec(&self) -> Vec<(usize, usize)> {
+        self.edges().collect()
+    }
+
+    /// Number of edges in the subgraph induced by `set` (i.e. `|E[S]|`).
+    pub fn edges_within(&self, set: &[usize]) -> usize {
+        let mut member = vec![false; self.num_vertices()];
+        for &v in set {
+            member[v] = true;
+        }
+        let mut count = 0;
+        for &u in set {
+            for &v in &self.adj[u] {
+                if v > u && member[v] {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Number of connected components of the graph (`f_cc`).
+    pub fn num_connected_components(&self) -> usize {
+        crate::components::num_connected_components(self)
+    }
+
+    /// Number of edges in any spanning forest of the graph (`f_sf = |V| - f_cc`).
+    pub fn spanning_forest_size(&self) -> usize {
+        crate::components::spanning_forest_size(self)
+    }
+
+    /// Consistency check used by tests and debug assertions: neighbor lists are
+    /// sorted, symmetric, loop-free and the edge count matches.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            if nbrs.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("neighbor list of {u} is not strictly sorted"));
+            }
+            for &v in nbrs {
+                if v == u {
+                    return Err(format!("self-loop at {u}"));
+                }
+                if v >= self.adj.len() {
+                    return Err(format!("neighbor {v} of {u} out of range"));
+                }
+                if self.adj[v].binary_search(&u).is_err() {
+                    return Err(format!("edge ({u},{v}) is not symmetric"));
+                }
+                count += 1;
+            }
+        }
+        if count != 2 * self.num_edges {
+            return Err(format!(
+                "edge count mismatch: counted {} half-edges, expected {}",
+                count,
+                2 * self.num_edges
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = Graph::new(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert!(g.has_no_edges());
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(1, 0), "duplicate edge must be rejected");
+        assert!(!g.add_edge(2, 2), "self-loop must be rejected");
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn remove_edges() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn from_edges_ignores_duplicates_and_loops() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (2, 2), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = Graph::from_edges(4, &[(2, 1), (3, 0), (0, 1)]);
+        let edges = g.edge_vec();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn degrees_and_max_degree() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn edges_within_subset() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        assert_eq!(g.edges_within(&[0, 1, 2]), 2);
+        assert_eq!(g.edges_within(&[0, 2, 4]), 1);
+        assert_eq!(g.edges_within(&[1]), 0);
+        assert_eq!(g.edges_within(&[]), 0);
+    }
+
+    #[test]
+    fn add_vertex_grows_graph() {
+        let mut g = Graph::new(2);
+        let v = g.add_vertex();
+        assert_eq!(v, 2);
+        assert!(g.add_edge(v, 0));
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_edge_out_of_range_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+}

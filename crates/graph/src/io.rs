@@ -1,0 +1,155 @@
+//! Plain-text edge-list serialization.
+//!
+//! The format is the one used by most public graph repositories: an optional
+//! header line `# n m`, followed by one `u v` pair per line. Lines starting with
+//! `#` (other than the header) and blank lines are ignored.
+
+use crate::graph::Graph;
+
+/// Error produced when parsing an edge list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line could not be parsed as two vertex indices.
+    MalformedLine { line_number: usize, content: String },
+    /// An endpoint was out of range for the declared vertex count.
+    VertexOutOfRange { line_number: usize, vertex: usize, num_vertices: usize },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MalformedLine { line_number, content } => {
+                write!(f, "line {line_number}: malformed edge `{content}`")
+            }
+            ParseError::VertexOutOfRange { line_number, vertex, num_vertices } => write!(
+                f,
+                "line {line_number}: vertex {vertex} out of range for {num_vertices} vertices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a graph as `# n m` followed by one `u v` line per edge.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {} {}\n", g.num_vertices(), g.num_edges()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+/// Parses an edge list produced by [`to_edge_list`] or a plain `u v` list.
+///
+/// If no `# n m` header is present, the vertex count is inferred as the maximum
+/// endpoint plus one.
+pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_vertex = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if declared_n.is_none() {
+                let mut parts = rest.split_whitespace();
+                if let (Some(n), Some(_m)) = (parts.next(), parts.next()) {
+                    if let Ok(n) = n.parse::<usize>() {
+                        declared_n = Some(n);
+                    }
+                }
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next()) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(ParseError::MalformedLine { line_number: i + 1, content: line.to_string() })
+            }
+        };
+        let u: usize = u.parse().map_err(|_| ParseError::MalformedLine {
+            line_number: i + 1,
+            content: line.to_string(),
+        })?;
+        let v: usize = v.parse().map_err(|_| ParseError::MalformedLine {
+            line_number: i + 1,
+            content: line.to_string(),
+        })?;
+        if let Some(n) = declared_n {
+            for &x in &[u, v] {
+                if x >= n {
+                    return Err(ParseError::VertexOutOfRange {
+                        line_number: i + 1,
+                        vertex: x,
+                        num_vertices: n,
+                    });
+                }
+            }
+        }
+        max_vertex = max_vertex.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = declared_n.unwrap_or(if edges.is_empty() { 0 } else { max_vertex + 1 });
+    Ok(Graph::from_edges(n, &edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip() {
+        let g = generators::grid(3, 3);
+        let text = to_edge_list(&g);
+        let parsed = from_edge_list(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn round_trip_with_isolated_vertices() {
+        let mut g = generators::path(3);
+        g.add_vertex();
+        g.add_vertex();
+        let parsed = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(parsed.num_vertices(), 5);
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn parse_without_header_infers_vertex_count() {
+        let g = from_edge_list("0 1\n2 3\n").unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blanks() {
+        let g = from_edge_list("# 5 2\n\n# a comment\n0 4\n1 2\n").unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_is_rejected() {
+        let err = from_edge_list("0 1\nnot-an-edge\n").unwrap_err();
+        assert!(matches!(err, ParseError::MalformedLine { line_number: 2, .. }));
+    }
+
+    #[test]
+    fn out_of_range_vertex_is_rejected() {
+        let err = from_edge_list("# 3 1\n0 7\n").unwrap_err();
+        assert!(matches!(err, ParseError::VertexOutOfRange { vertex: 7, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = from_edge_list("").unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Breadth-first / depth-first traversals and cut vertices (articulation points).
+
+use crate::graph::Graph;
+
+/// Vertices reachable from `start`, in BFS order.
+pub fn bfs_order(g: &Graph, start: usize) -> Vec<usize> {
+    let mut visited = vec![false; g.num_vertices()];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Vertices reachable from `start`, in DFS preorder.
+pub fn dfs_order(g: &Graph, start: usize) -> Vec<usize> {
+    let mut visited = vec![false; g.num_vertices()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if visited[u] {
+            continue;
+        }
+        visited[u] = true;
+        order.push(u);
+        // Push in reverse so that smaller neighbors are visited first.
+        for &v in g.neighbors(u).iter().rev() {
+            if !visited[v] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Cut vertices (articulation points) of the graph.
+///
+/// A vertex is a cut vertex if removing it (and its adjacent edges) increases the
+/// number of connected components. Uses an iterative Tarjan low-link computation.
+pub fn cut_vertices(g: &Graph) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0usize;
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS with an explicit stack of (vertex, next-neighbor-index).
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+        while let Some(&mut (u, ref mut idx)) = stack.last_mut() {
+            if *idx < g.degree(u) {
+                let v = g.neighbors(u)[*idx];
+                *idx += 1;
+                if disc[v] == usize::MAX {
+                    parent[v] = u;
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    stack.push((v, 0));
+                } else if v != parent[u] {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if p != root && low[u] >= disc[p] {
+                        is_cut[p] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut[root] = true;
+        }
+    }
+    (0..n).filter(|&v| is_cut[v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::num_connected_components;
+    use crate::subgraph::remove_vertex;
+
+    #[test]
+    fn bfs_visits_component() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let order = bfs_order(&g, 0);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], 0);
+        assert!(order.contains(&2));
+        assert!(!order.contains(&3));
+    }
+
+    #[test]
+    fn dfs_visits_component() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(dfs_order(&g, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn path_internal_vertices_are_cut() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(cut_vertices(&g), vec![1, 2]);
+    }
+
+    #[test]
+    fn cycle_has_no_cut_vertices() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(cut_vertices(&g).is_empty());
+    }
+
+    #[test]
+    fn star_center_is_the_only_cut_vertex() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(cut_vertices(&g), vec![0]);
+    }
+
+    #[test]
+    fn cut_vertices_match_definition_by_removal() {
+        // Cross-check against the definition on a hand-made graph.
+        let g = Graph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (4, 6), (6, 7)],
+        );
+        let cc = num_connected_components(&g);
+        let expected: Vec<usize> = (0..g.num_vertices())
+            .filter(|&v| {
+                let (h, _) = remove_vertex(&g, v);
+                num_connected_components(&h) > cc
+            })
+            .collect();
+        assert_eq!(cut_vertices(&g), expected);
+    }
+}

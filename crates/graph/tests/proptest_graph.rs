@@ -1,0 +1,137 @@
+//! Property-based tests for the graph substrate.
+
+use ccdp_graph::components::{connected_component_labels, num_connected_components};
+use ccdp_graph::forest::{bfs_spanning_forest, bounded_degree_spanning_forest, delta_star_exact};
+use ccdp_graph::generators;
+use ccdp_graph::io::{from_edge_list, to_edge_list};
+use ccdp_graph::sensitivity::{down_sensitivity_fsf, down_sensitivity_fsf_brute_force};
+use ccdp_graph::stars::{induced_star_number, induced_star_number_brute_force};
+use ccdp_graph::subgraph::{induced_subgraph, remove_vertex};
+use ccdp_graph::Graph;
+use proptest::prelude::*;
+
+/// Strategy: a random graph on at most `max_n` vertices given by an edge bitmask.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let num_pairs = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), num_pairs).prop_map(move |bits| {
+            let mut g = Graph::new(n);
+            let mut idx = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if bits[idx] {
+                        g.add_edge(u, v);
+                    }
+                    idx += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_after_construction(g in arb_graph(10)) {
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn fcc_plus_fsf_is_n(g in arb_graph(10)) {
+        prop_assert_eq!(
+            g.num_connected_components() + g.spanning_forest_size(),
+            g.num_vertices()
+        );
+    }
+
+    #[test]
+    fn union_find_components_match_bfs_labels(g in arb_graph(12)) {
+        let labels = connected_component_labels(&g);
+        let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+        prop_assert_eq!(num_connected_components(&g), k);
+        // Vertices in the same labeled component must be connected by the BFS forest.
+        let forest = bfs_spanning_forest(&g);
+        prop_assert!(forest.is_spanning_forest_of(&g));
+    }
+
+    #[test]
+    fn removing_a_vertex_changes_fcc_boundedly(g in arb_graph(10), v_idx in 0usize..10) {
+        // Removing one vertex can decrease f_cc by at most 1 and increase it by at
+        // most deg(v) - 1.
+        let n = g.num_vertices();
+        let v = v_idx % n;
+        let before = g.num_connected_components() as i64;
+        let (h, _) = remove_vertex(&g, v);
+        let after = h.num_connected_components() as i64;
+        prop_assert!(after >= before - 1);
+        prop_assert!(after <= before + (g.degree(v) as i64 - 1).max(0));
+    }
+
+    #[test]
+    fn fsf_is_monotone_under_vertex_removal(g in arb_graph(10), v_idx in 0usize..10) {
+        // f_sf is monotone nondecreasing under node additions (Section 1.1).
+        let v = v_idx % g.num_vertices();
+        let (h, _) = remove_vertex(&g, v);
+        prop_assert!(h.spanning_forest_size() <= g.spanning_forest_size());
+    }
+
+    #[test]
+    fn star_number_matches_brute_force(g in arb_graph(8)) {
+        let fast = induced_star_number(&g);
+        prop_assert!(fast.is_exact());
+        prop_assert_eq!(fast.value(), induced_star_number_brute_force(&g));
+    }
+
+    #[test]
+    fn lemma_1_7_down_sensitivity_equals_star_number(g in arb_graph(7)) {
+        prop_assert_eq!(down_sensitivity_fsf(&g).value(), down_sensitivity_fsf_brute_force(&g));
+    }
+
+    #[test]
+    fn lemma_1_8_no_delta_star_implies_spanning_delta_forest(g in arb_graph(9)) {
+        let s = induced_star_number(&g).value();
+        let delta = (s + 1).max(1);
+        let f = bounded_degree_spanning_forest(&g, delta);
+        prop_assert!(f.is_some(), "repair failed with delta = s(G)+1 = {}", delta);
+        let f = f.unwrap();
+        prop_assert!(f.is_spanning_forest_of(&g));
+        prop_assert!(f.max_degree() <= delta);
+    }
+
+    #[test]
+    fn lemma_1_6_delta_star_at_most_ds_plus_one(g in arb_graph(8)) {
+        let exact = delta_star_exact(&g, 1 << 22);
+        prop_assume!(exact.is_some());
+        let ds = down_sensitivity_fsf(&g).value();
+        prop_assert!(exact.unwrap() <= ds + 1, "Δ*={} > DS+1={}", exact.unwrap(), ds + 1);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency(g in arb_graph(9), keep_bits in proptest::collection::vec(any::<bool>(), 9)) {
+        let keep: Vec<usize> = (0..g.num_vertices()).filter(|&v| keep_bits[v]).collect();
+        let (h, map) = induced_subgraph(&g, &keep);
+        prop_assert!(h.check_invariants().is_ok());
+        for i in 0..h.num_vertices() {
+            for j in (i + 1)..h.num_vertices() {
+                prop_assert_eq!(h.has_edge(i, j), g.has_edge(map[i], map[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_round_trip(g in arb_graph(10)) {
+        let text = to_edge_list(&g);
+        let parsed = from_edge_list(&text).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn geometric_graphs_never_have_large_induced_stars(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = generators::random_geometric(80, 0.2, &mut rng);
+        prop_assert!(induced_star_number(&g).value() <= 5);
+    }
+}

@@ -1,0 +1,21 @@
+//! Linear-programming substrate.
+//!
+//! The paper evaluates its Lipschitz extensions by maximizing `x(E)` over the
+//! Δ-bounded forest polytope (Definition 3.1). The polytope has exponentially many
+//! constraints, so the core crate solves it by constraint generation: repeatedly
+//! solve a relaxation with the currently known constraints, then ask a separation
+//! oracle for a violated forest constraint. This crate provides the relaxation
+//! solver: a dense primal simplex for problems of the form
+//!
+//! ```text
+//! maximize cᵀx   subject to   Ax ≤ b,  x ≥ 0,  b ≥ 0
+//! ```
+//!
+//! which is exactly the shape of every relaxation we generate (all right-hand
+//! sides are positive), so a basic feasible solution is always available and no
+//! two-phase method is needed. Rows can be added incrementally between solves.
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{LinearProgram, LpError, LpSolution};

@@ -1,0 +1,238 @@
+//! Problem container for `max cᵀx, Ax ≤ b, x ≥ 0` linear programs.
+
+use crate::simplex;
+
+/// Errors reported by the solver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// The objective is unbounded above over the feasible region.
+    Unbounded,
+    /// The pivot limit was exceeded (numerical trouble or a pathological instance).
+    IterationLimit,
+    /// A right-hand side was negative; this solver requires `b ≥ 0`.
+    NegativeRhs { row: usize },
+    /// A constraint row has the wrong number of coefficients.
+    DimensionMismatch { row: usize, expected: usize, got: usize },
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::NegativeRhs { row } => write!(f, "constraint {row} has a negative right-hand side"),
+            LpError::DimensionMismatch { row, expected, got } => {
+                write!(f, "constraint {row} has {got} coefficients, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Solution of a linear program.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective_value: f64,
+    /// Optimal values of the structural variables.
+    pub values: Vec<f64>,
+    /// Number of simplex pivots performed.
+    pub iterations: usize,
+}
+
+/// A linear program `max cᵀx` subject to `Ax ≤ b`, `x ≥ 0`, with `b ≥ 0`.
+///
+/// Constraints can be added incrementally (cutting planes); every call to
+/// [`LinearProgram::solve`] re-optimizes from scratch, which is simple and robust
+/// and entirely sufficient for the instance sizes used by the experiments.
+#[derive(Clone, Debug)]
+pub struct LinearProgram {
+    num_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+}
+
+impl LinearProgram {
+    /// Creates a program with the given number of variables and objective vector.
+    ///
+    /// # Panics
+    /// Panics if the objective length does not match `num_vars`.
+    pub fn new(num_vars: usize, objective: Vec<f64>) -> Self {
+        assert_eq!(objective.len(), num_vars, "objective length mismatch");
+        LinearProgram { num_vars, objective, rows: Vec::new(), rhs: Vec::new() }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds a dense constraint `coeffs · x ≤ rhs`.
+    pub fn add_constraint_dense(&mut self, coeffs: Vec<f64>, rhs: f64) {
+        assert_eq!(coeffs.len(), self.num_vars, "constraint length mismatch");
+        self.rows.push(coeffs);
+        self.rhs.push(rhs);
+    }
+
+    /// Adds a sparse constraint `Σ coeff·x_idx ≤ rhs`. Repeated indices accumulate.
+    pub fn add_constraint_sparse(&mut self, terms: &[(usize, f64)], rhs: f64) {
+        let mut row = vec![0.0; self.num_vars];
+        for &(idx, coeff) in terms {
+            assert!(idx < self.num_vars, "variable index out of range");
+            row[idx] += coeff;
+        }
+        self.rows.push(row);
+        self.rhs.push(rhs);
+    }
+
+    /// Solves the program with the primal simplex method.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        for (i, &b) in self.rhs.iter().enumerate() {
+            if b < 0.0 {
+                return Err(LpError::NegativeRhs { row: i });
+            }
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.len() != self.num_vars {
+                return Err(LpError::DimensionMismatch {
+                    row: i,
+                    expected: self.num_vars,
+                    got: row.len(),
+                });
+            }
+        }
+        simplex::solve(&self.objective, &self.rows, &self.rhs)
+    }
+
+    /// Evaluates `coeffs · x` for a candidate solution (helper for oracles/tests).
+    pub fn dot(coeffs: &[f64], x: &[f64]) -> f64 {
+        coeffs.iter().zip(x).map(|(a, b)| a * b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn trivial_box_constraint() {
+        // max x s.t. x ≤ 4.
+        let mut lp = LinearProgram::new(1, vec![1.0]);
+        lp.add_constraint_dense(vec![1.0], 4.0);
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective_value, 4.0));
+        assert!(approx(sol.values[0], 4.0));
+    }
+
+    #[test]
+    fn two_variable_textbook_lp() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 -> optimum 36 at (2, 6).
+        let mut lp = LinearProgram::new(2, vec![3.0, 5.0]);
+        lp.add_constraint_dense(vec![1.0, 0.0], 4.0);
+        lp.add_constraint_dense(vec![0.0, 2.0], 12.0);
+        lp.add_constraint_dense(vec![3.0, 2.0], 18.0);
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective_value, 36.0));
+        assert!(approx(sol.values[0], 2.0));
+        assert!(approx(sol.values[1], 6.0));
+    }
+
+    #[test]
+    fn unbounded_detection() {
+        // max x + y with only x ≤ 1: y is unbounded.
+        let mut lp = LinearProgram::new(2, vec![1.0, 1.0]);
+        lp.add_constraint_dense(vec![1.0, 0.0], 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn no_constraints_zero_objective() {
+        // max 0 with no constraints: optimum 0 at the origin.
+        let lp = LinearProgram::new(3, vec![0.0, 0.0, 0.0]);
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective_value, 0.0));
+    }
+
+    #[test]
+    fn negative_objective_coefficients_stay_at_zero() {
+        let mut lp = LinearProgram::new(2, vec![-1.0, 2.0]);
+        lp.add_constraint_dense(vec![1.0, 1.0], 5.0);
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective_value, 10.0));
+        assert!(approx(sol.values[0], 0.0));
+        assert!(approx(sol.values[1], 5.0));
+    }
+
+    #[test]
+    fn negative_rhs_is_rejected() {
+        let mut lp = LinearProgram::new(1, vec![1.0]);
+        lp.add_constraint_dense(vec![1.0], -2.0);
+        assert!(matches!(lp.solve().unwrap_err(), LpError::NegativeRhs { row: 0 }));
+    }
+
+    #[test]
+    fn sparse_constraints_accumulate() {
+        // max x0 + x1 s.t. x0 + x1 ≤ 3 (given sparsely, with a repeated index).
+        let mut lp = LinearProgram::new(2, vec![1.0, 1.0]);
+        lp.add_constraint_sparse(&[(0, 0.5), (0, 0.5), (1, 1.0)], 3.0);
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective_value, 3.0));
+    }
+
+    #[test]
+    fn incremental_cutting_planes_tighten_the_optimum() {
+        // Start loose, add a cut, re-solve: the optimum must not increase.
+        let mut lp = LinearProgram::new(2, vec![1.0, 1.0]);
+        lp.add_constraint_dense(vec![1.0, 0.0], 10.0);
+        lp.add_constraint_dense(vec![0.0, 1.0], 10.0);
+        let first = lp.solve().unwrap().objective_value;
+        lp.add_constraint_dense(vec![1.0, 1.0], 8.0);
+        let second = lp.solve().unwrap().objective_value;
+        assert!(approx(first, 20.0));
+        assert!(approx(second, 8.0));
+        assert!(second <= first + 1e-9);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut lp = LinearProgram::new(2, vec![1.0, 1.0]);
+        for _ in 0..6 {
+            lp.add_constraint_dense(vec![1.0, 1.0], 1.0);
+        }
+        lp.add_constraint_dense(vec![1.0, 0.0], 1.0);
+        lp.add_constraint_dense(vec![0.0, 1.0], 1.0);
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective_value, 1.0));
+    }
+
+    #[test]
+    fn solution_is_feasible() {
+        let mut lp = LinearProgram::new(3, vec![2.0, 3.0, 1.0]);
+        lp.add_constraint_dense(vec![1.0, 1.0, 1.0], 10.0);
+        lp.add_constraint_dense(vec![2.0, 1.0, 0.0], 8.0);
+        lp.add_constraint_dense(vec![0.0, 1.0, 3.0], 9.0);
+        let sol = lp.solve().unwrap();
+        for (row, rhs) in [
+            (vec![1.0, 1.0, 1.0], 10.0),
+            (vec![2.0, 1.0, 0.0], 8.0),
+            (vec![0.0, 1.0, 3.0], 9.0),
+        ] {
+            assert!(LinearProgram::dot(&row, &sol.values) <= rhs + 1e-6);
+        }
+        for &v in &sol.values {
+            assert!(v >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the simplex solver.
+
+use ccdp_lp::{LinearProgram, LpError};
+use proptest::prelude::*;
+
+/// A random LP with non-negative constraint matrix and positive rhs (always
+/// feasible at the origin, bounded whenever every variable appears in some row
+/// with a positive coefficient).
+fn arb_lp() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
+    (1usize..5, 1usize..7).prop_flat_map(|(nvars, ncons)| {
+        (
+            proptest::collection::vec(-2.0f64..3.0, nvars),
+            proptest::collection::vec(proptest::collection::vec(0.0f64..2.0, nvars), ncons),
+            proptest::collection::vec(0.5f64..5.0, ncons),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solutions_are_feasible_and_nonnegative((c, a, b) in arb_lp()) {
+        let mut lp = LinearProgram::new(c.len(), c.clone());
+        for (row, &rhs) in a.iter().zip(&b) {
+            lp.add_constraint_dense(row.clone(), rhs);
+        }
+        match lp.solve() {
+            Ok(sol) => {
+                for (row, &rhs) in a.iter().zip(&b) {
+                    prop_assert!(LinearProgram::dot(row, &sol.values) <= rhs + 1e-6);
+                }
+                for &x in &sol.values {
+                    prop_assert!(x >= -1e-9);
+                }
+                // Objective value is consistent with the reported point.
+                let recomputed = LinearProgram::dot(&c, &sol.values);
+                prop_assert!((recomputed - sol.objective_value).abs() < 1e-6);
+                // The optimum is at least the value at the origin (0).
+                prop_assert!(sol.objective_value >= -1e-9 || c.iter().all(|&ci| ci <= 0.0));
+            }
+            Err(LpError::Unbounded) => {
+                // Acceptable: some variable with positive objective never appears
+                // with a positive coefficient in any constraint.
+                let unbounded_possible = c.iter().enumerate().any(|(j, &cj)| {
+                    cj > 0.0 && a.iter().all(|row| row[j] <= 1e-8)
+                });
+                prop_assert!(unbounded_possible, "unexpected unboundedness");
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected LP error: {e}"))),
+        }
+    }
+
+    #[test]
+    fn adding_a_constraint_never_improves_the_optimum((c, a, b) in arb_lp(), extra_rhs in 0.5f64..5.0) {
+        // Build the base LP and make sure it is bounded by boxing every variable.
+        let n = c.len();
+        let mut lp = LinearProgram::new(n, c.clone());
+        for j in 0..n {
+            let mut row = vec![0.0; n];
+            row[j] = 1.0;
+            lp.add_constraint_dense(row, 10.0);
+        }
+        for (row, &rhs) in a.iter().zip(&b) {
+            lp.add_constraint_dense(row.clone(), rhs);
+        }
+        let before = lp.solve().unwrap().objective_value;
+        lp.add_constraint_dense(vec![1.0; n], extra_rhs);
+        let after = lp.solve().unwrap().objective_value;
+        prop_assert!(after <= before + 1e-6);
+    }
+
+    #[test]
+    fn two_variable_lps_match_vertex_enumeration(
+        c in proptest::collection::vec(-2.0f64..3.0, 2),
+        rows in proptest::collection::vec((0.0f64..2.0, 0.0f64..2.0, 0.5f64..4.0), 1..5),
+    ) {
+        let mut lp = LinearProgram::new(2, c.clone());
+        // Box constraints keep the LP bounded and make vertex enumeration easy.
+        lp.add_constraint_dense(vec![1.0, 0.0], 6.0);
+        lp.add_constraint_dense(vec![0.0, 1.0], 6.0);
+        let mut all_rows = vec![(1.0, 0.0, 6.0), (0.0, 1.0, 6.0)];
+        for &(a0, a1, rhs) in &rows {
+            lp.add_constraint_dense(vec![a0, a1], rhs);
+            all_rows.push((a0, a1, rhs));
+        }
+        let sol = lp.solve().unwrap();
+
+        // Enumerate candidate vertices: intersections of constraint/axis pairs.
+        let mut best = 0.0f64; // the origin
+        let mut lines = all_rows.clone();
+        lines.push((1.0, 0.0, 0.0));
+        lines.push((0.0, 1.0, 0.0));
+        for i in 0..lines.len() {
+            for j in (i + 1)..lines.len() {
+                let (a, b2, e) = lines[i];
+                let (c2, d, f) = lines[j];
+                let det = a * d - b2 * c2;
+                if det.abs() < 1e-9 {
+                    continue;
+                }
+                let x = (e * d - b2 * f) / det;
+                let y = (a * f - e * c2) / det;
+                if x < -1e-9 || y < -1e-9 {
+                    continue;
+                }
+                if all_rows.iter().all(|&(p, q, r)| p * x + q * y <= r + 1e-7) {
+                    best = best.max(c[0] * x + c[1] * y);
+                }
+            }
+        }
+        prop_assert!((sol.objective_value - best).abs() < 1e-4,
+            "simplex {} vs enumeration {}", sol.objective_value, best);
+    }
+}

@@ -1,0 +1,81 @@
+//! Estimating the number of classes in a population (Goodman 1949; Syrian-conflict
+//! entity resolution, Chen–Shrivastava–Steorts 2018) under node-privacy.
+//!
+//! Duplicate records of the same underlying entity are linked by a match graph;
+//! the number of distinct entities is the number of connected components. Each
+//! record belongs to a person, so node-privacy is the right protection. This
+//! example builds a synthetic match graph with skewed cluster sizes and compares
+//! the private estimate of the number of entities to the truth across ε.
+//!
+//! Run with: `cargo run --release -p ccdp-core --example population_classes`
+
+use ccdp_core::PrivateCcEstimator;
+use ccdp_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a synthetic record-linkage graph: clusters of duplicate records with a
+/// skewed size distribution, each cluster internally connected by a sparse chain
+/// plus a few extra matches.
+fn synthetic_match_graph(num_entities: usize, rng: &mut StdRng) -> Graph {
+    let mut edges = Vec::new();
+    let mut next_vertex = 0usize;
+    for _ in 0..num_entities {
+        // Cluster sizes follow a skewed distribution: most entities have a single
+        // record, a few have many duplicates.
+        let size = match rng.gen_range(0..100) {
+            0..=59 => 1,
+            60..=84 => 2,
+            85..=94 => 3,
+            95..=98 => 5,
+            _ => 8,
+        };
+        let base = next_vertex;
+        next_vertex += size;
+        for i in 1..size {
+            edges.push((base + i - 1, base + i));
+        }
+        // A few redundant matches inside larger clusters.
+        if size >= 4 {
+            edges.push((base, base + size - 1));
+            edges.push((base, base + size / 2));
+        }
+    }
+    Graph::from_edges(next_vertex, &edges)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let num_entities = 3000;
+    let graph = synthetic_match_graph(num_entities, &mut rng);
+    let truth = graph.num_connected_components();
+    println!(
+        "record-linkage graph: {} records, {} match edges, {} true entities",
+        graph.num_vertices(),
+        graph.num_edges(),
+        truth
+    );
+
+    println!("\n{:>8} {:>14} {:>14} {:>12}", "epsilon", "estimate", "abs error", "rel error");
+    for epsilon in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let estimator = PrivateCcEstimator::new(epsilon);
+        let trials = 5;
+        let mut err = 0.0;
+        let mut last = 0.0;
+        for _ in 0..trials {
+            last = estimator.estimate(&graph, &mut rng)?.value;
+            err += (last - truth as f64).abs();
+        }
+        err /= trials as f64;
+        println!(
+            "{:>8} {:>14.1} {:>14.1} {:>12.4}",
+            epsilon,
+            last,
+            err,
+            err / truth as f64
+        );
+    }
+    println!("\nEven at ε = 0.25 the entity count is recovered to within a small fraction,");
+    println!("because match-graph clusters have small spanning-forest degree (small Δ*).");
+    Ok(())
+}

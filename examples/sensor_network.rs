@@ -1,0 +1,52 @@
+//! Sensor/mobile-network scenario (Section 1.1.4, random geometric graphs).
+//!
+//! Random geometric graphs have no induced 6-star, hence a spanning forest of
+//! degree at most 6 (Δ* ≤ 6) regardless of size, so the paper's algorithm achieves
+//! additive error Õ(ln ln n / ε) — essentially independent of n. This example
+//! verifies the structural fact and reports the error as n grows.
+//!
+//! Run with: `cargo run --release -p ccdp-core --example sensor_network`
+
+use ccdp_core::PrivateCcEstimator;
+use ccdp_graph::forest::delta_star_upper_bound;
+use ccdp_graph::generators;
+use ccdp_graph::stars::induced_star_number;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let epsilon = 1.0;
+    println!("Random geometric graphs (radius chosen so the graph is fragmented), ε = {epsilon}");
+    println!(
+        "\n{:>6} {:>8} {:>8} {:>6} {:>10} {:>12} {:>12}",
+        "n", "edges", "f_cc", "s(G)", "Δ* bound", "mean error", "rel. error"
+    );
+    for n in [250usize, 500, 1000, 2000] {
+        let radius = 0.6 / (n as f64).sqrt();
+        let graph = generators::random_geometric(n, radius, &mut rng);
+        let truth = graph.num_connected_components() as f64;
+        let star = induced_star_number(&graph);
+        let delta_ub = delta_star_upper_bound(&graph);
+        let estimator = PrivateCcEstimator::new(epsilon);
+        let trials = 5;
+        let mut err = 0.0;
+        for _ in 0..trials {
+            err += (estimator.estimate(&graph, &mut rng)?.value - truth).abs();
+        }
+        err /= trials as f64;
+        println!(
+            "{:>6} {:>8} {:>8} {:>6} {:>10} {:>12.1} {:>12.4}",
+            n,
+            graph.num_edges(),
+            truth,
+            star.value(),
+            delta_ub,
+            err,
+            err / truth
+        );
+    }
+    println!("\ns(G) ≤ 5 and the spanning-forest degree bound stays ≤ 6 for every size,");
+    println!("so the additive error does not grow with n (Theorem 1.3 + Section 1.1.4).");
+    Ok(())
+}

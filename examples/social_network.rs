@@ -1,0 +1,52 @@
+//! Social-network scenario (Section 1.1.4, Erdős–Rényi regime).
+//!
+//! A sparse friendship network in the `np = c` regime has Θ(n) connected
+//! components and maximum degree O(log n), so the node-private estimate has
+//! additive error Õ(log n / ε) — vanishing relative error. This example sweeps ε
+//! and reports the observed error of the paper's algorithm against the trivial
+//! baselines.
+//!
+//! Run with: `cargo run --release -p ccdp-core --example social_network`
+
+use ccdp_core::{CcEstimator, EdgeDpBaseline, NaiveNodeDpBaseline, PrivateCcEstimator};
+use ccdp_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 4000;
+    let c = 0.8; // average degree (subcritical regime analyzed in Section 1.1.4)
+    let graph = generators::erdos_renyi(n, c / n as f64, &mut rng);
+    let truth = graph.num_connected_components() as f64;
+    println!(
+        "Erdős–Rényi friendship network: n = {n}, mean degree ≈ {c}, f_cc = {truth}, max degree = {}",
+        graph.max_degree()
+    );
+    println!("\n{:<8} {:>18} {:>18} {:>22}", "epsilon", "this paper", "edge-DP (weaker)", "naive node-DP");
+
+    for epsilon in [0.25, 0.5, 1.0, 2.0] {
+        let ours = PrivateCcEstimator::new(epsilon);
+        let edge = EdgeDpBaseline::new(epsilon);
+        let naive = NaiveNodeDpBaseline::new(epsilon);
+        let trials = 5;
+        let mut err_ours = 0.0;
+        let mut err_edge = 0.0;
+        let mut err_naive = 0.0;
+        for _ in 0..trials {
+            err_ours += (ours.estimate(&graph, &mut rng)?.value - truth).abs();
+            err_edge += (edge.estimate_cc(&graph, &mut rng)? - truth).abs();
+            err_naive += (naive.estimate_cc(&graph, &mut rng)? - truth).abs();
+        }
+        println!(
+            "{:<8} {:>13.1} err {:>13.1} err {:>17.1} err",
+            epsilon,
+            err_ours / trials as f64,
+            err_edge / trials as f64,
+            err_naive / trials as f64
+        );
+    }
+    println!("\nThe node-private error stays a small fraction of f_cc = {truth}, while the naive");
+    println!("node-private approach (global sensitivity ≈ n) is useless — the obstacle the paper solves.");
+    Ok(())
+}

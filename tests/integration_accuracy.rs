@@ -1,0 +1,107 @@
+//! Accuracy-envelope integration tests mirroring the paper's guarantees
+//! (Theorem 1.3 / Theorem 1.5) with generous empirical slack.
+
+use ccdp_core::{measure_errors, PrivateSpanningForestEstimator};
+use ccdp_graph::forest::delta_star_upper_bound;
+use ccdp_graph::generators;
+use ccdp_graph::sensitivity::down_sensitivity_fsf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The error bound of Theorem 1.3 with an explicit constant used as an empirical
+/// envelope: C · Δ* · ln(ln n) / ε (plus an additive floor for tiny graphs).
+fn envelope(delta_star: usize, n: usize, epsilon: f64) -> f64 {
+    let lnln = (n.max(3) as f64).ln().ln().max(1.0);
+    80.0 * delta_star as f64 * lnln / epsilon + 15.0
+}
+
+#[test]
+fn error_within_envelope_on_star_forests() {
+    for star_size in [1usize, 2, 4, 8] {
+        let g = generators::planted_star_forest(200 / (star_size + 1) + 5, star_size, 10);
+        let delta_ub = delta_star_upper_bound(&g);
+        assert_eq!(delta_ub, star_size.max(1));
+        let mut rng = StdRng::seed_from_u64(star_size as u64);
+        let est = PrivateSpanningForestEstimator::new(1.0);
+        let truth = g.spanning_forest_size() as f64;
+        let stats = measure_errors(truth, 20, || est.estimate(&g, &mut rng).unwrap().value);
+        let bound = envelope(delta_ub, g.num_vertices(), 1.0);
+        assert!(
+            stats.median <= bound,
+            "star size {star_size}: median error {} exceeds envelope {}",
+            stats.median,
+            bound
+        );
+    }
+}
+
+#[test]
+fn error_within_down_sensitivity_envelope() {
+    // Theorem 1.5: the same envelope with DS + 1 in place of Δ*.
+    let mut rng = StdRng::seed_from_u64(99);
+    for n in [100usize, 300] {
+        let g = generators::erdos_renyi(n, 1.5 / n as f64, &mut rng);
+        let ds = down_sensitivity_fsf(&g).value();
+        let est = PrivateSpanningForestEstimator::new(1.0);
+        let truth = g.spanning_forest_size() as f64;
+        let mut rng2 = StdRng::seed_from_u64(n as u64);
+        let stats = measure_errors(truth, 20, || est.estimate(&g, &mut rng2).unwrap().value);
+        let bound = envelope(ds + 1, n, 1.0);
+        assert!(stats.median <= bound, "n={n}: median {} > envelope {}", stats.median, bound);
+    }
+}
+
+#[test]
+fn error_scales_inversely_with_epsilon() {
+    let g = generators::planted_star_forest(120, 2, 0);
+    let truth = g.spanning_forest_size() as f64;
+    let run = |eps: f64, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = PrivateSpanningForestEstimator::new(eps);
+        measure_errors(truth, 30, || est.estimate(&g, &mut rng).unwrap().value).mean
+    };
+    let low = run(0.25, 1);
+    let high = run(4.0, 2);
+    assert!(
+        low > high,
+        "error at ε=0.25 ({low}) should exceed error at ε=4 ({high})"
+    );
+}
+
+#[test]
+fn geometric_error_stays_flat_as_n_grows() {
+    // Section 1.1.4: Δ* ≤ 6 for geometric graphs, so the error should not grow
+    // appreciably with n (we allow a generous factor for noise).
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut errors = Vec::new();
+    for n in [200usize, 800] {
+        let radius = 0.5 / (n as f64).sqrt();
+        let g = generators::random_geometric(n, radius, &mut rng);
+        let est = PrivateSpanningForestEstimator::new(1.0);
+        let truth = g.spanning_forest_size() as f64;
+        let mut rng2 = StdRng::seed_from_u64(1000 + n as u64);
+        let stats = measure_errors(truth, 16, || est.estimate(&g, &mut rng2).unwrap().value);
+        errors.push(stats.median);
+    }
+    assert!(
+        errors[1] < errors[0] * 10.0 + 60.0,
+        "geometric error grew too fast: {errors:?}"
+    );
+}
+
+#[test]
+fn relative_error_vanishes_in_subcritical_erdos_renyi() {
+    // Section 1.1.4: relative error Õ(log² n / (ε n)).
+    let mut rng = StdRng::seed_from_u64(6);
+    let n = 2000;
+    let g = generators::erdos_renyi(n, 0.5 / n as f64, &mut rng);
+    let truth = g.num_connected_components() as f64;
+    let est = ccdp_core::PrivateCcEstimator::new(1.0);
+    let mut rng2 = StdRng::seed_from_u64(7);
+    let stats = measure_errors(truth, 8, || est.estimate(&g, &mut rng2).unwrap().value);
+    assert!(
+        stats.relative_to(truth) < 0.1,
+        "relative error {} should be well below 10%",
+        stats.relative_to(truth)
+    );
+}

@@ -1,0 +1,100 @@
+//! End-to-end integration tests: generators -> private estimators -> sanity of the
+//! released values, across every graph family used by the paper's analysis.
+
+use ccdp_core::{PrivateCcEstimator, PrivateSpanningForestEstimator};
+use ccdp_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mean_abs_error_cc(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let est = PrivateCcEstimator::new(epsilon);
+    let truth = g.num_connected_components() as f64;
+    (0..trials)
+        .map(|_| (est.estimate(g, &mut rng).unwrap().value - truth).abs())
+        .sum::<f64>()
+        / trials as f64
+}
+
+#[test]
+fn erdos_renyi_pipeline() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 800;
+    let g = generators::erdos_renyi(n, 1.0 / n as f64, &mut rng);
+    let err = mean_abs_error_cc(&g, 1.0, 5, 11);
+    let truth = g.num_connected_components() as f64;
+    assert!(truth > n as f64 / 10.0, "expected many components in the subcritical regime");
+    assert!(err < truth * 0.5, "error {err} too large relative to {truth}");
+}
+
+#[test]
+fn geometric_pipeline() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = generators::random_geometric(600, 0.02, &mut rng);
+    let err = mean_abs_error_cc(&g, 1.0, 5, 12);
+    let truth = g.num_connected_components() as f64;
+    assert!(err < truth * 0.5, "error {err} too large relative to {truth}");
+}
+
+#[test]
+fn planted_star_forest_pipeline() {
+    let g = generators::planted_star_forest(100, 3, 50);
+    let err = mean_abs_error_cc(&g, 1.0, 10, 13);
+    assert!(err < 60.0, "error {err} too large for a Δ* = 3 family");
+}
+
+#[test]
+fn caveman_pipeline() {
+    let g = generators::caveman(20, 5);
+    let err = mean_abs_error_cc(&g, 1.0, 5, 14);
+    // A connected caveman graph has exactly one component; the estimate should not
+    // be wildly off even though the count itself is tiny.
+    assert!(err < 80.0);
+}
+
+#[test]
+fn spanning_forest_estimator_tracks_truth_on_grid() {
+    let g = generators::grid(12, 12);
+    let mut rng = StdRng::seed_from_u64(15);
+    let est = PrivateSpanningForestEstimator::new(1.0);
+    let truth = g.spanning_forest_size() as f64;
+    let mut err = 0.0;
+    for _ in 0..5 {
+        err += (est.estimate(&g, &mut rng).unwrap().value - truth).abs();
+    }
+    err /= 5.0;
+    assert!(err < 50.0, "grid spanning-forest error {err} too large");
+}
+
+#[test]
+fn deterministic_given_a_seed() {
+    let g = generators::planted_star_forest(30, 2, 5);
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PrivateCcEstimator::new(1.0).estimate(&g, &mut rng).unwrap().value
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78));
+}
+
+#[test]
+fn io_round_trip_preserves_private_pipeline_inputs() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = generators::erdos_renyi(60, 0.05, &mut rng);
+    let text = ccdp_graph::io::to_edge_list(&g);
+    let parsed = ccdp_graph::io::from_edge_list(&text).unwrap();
+    assert_eq!(parsed.num_connected_components(), g.num_connected_components());
+    assert_eq!(parsed.spanning_forest_size(), g.spanning_forest_size());
+}
+
+#[test]
+fn estimates_are_finite_and_selected_delta_in_grid() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for n in [10usize, 50, 200] {
+        let g = generators::erdos_renyi(n, 2.0 / n as f64, &mut rng);
+        let r = PrivateSpanningForestEstimator::new(0.5).estimate(&g, &mut rng).unwrap();
+        assert!(r.value.is_finite());
+        assert!(r.selected_delta >= 1 && r.selected_delta <= n.max(1));
+        assert!(r.selected_delta.is_power_of_two());
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-crate property tests for the Lipschitz extension family: the three
+//! Definition 3.2 properties, the anchor behaviour (Lemma 3.3 / 1.9) and the
+//! ℓ∞-optimality statement (Theorem 1.11) checked against the Lemma A.1
+//! comparator on enumerated small graphs.
+
+use ccdp_core::{downsens_extension_fsf, in_anchor_set, in_optimal_monotone_anchor_set, LipschitzExtension};
+use ccdp_graph::sensitivity::down_sensitivity_fsf;
+use ccdp_graph::subgraph::{all_vertex_subsets, induced_subgraph, remove_vertex};
+use ccdp_graph::{generators, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3..=max_n).prop_flat_map(move |n| {
+        let num_pairs = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), num_pairs).prop_map(move |bits| {
+            let mut g = Graph::new(n);
+            let mut idx = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if bits[idx] {
+                        g.add_edge(u, v);
+                    }
+                    idx += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn definition_3_2_properties(g in arb_graph(8)) {
+        let fsf = g.spanning_forest_size() as f64;
+        let mut prev = 0.0f64;
+        for delta in 1..=4usize {
+            let v = LipschitzExtension::new(delta).evaluate(&g).unwrap();
+            // Underestimation.
+            prop_assert!(v <= fsf + 1e-6);
+            // Monotonicity in Δ.
+            prop_assert!(v + 1e-6 >= prev);
+            prev = v;
+            // Δ-Lipschitz under single-vertex removal.
+            for vert in g.vertices() {
+                let (h, _) = remove_vertex(&g, vert);
+                let hv = LipschitzExtension::new(delta).evaluate(&h).unwrap();
+                prop_assert!((v - hv).abs() <= delta as f64 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_1_9_anchor_containment(g in arb_graph(8)) {
+        for delta in 1..=4usize {
+            if in_optimal_monotone_anchor_set(&g, delta - 1) {
+                prop_assert!(in_anchor_set(&g, delta).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn polytope_extension_dominates_lemma_a1_extension(g in arb_graph(7)) {
+        // Both are Δ-Lipschitz underestimates of f_sf with (nearly) optimal anchor
+        // sets; our extension must be at least as large as the Lemma A.1 one on the
+        // anchor graphs and never exceed f_sf anywhere.
+        for delta in 1..=3usize {
+            let ours = LipschitzExtension::new(delta).evaluate(&g).unwrap();
+            prop_assert!(ours <= g.spanning_forest_size() as f64 + 1e-6);
+            if down_sensitivity_fsf(&g).value() + 1 <= delta {
+                let theirs = downsens_extension_fsf(&g, delta);
+                prop_assert!(ours + 1e-6 >= theirs);
+            }
+        }
+    }
+}
+
+/// Theorem 1.11 instantiated with the Lemma A.1 extension at parameter Δ−1 as the
+/// comparator f* ∈ F_{Δ−1}:
+/// `Err_G(f_Δ, f_sf) ≤ 2 · Err_G(f*, f_sf) − 1` whenever the left side is positive.
+#[test]
+fn theorem_1_11_against_lemma_a1_comparator() {
+    let mut rng = StdRng::seed_from_u64(71);
+    let mut positive_cases = 0;
+    for _ in 0..40 {
+        let g = generators::erdos_renyi(6, 0.45, &mut rng);
+        for delta in 2..=3usize {
+            let err_ours = err_over_subgraphs(&g, |h| {
+                LipschitzExtension::new(delta).evaluate(h).unwrap()
+            });
+            if err_ours <= 1e-9 {
+                continue;
+            }
+            positive_cases += 1;
+            let err_comparator =
+                err_over_subgraphs(&g, |h| downsens_extension_fsf(h, delta - 1));
+            assert!(
+                err_ours <= 2.0 * err_comparator - 1.0 + 1e-6,
+                "Theorem 1.11 violated: ours {err_ours}, comparator {err_comparator}, Δ={delta}, edges {:?}",
+                g.edge_vec()
+            );
+        }
+    }
+    assert!(positive_cases > 0, "the sweep never exercised a graph with positive error");
+}
+
+/// Err_G(f, f_sf) = max over induced subgraphs H of |f(H) − f_sf(H)|.
+fn err_over_subgraphs<F: Fn(&Graph) -> f64>(g: &Graph, f: F) -> f64 {
+    let mut worst = 0.0f64;
+    for subset in all_vertex_subsets(g) {
+        let (h, _) = induced_subgraph(g, &subset);
+        worst = worst.max((f(&h) - h.spanning_forest_size() as f64).abs());
+    }
+    worst
+}
+
+#[test]
+fn star_graph_matches_theorem_1_11_base_case() {
+    // The (Δ+1)-star is the tight base case of Lemma 5.2 / Theorem 1.11.
+    for delta in 1..=4usize {
+        let g = generators::star(delta + 1);
+        let f = LipschitzExtension::new(delta).evaluate(&g).unwrap();
+        assert!((f - delta as f64).abs() < 1e-6);
+        let err = err_over_subgraphs(&g, |h| LipschitzExtension::new(delta).evaluate(h).unwrap());
+        assert!((err - 1.0).abs() < 1e-6, "base-case error should be exactly 1, got {err}");
+    }
+}
+
+#[test]
+fn anchor_threshold_matches_smallest_spanning_forest_degree() {
+    let mut rng = StdRng::seed_from_u64(72);
+    for _ in 0..10 {
+        let g = generators::erdos_renyi(7, 0.3, &mut rng);
+        if g.has_no_edges() {
+            continue;
+        }
+        let threshold = ccdp_core::smallest_anchor_delta(&g).unwrap();
+        let exact = ccdp_graph::forest::delta_star_exact(&g, 1 << 22).unwrap();
+        assert_eq!(threshold, exact);
+    }
+}

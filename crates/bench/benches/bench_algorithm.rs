@@ -10,14 +10,16 @@ use std::time::Duration;
 
 fn bench_spanning_forest_estimator(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithm1");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[500usize, 2000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let g = generators::erdos_renyi(n, 0.8 / n as f64, &mut rng);
         group.bench_with_input(BenchmarkId::new("erdos_renyi", n), &g, |b, g| {
-            let est = PrivateSpanningForestEstimator::new(1.0);
+            let est = PrivateSpanningForestEstimator::new(1.0).unwrap();
             let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| est.estimate(g, &mut rng).unwrap().value)
+            b.iter(|| est.estimate(g, &mut rng).unwrap().value())
         });
     }
     group.finish();
@@ -25,21 +27,23 @@ fn bench_spanning_forest_estimator(c: &mut Criterion) {
 
 fn bench_cc_estimator(c: &mut Criterion) {
     let mut group = c.benchmark_group("cc_estimator");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let g = generators::planted_star_forest(300, 3, 100);
     group.bench_function("star_forest_1300", |b| {
-        let est = PrivateCcEstimator::new(1.0);
+        let est = PrivateCcEstimator::new(1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| est.estimate(&g, &mut rng).unwrap().value)
+        b.iter(|| est.estimate(&g, &mut rng).unwrap().value())
     });
     let geo = {
         let mut rng = StdRng::seed_from_u64(3);
         generators::random_geometric(1000, 0.02, &mut rng)
     };
     group.bench_function("geometric_1000", |b| {
-        let est = PrivateCcEstimator::new(1.0);
+        let est = PrivateCcEstimator::new(1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        b.iter(|| est.estimate(&geo, &mut rng).unwrap().value)
+        b.iter(|| est.estimate(&geo, &mut rng).unwrap().value())
     });
     group.finish();
 }

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_laplace(c: &mut Criterion) {
     let mut group = c.benchmark_group("laplace");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
     let noise = LaplaceNoise::new(2.0);
     let mut rng = StdRng::seed_from_u64(0);
     group.bench_function("sample_1000", |b| {
@@ -20,10 +22,15 @@ fn bench_laplace(c: &mut Criterion) {
 
 fn bench_gem(c: &mut Criterion) {
     let mut group = c.benchmark_group("gem");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(1);
     let candidates: Vec<GemCandidate> = (0..14)
-        .map(|i| GemCandidate { delta: (1usize << i) as f64, value: 1000.0f64.min((1 << i) as f64 * 30.0) })
+        .map(|i| GemCandidate {
+            delta: (1usize << i) as f64,
+            value: 1000.0f64.min((1 << i) as f64 * 30.0),
+        })
         .collect();
     group.bench_function("select_among_14_candidates", |b| {
         b.iter(|| generalized_exponential_mechanism(&candidates, 1000.0, 1.0, 0.05, &mut rng).delta)

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_fast_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("extension_fast_path");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[500usize, 2000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let g = generators::erdos_renyi(n, 2.0 / n as f64, &mut rng);
@@ -23,12 +25,23 @@ fn bench_fast_path(c: &mut Criterion) {
 
 fn bench_lp_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("extension_lp_path");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &cliques in &[5usize, 15] {
         let g = generators::caveman(cliques, 5);
-        group.bench_with_input(BenchmarkId::new("caveman_delta_1", g.num_vertices()), &g, |b, g| {
-            b.iter(|| LipschitzExtension::new(1).without_fast_path().evaluate(g).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("caveman_delta_1", g.num_vertices()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    LipschitzExtension::new(1)
+                        .without_fast_path()
+                        .evaluate(g)
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -32,7 +32,9 @@ fn grid_network(side: usize) -> (FlowNetwork, usize, usize) {
 
 fn bench_dinic(c: &mut Criterion) {
     let mut group = c.benchmark_group("dinic");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for &side in &[10usize, 20] {
         group.bench_function(format!("grid_{side}x{side}"), |b| {
             b.iter(|| {
@@ -46,9 +48,11 @@ fn bench_dinic(c: &mut Criterion) {
 
 fn bench_closure(c: &mut Criterion) {
     let mut group = c.benchmark_group("max_weight_closure");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(1);
-    let num_vertices = 200;
+    let num_vertices: usize = 200;
     let num_edges = 600;
     let mut inst = ClosureInstance::new();
     let vs: Vec<usize> = (0..num_vertices).map(|_| inst.add_item(-1.0)).collect();
@@ -67,12 +71,22 @@ fn bench_closure(c: &mut Criterion) {
 
 fn bench_simplex(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(2);
     for &(vars, cons) in &[(50usize, 100usize), (150, 300)] {
         let mut lp = LinearProgram::new(vars, vec![1.0; vars]);
         for _ in 0..cons {
-            let row: Vec<f64> = (0..vars).map(|_| if rng.gen_bool(0.2) { rng.gen_range(0.0..1.0) } else { 0.0 }).collect();
+            let row: Vec<f64> = (0..vars)
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        rng.gen_range(0.0..1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
             lp.add_constraint_dense(row, rng.gen_range(1.0..5.0));
         }
         group.bench_function(format!("random_{vars}v_{cons}c"), |b| {

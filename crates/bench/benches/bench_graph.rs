@@ -11,13 +11,17 @@ use std::time::Duration;
 
 fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("components");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[1000usize, 5000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let g = generators::erdos_renyi(n, 2.0 / n as f64, &mut rng);
-        group.bench_with_input(BenchmarkId::new("num_connected_components", n), &g, |b, g| {
-            b.iter(|| g.num_connected_components())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("num_connected_components", n),
+            &g,
+            |b, g| b.iter(|| g.num_connected_components()),
+        );
         group.bench_with_input(BenchmarkId::new("bfs_spanning_forest", n), &g, |b, g| {
             b.iter(|| bfs_spanning_forest(g).num_edges())
         });
@@ -27,18 +31,26 @@ fn bench_components(c: &mut Criterion) {
 
 fn bench_star_number(c: &mut Criterion) {
     let mut group = c.benchmark_group("star_number");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(3);
     let er = generators::erdos_renyi(2000, 3.0 / 2000.0, &mut rng);
     let geo = generators::random_geometric(1000, 0.04, &mut rng);
-    group.bench_function("erdos_renyi_2000", |b| b.iter(|| induced_star_number(&er).value()));
-    group.bench_function("geometric_1000", |b| b.iter(|| induced_star_number(&geo).value()));
+    group.bench_function("erdos_renyi_2000", |b| {
+        b.iter(|| induced_star_number(&er).value())
+    });
+    group.bench_function("geometric_1000", |b| {
+        b.iter(|| induced_star_number(&geo).value())
+    });
     group.finish();
 }
 
 fn bench_bounded_forest(c: &mut Criterion) {
     let mut group = c.benchmark_group("bounded_degree_spanning_forest");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[200usize, 500] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let g = generators::erdos_renyi(n, 4.0 / n as f64, &mut rng);
@@ -50,5 +62,10 @@ fn bench_bounded_forest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_components, bench_star_number, bench_bounded_forest);
+criterion_group!(
+    benches,
+    bench_components,
+    bench_star_number,
+    bench_bounded_forest
+);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! Algorithm 1, plus the effect of the spanning-forest fast path.
 
 use ccdp_bench::Table;
-use ccdp_core::{LipschitzExtension, PrivateSpanningForestEstimator};
+use ccdp_core::{DiagnosticsAccess, LipschitzExtension, PrivateSpanningForestEstimator};
 use ccdp_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -12,12 +12,22 @@ use std::time::Instant;
 fn main() {
     let mut lp_table = Table::new(
         "E10a: EvalLipschitzExtension via the LP (fast path disabled), caveman graphs, Δ = 1",
-        &["n", "edges", "time (ms)", "generated cuts", "LP solves", "simplex pivots"],
+        &[
+            "n",
+            "edges",
+            "time (ms)",
+            "generated cuts",
+            "LP solves",
+            "simplex pivots",
+        ],
     );
     for cliques in [5usize, 10, 20, 30] {
         let g = generators::caveman(cliques, 5);
         let start = Instant::now();
-        let eval = LipschitzExtension::new(1).without_fast_path().evaluate_detailed(&g).unwrap();
+        let eval = LipschitzExtension::new(1)
+            .without_fast_path()
+            .evaluate_detailed(&g)
+            .unwrap();
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         let lp = eval.lp.expect("LP path");
         lp_table.add_row(vec![
@@ -41,7 +51,10 @@ fn main() {
         let _ = LipschitzExtension::new(3).evaluate(&g).unwrap();
         let fast = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
-        let _ = LipschitzExtension::new(3).without_fast_path().evaluate(&g).unwrap();
+        let _ = LipschitzExtension::new(3)
+            .without_fast_path()
+            .evaluate(&g)
+            .unwrap();
         let slow = t1.elapsed().as_secs_f64() * 1e3;
         fast_table.add_row(vec![
             g.num_vertices().to_string(),
@@ -57,13 +70,22 @@ fn main() {
     );
     let mut rng = StdRng::seed_from_u64(10);
     let cases = vec![
-        ("G(1000, 0.8/n)".to_string(), generators::erdos_renyi(1000, 0.8 / 1000.0, &mut rng)),
-        ("G(4000, 0.8/n)".to_string(), generators::erdos_renyi(4000, 0.8 / 4000.0, &mut rng)),
-        ("geometric(2000)".to_string(), generators::random_geometric(2000, 0.015, &mut rng)),
+        (
+            "G(1000, 0.8/n)".to_string(),
+            generators::erdos_renyi(1000, 0.8 / 1000.0, &mut rng),
+        ),
+        (
+            "G(4000, 0.8/n)".to_string(),
+            generators::erdos_renyi(4000, 0.8 / 4000.0, &mut rng),
+        ),
+        (
+            "geometric(2000)".to_string(),
+            generators::random_geometric(2000, 0.015, &mut rng),
+        ),
         ("grid(12x12)".to_string(), generators::grid(12, 12)),
     ];
     for (name, g) in cases {
-        let est = PrivateSpanningForestEstimator::new(1.0);
+        let est = PrivateSpanningForestEstimator::new(1.0).unwrap();
         let start = Instant::now();
         let r = est.estimate(&g, &mut rng).unwrap();
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
@@ -71,7 +93,9 @@ fn main() {
             name,
             g.num_vertices().to_string(),
             format!("{elapsed:.1}"),
-            r.used_lp.to_string(),
+            r.diagnostics(DiagnosticsAccess::acknowledge_non_private())
+                .used_lp
+                .to_string(),
         ]);
     }
     alg_table.print();

@@ -22,8 +22,10 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let g = generators::erdos_renyi(n, c / n as f64, &mut rng);
         let truth = g.num_connected_components() as f64;
-        let est = PrivateCcEstimator::new(epsilon);
-        let stats = measure_errors(truth, trials, || est.estimate(&g, &mut rng).unwrap().value);
+        let est = PrivateCcEstimator::new(epsilon).unwrap();
+        let stats = measure_errors(truth, trials, || {
+            est.estimate(&g, &mut rng).unwrap().value()
+        });
         table.add_row(vec![
             n.to_string(),
             g.num_edges().to_string(),

@@ -23,8 +23,10 @@ fn main() {
         let g = generators::random_geometric(n, radius, &mut rng);
         let truth = g.num_connected_components() as f64;
         let s = induced_star_number(&g).value();
-        let est = PrivateCcEstimator::new(epsilon);
-        let stats = measure_errors(truth, trials, || est.estimate(&g, &mut rng).unwrap().value);
+        let est = PrivateCcEstimator::new(epsilon).unwrap();
+        let stats = measure_errors(truth, trials, || {
+            est.estimate(&g, &mut rng).unwrap().value()
+        });
         table.add_row(vec![
             n.to_string(),
             g.num_edges().to_string(),

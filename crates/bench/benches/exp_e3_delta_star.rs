@@ -15,15 +15,25 @@ fn main() {
     let total_vertices = 600usize;
     let mut table = Table::new(
         &format!("E3: error vs Δ* on planted star forests (n ≈ {total_vertices}, ε = {epsilon})"),
-        &["star size (Δ*)", "Δ*_ub", "n", "f_sf", "mean_err", "median_err", "err/Δ*"],
+        &[
+            "star size (Δ*)",
+            "Δ*_ub",
+            "n",
+            "f_sf",
+            "mean_err",
+            "median_err",
+            "err/Δ*",
+        ],
     );
     for star_size in [1usize, 2, 4, 8, 16] {
         let num_stars = total_vertices / (star_size + 1);
         let g = generators::planted_star_forest(num_stars, star_size, 0);
         let truth = g.spanning_forest_size() as f64;
         let mut rng = StdRng::seed_from_u64(star_size as u64);
-        let est = PrivateSpanningForestEstimator::new(epsilon);
-        let stats = measure_errors(truth, trials, || est.estimate(&g, &mut rng).unwrap().value);
+        let est = PrivateSpanningForestEstimator::new(epsilon).unwrap();
+        let stats = measure_errors(truth, trials, || {
+            est.estimate(&g, &mut rng).unwrap().value()
+        });
         table.add_row(vec![
             star_size.to_string(),
             delta_star_upper_bound(&g).to_string(),
@@ -44,11 +54,15 @@ fn main() {
     let path = generators::path(500);
     let grid = generators::grid(20, 20);
     let caveman = generators::caveman(40, 5);
-    for (name, g) in [("path(500)", path), ("grid(20x20)", grid), ("caveman(40,5)", caveman)] {
+    for (name, g) in [
+        ("path(500)", path),
+        ("grid(20x20)", grid),
+        ("caveman(40,5)", caveman),
+    ] {
         let truth = g.spanning_forest_size() as f64;
         let mut rng = StdRng::seed_from_u64(7);
-        let est = PrivateSpanningForestEstimator::new(epsilon);
-        let stats = measure_errors(truth, 6, || est.estimate(&g, &mut rng).unwrap().value);
+        let est = PrivateSpanningForestEstimator::new(epsilon).unwrap();
+        let stats = measure_errors(truth, 6, || est.estimate(&g, &mut rng).unwrap().value());
         structured.add_row(vec![
             name.to_string(),
             g.num_vertices().to_string(),

@@ -4,7 +4,9 @@
 //! (Lemma 1.8), and the resulting Δ* upper bound satisfies Δ* ≤ DS + 1 (Lemma 1.6).
 
 use ccdp_bench::Table;
-use ccdp_graph::forest::{bounded_degree_spanning_forest, delta_star_exact, delta_star_upper_bound};
+use ccdp_graph::forest::{
+    bounded_degree_spanning_forest, delta_star_exact, delta_star_upper_bound,
+};
 use ccdp_graph::generators;
 use ccdp_graph::sensitivity::{down_sensitivity_fsf, down_sensitivity_fsf_brute_force};
 use ccdp_graph::stars::induced_star_number;
@@ -16,7 +18,17 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut table = Table::new(
         "E4: down-sensitivity, induced stars and degree-bounded spanning forests",
-        &["graph", "n", "s(G)", "DS brute", "Lemma 1.7 ok", "Δ*_exact", "Δ*_ub", "Δ* ≤ DS+1", "repair@s+1 ok"],
+        &[
+            "graph",
+            "n",
+            "s(G)",
+            "DS brute",
+            "Lemma 1.7 ok",
+            "Δ*_exact",
+            "Δ*_ub",
+            "Δ* ≤ DS+1",
+            "repair@s+1 ok",
+        ],
     );
     let mut cases: Vec<(String, Graph)> = vec![
         ("path(9)".into(), generators::path(9)),
@@ -27,7 +39,10 @@ fn main() {
         ("caveman(3,4)".into(), generators::caveman(3, 4)),
     ];
     for i in 0..6 {
-        cases.push((format!("G(10, 0.3) #{i}"), generators::erdos_renyi(10, 0.3, &mut rng)));
+        cases.push((
+            format!("G(10, 0.3) #{i}"),
+            generators::erdos_renyi(10, 0.3, &mut rng),
+        ));
     }
     let mut all_ok = true;
     for (name, g) in cases {
@@ -37,7 +52,9 @@ fn main() {
         } else {
             None
         };
-        let lemma17_ok = ds_brute.map(|b| b == down_sensitivity_fsf(&g).value()).unwrap_or(true);
+        let lemma17_ok = ds_brute
+            .map(|b| b == down_sensitivity_fsf(&g).value())
+            .unwrap_or(true);
         let exact = delta_star_exact(&g, 1 << 22);
         let ub = delta_star_upper_bound(&g);
         let lemma16_ok = exact.map(|e| e <= s + 1).unwrap_or(true);
@@ -53,7 +70,9 @@ fn main() {
             name,
             g.num_vertices().to_string(),
             s.to_string(),
-            ds_brute.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            ds_brute
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
             lemma17_ok.to_string(),
             exact.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
             ub.to_string(),

@@ -14,11 +14,18 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(5);
     let samples = 60;
-    let graphs: Vec<_> = (0..samples).map(|_| generators::erdos_renyi(9, 0.3, &mut rng)).collect();
+    let graphs: Vec<_> = (0..samples)
+        .map(|_| generators::erdos_renyi(9, 0.3, &mut rng))
+        .collect();
 
     let mut table = Table::new(
         &format!("E5: anchor sets over {samples} samples of G(9, 0.3)"),
-        &["Δ", "|S*_(Δ-1)| frac", "|S_Δ| frac", "containment violations"],
+        &[
+            "Δ",
+            "|S*_(Δ-1)| frac",
+            "|S_Δ| frac",
+            "containment violations",
+        ],
     );
     for delta in 1..=5usize {
         let mut in_optimal = 0;

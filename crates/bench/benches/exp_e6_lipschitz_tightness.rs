@@ -10,7 +10,13 @@ use ccdp_graph::{generators, Graph};
 fn main() {
     let mut table = Table::new(
         "E6: tightness of the Lipschitz constant (Remark 3.4)",
-        &["Δ", "f_Δ(Δ isolated vertices)", "f_Δ(K_{1,Δ})", "jump", "jump == Δ"],
+        &[
+            "Δ",
+            "f_Δ(Δ isolated vertices)",
+            "f_Δ(K_{1,Δ})",
+            "jump",
+            "jump == Δ",
+        ],
     );
     let mut all_tight = true;
     for delta in 1..=8usize {

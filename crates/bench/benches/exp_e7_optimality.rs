@@ -33,7 +33,8 @@ fn main() {
         let graphs = 30;
         for _ in 0..graphs {
             let g = generators::erdos_renyi(6, 0.45, &mut rng);
-            let ours = err_over_subgraphs(&g, |h| LipschitzExtension::new(delta).evaluate(h).unwrap());
+            let ours =
+                err_over_subgraphs(&g, |h| LipschitzExtension::new(delta).evaluate(h).unwrap());
             if ours <= 1e-9 {
                 continue;
             }

@@ -6,25 +6,17 @@
 
 use ccdp_bench::Table;
 use ccdp_core::{
-    CcEstimator, EdgeDpBaseline, FixedDeltaBaseline, NaiveNodeDpBaseline, PrivateCcEstimator,
+    measure_errors, EdgeDpBaseline, Estimator, FixedDeltaBaseline, NaiveNodeDpBaseline,
+    PrivateCcEstimator,
 };
 use ccdp_graph::{generators, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn baseline_error<E: CcEstimator>(est: &E, g: &Graph, trials: usize, seed: u64) -> f64 {
+fn estimator_error(est: &dyn Estimator, g: &Graph, trials: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let truth = g.num_connected_components() as f64;
-    (0..trials).map(|_| (est.estimate_cc(g, &mut rng).unwrap() - truth).abs()).sum::<f64>()
-        / trials as f64
-}
-
-fn our_error(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let est = PrivateCcEstimator::new(epsilon);
-    let truth = g.num_connected_components() as f64;
-    (0..trials).map(|_| (est.estimate(g, &mut rng).unwrap().value - truth).abs()).sum::<f64>()
-        / trials as f64
+    measure_errors(truth, trials, || est.estimate(g, &mut rng).unwrap().value()).mean
 }
 
 fn main() {
@@ -34,25 +26,46 @@ fn main() {
     let er = generators::erdos_renyi(1500, 0.8 / 1500.0, &mut rng);
     let geo = generators::random_geometric(800, 0.02, &mut rng);
 
-    for (name, g) in [("planted star forest (n=650, Δ*=3)", &star_forest), ("G(1500, 0.8/n)", &er), ("geometric(800, r=0.02)", &geo)] {
+    for (name, g) in [
+        ("planted star forest (n=650, Δ*=3)", &star_forest),
+        ("G(1500, 0.8/n)", &er),
+        ("geometric(800, r=0.02)", &geo),
+    ] {
         let truth = g.num_connected_components();
         let mut table = Table::new(
             &format!("E8: mean |error| on {name}, f_cc = {truth}"),
-            &["ε", "this paper", "edge-DP", "naive node-DP", "fixed Δ=2", "fixed Δ=64"],
+            &[
+                "ε",
+                "this paper",
+                "edge-DP",
+                "naive node-DP",
+                "fixed Δ=2",
+                "fixed Δ=64",
+            ],
         );
         for (i, epsilon) in [0.25f64, 0.5, 1.0, 2.0].into_iter().enumerate() {
             let seed = 1000 + i as u64;
-            table.add_row(vec![
-                format!("{epsilon}"),
-                format!("{:.1}", our_error(g, epsilon, trials, seed)),
-                format!("{:.1}", baseline_error(&EdgeDpBaseline::new(epsilon), g, trials, seed + 1)),
-                format!("{:.1}", baseline_error(&NaiveNodeDpBaseline::new(epsilon), g, trials, seed + 2)),
-                format!("{:.1}", baseline_error(&FixedDeltaBaseline::new(epsilon, 2), g, trials, seed + 3)),
-                format!("{:.1}", baseline_error(&FixedDeltaBaseline::new(epsilon, 64), g, trials, seed + 4)),
-            ]);
+            // One heterogeneous sweep through the object-safe Estimator trait.
+            let sweep: Vec<Box<dyn Estimator>> = vec![
+                Box::new(PrivateCcEstimator::new(epsilon).unwrap()),
+                Box::new(EdgeDpBaseline::new(epsilon).unwrap()),
+                Box::new(NaiveNodeDpBaseline::new(epsilon).unwrap()),
+                Box::new(FixedDeltaBaseline::new(epsilon, 2).unwrap()),
+                Box::new(FixedDeltaBaseline::new(epsilon, 64).unwrap()),
+            ];
+            let mut row = vec![format!("{epsilon}")];
+            for (j, est) in sweep.iter().enumerate() {
+                row.push(format!(
+                    "{:.1}",
+                    estimator_error(est.as_ref(), g, trials, seed + j as u64)
+                ));
+            }
+            table.add_row(row);
         }
         table.print();
     }
-    println!("Expected shape: edge-DP < this paper ≪ naive node-DP; fixed Δ=64 pays ~Δ/Δ* extra noise;");
+    println!(
+        "Expected shape: edge-DP < this paper ≪ naive node-DP; fixed Δ=64 pays ~Δ/Δ* extra noise;"
+    );
     println!("fixed Δ=2 is competitive only when Δ* ≤ 2.");
 }

@@ -4,7 +4,7 @@
 //! err(Δ) over the grid, for graphs with different Δ*.
 
 use ccdp_bench::Table;
-use ccdp_core::PrivateSpanningForestEstimator;
+use ccdp_core::{DiagnosticsAccess, PrivateSpanningForestEstimator};
 use ccdp_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,35 +16,43 @@ fn main() {
         &format!("E9: GEM selection quality over {trials} runs, ε = {epsilon}"),
         &["graph", "Δ*", "median Δ̂", "P[Δ̂ ≤ 2Δ*]", "mean err ratio"],
     );
-    for (name, star_size) in [("star forest Δ*=1", 1usize), ("star forest Δ*=4", 4), ("star forest Δ*=16", 16)] {
+    for (name, star_size) in [
+        ("star forest Δ*=1", 1usize),
+        ("star forest Δ*=4", 4),
+        ("star forest Δ*=16", 16),
+    ] {
         let num_stars = 600 / (star_size + 1);
         let g = generators::planted_star_forest(num_stars, star_size, 0);
         let truth = g.spanning_forest_size() as f64;
         let mut rng = StdRng::seed_from_u64(star_size as u64);
-        let est = PrivateSpanningForestEstimator::new(epsilon);
+        let est = PrivateSpanningForestEstimator::new(epsilon).unwrap();
+        let token = DiagnosticsAccess::acknowledge_non_private();
         let mut selected = Vec::new();
         let mut ratios = Vec::new();
         for _ in 0..trials {
             let r = est.estimate(&g, &mut rng).unwrap();
-            selected.push(r.selected_delta);
+            let diag = r.diagnostics(token);
+            let selected_delta = diag.selected_delta.expect("adaptive estimator");
+            selected.push(selected_delta);
             // err(Δ) = |f_Δ(G) − f_sf(G)| + 2Δ/ε per the GEM objective with ε/2.
-            let errs: Vec<f64> = r
+            let errs: Vec<f64> = diag
                 .family_values
                 .iter()
                 .map(|&(d, v)| (v - truth).abs() + 2.0 * d as f64 / epsilon)
                 .collect();
             let best = errs.iter().cloned().fold(f64::INFINITY, f64::min);
-            let chosen = r
+            let chosen = diag
                 .family_values
                 .iter()
-                .position(|&(d, _)| d == r.selected_delta)
+                .position(|&(d, _)| d == selected_delta)
                 .map(|i| errs[i])
                 .unwrap_or(best);
             ratios.push(chosen / best);
         }
         selected.sort_unstable();
         let median_delta = selected[trials / 2];
-        let within = selected.iter().filter(|&&d| d <= 2 * star_size).count() as f64 / trials as f64;
+        let within =
+            selected.iter().filter(|&&d| d <= 2 * star_size).count() as f64 / trials as f64;
         let mean_ratio = ratios.iter().sum::<f64>() / trials as f64;
         table.add_row(vec![
             name.to_string(),
@@ -55,5 +63,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("Expected shape: the median selected Δ̂ tracks Δ*; the realized err ratio stays O(ln ln n).");
+    println!(
+        "Expected shape: the median selected Δ̂ tracks Δ*; the realized err ratio stays O(ln ln n)."
+    );
 }

@@ -30,7 +30,10 @@ impl Table {
 
     /// Renders the table as a string.
     pub fn render(&self) -> String {
-        let num_cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let num_cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; num_cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

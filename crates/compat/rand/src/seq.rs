@@ -1,0 +1,45 @@
+//! Sequence-related helpers (the shim provides only [`SliceRandom::choose`]).
+
+use crate::Rng;
+
+/// Extension trait for random operations on slices.
+pub trait SliceRandom {
+    /// The element type of the sequence.
+    type Item;
+
+    /// Returns a uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_covers_the_slice_and_handles_empty() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &v = items.choose(&mut rng).unwrap();
+            seen[v / 10 - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -32,7 +32,13 @@ impl ErrorStats {
         let median = percentile(&errors, 0.5);
         let p90 = percentile(&errors, 0.9);
         let max = *errors.last().unwrap();
-        ErrorStats { trials, mean, median, p90, max }
+        ErrorStats {
+            trials,
+            mean,
+            median,
+            p90,
+            max,
+        }
     }
 
     /// Relative error with respect to a reference magnitude (e.g. the true count).

@@ -15,112 +15,103 @@
 //! (Equation (1)): it spends a small share of the budget on a Laplace release of
 //! the node count (sensitivity 1 under node-DP) and the rest on the spanning-forest
 //! estimate.
+//!
+//! Both estimators are configured through [`EstimatorConfig`] (typed validation,
+//! no panics), account every ε through one [`PrivacyBudget`] threaded down the
+//! call chain, and release typed [`Release`] values whose non-private
+//! diagnostics are gated behind [`DiagnosticsAccess`](crate::DiagnosticsAccess).
 
-use crate::error::CoreError;
+use crate::config::{ConfigError, EstimatorConfig};
+use crate::error::CcdpError;
+use crate::estimator::Estimator;
 use crate::extension::{evaluate_family, EvaluationPath};
-use ccdp_dp::composition::PrivacyBudget;
+use crate::release::{Diagnostics, Privacy, Release};
+use ccdp_dp::composition::{BudgetExceeded, PrivacyBudget};
 use ccdp_dp::gem::{generalized_exponential_mechanism, power_of_two_grid, GemCandidate};
 use ccdp_dp::laplace::laplace_mechanism;
 use ccdp_graph::Graph;
-use rand::Rng;
-
-/// Output of the private spanning-forest estimator, with diagnostics that the
-/// experiments use. Only [`PrivateEstimate::value`] is differentially private
-/// output; the diagnostic fields reference non-private intermediate values and
-/// must not be released if the privacy guarantee is to be preserved.
-#[derive(Clone, Debug)]
-pub struct PrivateEstimate {
-    /// The released (private) estimate.
-    pub value: f64,
-    /// The Lipschitz parameter selected by GEM.
-    pub selected_delta: usize,
-    /// The (non-private) value of the selected extension `f_Δ̂(G)`.
-    pub extension_value: f64,
-    /// Scale of the Laplace noise added in the final step.
-    pub noise_scale: f64,
-    /// Failure probability β used for GEM.
-    pub beta: f64,
-    /// Whether any of the evaluated extensions needed the LP path.
-    pub used_lp: bool,
-    /// The evaluated grid of (Δ, f_Δ(G)) pairs (non-private diagnostics).
-    pub family_values: Vec<(usize, f64)>,
-}
+use rand::{Rng, RngCore};
 
 /// Node-private estimator for `f_sf(G)` (Algorithm 1).
 #[derive(Clone, Debug)]
 pub struct PrivateSpanningForestEstimator {
-    epsilon: f64,
-    beta: Option<f64>,
-    delta_max: Option<usize>,
+    config: EstimatorConfig,
 }
 
 impl PrivateSpanningForestEstimator {
-    /// Creates an estimator with privacy parameter `epsilon > 0`.
-    pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
-        PrivateSpanningForestEstimator { epsilon, beta: None, delta_max: None }
+    /// Name reported by the [`Estimator`] implementation.
+    pub const NAME: &'static str = "private-spanning-forest";
+
+    /// Creates an estimator with privacy parameter `epsilon`.
+    pub fn new(epsilon: f64) -> Result<Self, ConfigError> {
+        Self::from_config(EstimatorConfig::new(epsilon))
     }
 
-    /// Overrides the failure probability β (default `1 / ln ln n`, clamped to
-    /// `(0.001, 0.5)`).
-    pub fn with_beta(mut self, beta: f64) -> Self {
-        assert!(beta > 0.0 && beta < 1.0, "beta must lie in (0, 1)");
-        self.beta = Some(beta);
-        self
-    }
-
-    /// Overrides the largest Δ of the selection grid (default `|V(G)|`).
-    ///
-    /// This is a public, data-independent parameter; choosing it below the graph's
-    /// Δ* degrades accuracy but never privacy.
-    pub fn with_delta_max(mut self, delta_max: usize) -> Self {
-        assert!(delta_max >= 1, "delta_max must be at least 1");
-        self.delta_max = Some(delta_max);
-        self
+    /// Creates an estimator from a validated configuration.
+    pub fn from_config(config: EstimatorConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(PrivateSpanningForestEstimator { config })
     }
 
     /// The privacy parameter ε.
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        self.config.epsilon()
     }
 
-    /// Default β from the paper's analysis: `1 / ln ln n`.
-    fn default_beta(n: usize) -> f64 {
-        let lnln = (n.max(3) as f64).ln().ln();
-        (1.0 / lnln).clamp(0.001, 0.5)
+    /// The configuration this estimator runs with.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
     }
 
-    /// Runs Algorithm 1 on `g` and returns the private estimate of `f_sf(G)`.
-    pub fn estimate(&self, g: &Graph, rng: &mut impl Rng) -> Result<PrivateEstimate, CoreError> {
+    /// Runs Algorithm 1 on `g` and returns the private release of `f_sf(G)`.
+    pub fn estimate<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Result<Release, CcdpError> {
+        let mut budget = PrivacyBudget::new(self.config.epsilon());
+        self.estimate_with_budget(g, &mut budget, rng)
+    }
+
+    /// Runs Algorithm 1 drawing from an externally owned [`PrivacyBudget`].
+    ///
+    /// This is the single accountant seam of the crate: composed estimators
+    /// (e.g. [`PrivateCcEstimator`]) pass their budget down instead of
+    /// re-deriving ε splits, so one ledger records every stage. The entire
+    /// remaining budget is consumed: half on GEM selection, half on the
+    /// Laplace release.
+    pub fn estimate_with_budget<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        budget: &mut PrivacyBudget,
+        rng: &mut R,
+    ) -> Result<Release, CcdpError> {
         let n = g.num_vertices();
-        if n == 0 {
-            // No data to protect; release the trivially correct 0 with noise so the
-            // interface stays consistent.
-            let value = laplace_mechanism(0.0, 1.0, self.epsilon, rng);
-            return Ok(PrivateEstimate {
-                value,
-                selected_delta: 1,
-                extension_value: 0.0,
-                noise_scale: 1.0 / self.epsilon,
-                beta: self.beta.unwrap_or(0.5),
-                used_lp: false,
-                family_values: Vec::new(),
-            });
+        let epsilon = budget.remaining_epsilon();
+        if epsilon <= 0.0 {
+            // An exhausted accountant cannot fund another stage: any positive
+            // request exceeds what remains.
+            return Err(CcdpError::Budget(BudgetExceeded {
+                requested: f64::MIN_POSITIVE,
+                remaining: epsilon,
+            }));
         }
-        let beta = self.beta.unwrap_or_else(|| Self::default_beta(n));
-        let mut budget = PrivacyBudget::new(self.epsilon);
-        let eps_gem = budget.spend_fraction("gem-threshold-selection", 0.5).expect("half budget");
-        let eps_release = budget.spend_fraction("laplace-release", 0.5).expect("half budget");
+        let eps_gem = budget.spend("gem-threshold-selection", epsilon / 2.0)?;
+        let eps_release = budget.spend("laplace-release", epsilon / 2.0)?;
+        let beta = self.config.resolved_beta(n);
 
         // Steps 2–4 of Algorithm 4: evaluate the family on the doubling grid.
-        let delta_max = self.delta_max.unwrap_or(n).min(n.max(1));
+        // The empty graph takes the same path as everything else: the grid
+        // degenerates to {1}, the extension value to 0.
+        let delta_max = self.config.delta_max().unwrap_or(n).min(n.max(1));
         let grid = power_of_two_grid(delta_max);
         let evals = evaluate_family(g, &grid)?;
-        let used_lp = evals.iter().any(|e| e.path == EvaluationPath::LinearProgram);
+        let used_lp = evals
+            .iter()
+            .any(|e| e.path == EvaluationPath::LinearProgram);
         let candidates: Vec<GemCandidate> = grid
             .iter()
             .zip(&evals)
-            .map(|(&d, e)| GemCandidate { delta: d as f64, value: e.value })
+            .map(|(&d, e)| GemCandidate {
+                delta: d as f64,
+                value: e.value,
+            })
             .collect();
         let true_value = g.spanning_forest_size() as f64;
 
@@ -135,184 +126,250 @@ impl PrivateSpanningForestEstimator {
         let noise_scale = selected_delta as f64 / eps_release;
         let value = laplace_mechanism(extension_value, selected_delta as f64, eps_release, rng);
 
-        Ok(PrivateEstimate {
+        Ok(Release::new(
             value,
-            selected_delta,
-            extension_value,
-            noise_scale,
-            beta,
-            used_lp,
-            family_values: grid.iter().copied().zip(evals.iter().map(|e| e.value)).collect(),
-        })
+            Privacy::NodeDp { epsilon },
+            Self::NAME,
+            Diagnostics {
+                selected_delta: Some(selected_delta),
+                extension_value: Some(extension_value),
+                noise_scale: Some(noise_scale),
+                beta: Some(beta),
+                used_lp,
+                family_values: grid
+                    .iter()
+                    .copied()
+                    .zip(evals.iter().map(|e| e.value))
+                    .collect(),
+                node_count_estimate: None,
+                spanning_forest_estimate: None,
+                budget_ledger: budget.ledger().to_vec(),
+            },
+        ))
     }
 }
 
-/// Output of the private connected-components estimator.
-#[derive(Clone, Debug)]
-pub struct PrivateCcEstimate {
-    /// The released (private) estimate of `f_cc(G)`.
-    pub value: f64,
-    /// The private estimate of the node count used in Equation (1).
-    pub node_count_estimate: f64,
-    /// The spanning-forest estimate and its diagnostics.
-    pub spanning_forest: PrivateEstimate,
+impl Estimator for PrivateSpanningForestEstimator {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn privacy(&self) -> Privacy {
+        Privacy::NodeDp {
+            epsilon: self.config.epsilon(),
+        }
+    }
+
+    fn estimate(&self, g: &Graph, rng: &mut dyn RngCore) -> Result<Release, CcdpError> {
+        PrivateSpanningForestEstimator::estimate(self, g, rng)
+    }
 }
 
 /// Node-private estimator for the number of connected components `f_cc(G)`.
 ///
 /// Combines a Laplace release of `|V(G)|` (sensitivity 1) with the Algorithm 1
-/// estimate of `f_sf(G)` via `f_cc = |V| − f_sf`.
+/// estimate of `f_sf(G)` via `f_cc = |V| − f_sf`. A single [`PrivacyBudget`]
+/// accounts both stages.
 #[derive(Clone, Debug)]
 pub struct PrivateCcEstimator {
-    epsilon: f64,
-    node_count_fraction: f64,
-    beta: Option<f64>,
-    delta_max: Option<usize>,
+    config: EstimatorConfig,
+    spanning_forest: PrivateSpanningForestEstimator,
 }
 
 impl PrivateCcEstimator {
-    /// Creates an estimator with total privacy parameter `epsilon > 0`.
+    /// Name reported by the [`Estimator`] implementation.
+    pub const NAME: &'static str = "private-connected-components";
+
+    /// Creates an estimator with total privacy parameter `epsilon`.
     ///
     /// By default 10% of the budget is spent on the node count and 90% on the
-    /// spanning-forest size.
-    pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
-        PrivateCcEstimator { epsilon, node_count_fraction: 0.1, beta: None, delta_max: None }
+    /// spanning-forest size ([`EstimatorConfig::DEFAULT_NODE_COUNT_FRACTION`]).
+    pub fn new(epsilon: f64) -> Result<Self, ConfigError> {
+        Self::from_config(EstimatorConfig::new(epsilon))
     }
 
-    /// Sets the fraction of ε spent on the node-count release (in `(0, 1)`).
-    pub fn with_node_count_fraction(mut self, fraction: f64) -> Self {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must lie in (0, 1)");
-        self.node_count_fraction = fraction;
-        self
-    }
-
-    /// Overrides the GEM failure probability β.
-    pub fn with_beta(mut self, beta: f64) -> Self {
-        self.beta = Some(beta);
-        self
-    }
-
-    /// Overrides the largest Δ of the selection grid.
-    pub fn with_delta_max(mut self, delta_max: usize) -> Self {
-        self.delta_max = Some(delta_max);
-        self
+    /// Creates an estimator from a validated configuration.
+    pub fn from_config(config: EstimatorConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let spanning_forest = PrivateSpanningForestEstimator::from_config(config.clone())?;
+        Ok(PrivateCcEstimator {
+            config,
+            spanning_forest,
+        })
     }
 
     /// The total privacy parameter ε.
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        self.config.epsilon()
     }
 
-    /// Runs the estimator on `g` and returns the private estimate of `f_cc(G)`.
-    pub fn estimate(&self, g: &Graph, rng: &mut impl Rng) -> Result<PrivateCcEstimate, CoreError> {
-        let mut budget = PrivacyBudget::new(self.epsilon);
-        let eps_count =
-            budget.spend_fraction("node-count", self.node_count_fraction).expect("within budget");
-        let eps_sf = budget.remaining_epsilon();
+    /// The configuration this estimator runs with.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Runs the estimator on `g` and returns the private release of `f_cc(G)`.
+    pub fn estimate<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Result<Release, CcdpError> {
+        let epsilon = self.config.epsilon();
+        let mut budget = PrivacyBudget::new(epsilon);
 
         // |V| has node sensitivity exactly 1.
-        let node_count_estimate =
-            laplace_mechanism(g.num_vertices() as f64, 1.0, eps_count, rng);
+        let eps_count = budget.spend("node-count", epsilon * self.config.node_count_fraction())?;
+        let node_count_estimate = laplace_mechanism(g.num_vertices() as f64, 1.0, eps_count, rng);
 
-        let mut sf = PrivateSpanningForestEstimator::new(eps_sf);
-        if let Some(beta) = self.beta {
-            sf = sf.with_beta(beta);
-        }
-        if let Some(dm) = self.delta_max {
-            sf = sf.with_delta_max(dm);
-        }
-        let spanning_forest = sf.estimate(g, rng)?;
+        // The spanning-forest stage consumes everything that remains, drawing
+        // from the same accountant.
+        let sf_release = self
+            .spanning_forest
+            .estimate_with_budget(g, &mut budget, rng)?;
+        let sf_value = sf_release.value();
+        let mut diagnostics = sf_release
+            .into_diagnostics(crate::release::DiagnosticsAccess::acknowledge_non_private());
+        diagnostics.node_count_estimate = Some(node_count_estimate);
+        diagnostics.spanning_forest_estimate = Some(sf_value);
+        diagnostics.budget_ledger = budget.ledger().to_vec();
 
-        Ok(PrivateCcEstimate {
-            value: node_count_estimate - spanning_forest.value,
-            node_count_estimate,
-            spanning_forest,
-        })
+        Ok(Release::new(
+            node_count_estimate - sf_value,
+            Privacy::NodeDp { epsilon },
+            Self::NAME,
+            diagnostics,
+        ))
+    }
+}
+
+impl Estimator for PrivateCcEstimator {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn privacy(&self) -> Privacy {
+        Privacy::NodeDp {
+            epsilon: self.config.epsilon(),
+        }
+    }
+
+    fn estimate(&self, g: &Graph, rng: &mut dyn RngCore) -> Result<Release, CcdpError> {
+        PrivateCcEstimator::estimate(self, g, rng)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::release::DiagnosticsAccess;
     use ccdp_graph::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    fn token() -> DiagnosticsAccess {
+        DiagnosticsAccess::acknowledge_non_private()
+    }
 
     #[test]
     fn estimator_is_reasonably_accurate_on_star_forests() {
         // Δ* = 3 for this family, so errors should be O(Δ* ln ln n / ε) ≪ f_cc.
         let mut rng = StdRng::seed_from_u64(100);
         let g = generators::planted_star_forest(40, 3, 20);
-        let est = PrivateSpanningForestEstimator::new(1.0);
+        let est = PrivateSpanningForestEstimator::new(1.0).unwrap();
         let truth = g.spanning_forest_size() as f64;
         let mut total_err = 0.0;
         let runs = 20;
         for _ in 0..runs {
             let r = est.estimate(&g, &mut rng).unwrap();
-            total_err += (r.value - truth).abs();
+            total_err += (r.value() - truth).abs();
         }
         let mean_err = total_err / runs as f64;
-        assert!(mean_err < 60.0, "mean error {mean_err} too large for a Δ*=3 instance");
+        assert!(
+            mean_err < 60.0,
+            "mean error {mean_err} too large for a Δ*=3 instance"
+        );
     }
 
     #[test]
     fn selected_delta_is_small_for_low_degree_graphs() {
         let mut rng = StdRng::seed_from_u64(101);
         let g = generators::planted_star_forest(60, 2, 0);
-        let est = PrivateSpanningForestEstimator::new(2.0);
+        let est = PrivateSpanningForestEstimator::new(2.0).unwrap();
         let mut small = 0;
         for _ in 0..10 {
             let r = est.estimate(&g, &mut rng).unwrap();
-            if r.selected_delta <= 8 {
+            if r.diagnostics(token()).selected_delta.unwrap() <= 8 {
                 small += 1;
             }
         }
-        assert!(small >= 8, "GEM selected a large Δ too often ({small}/10 small)");
+        assert!(
+            small >= 8,
+            "GEM selected a large Δ too often ({small}/10 small)"
+        );
     }
 
     #[test]
     fn cc_estimator_matches_identity() {
         let mut rng = StdRng::seed_from_u64(102);
         let g = generators::planted_star_forest(30, 2, 10);
-        let est = PrivateCcEstimator::new(1.0);
+        let est = PrivateCcEstimator::new(1.0).unwrap();
         let r = est.estimate(&g, &mut rng).unwrap();
-        assert!((r.value - (r.node_count_estimate - r.spanning_forest.value)).abs() < 1e-9);
+        let d = r.diagnostics(token());
+        let identity = d.node_count_estimate.unwrap() - d.spanning_forest_estimate.unwrap();
+        assert!((r.value() - identity).abs() < 1e-9);
         let truth = g.num_connected_components() as f64;
         // Very loose sanity bound: the estimate is in the right ballpark.
-        assert!((r.value - truth).abs() < 80.0, "estimate {} vs truth {}", r.value, truth);
+        assert!(
+            (r.value() - truth).abs() < 80.0,
+            "estimate {} vs truth {}",
+            r.value(),
+            truth
+        );
     }
 
     #[test]
-    fn empty_graph_is_handled() {
+    fn empty_graph_takes_the_standard_path() {
         let mut rng = StdRng::seed_from_u64(103);
         let g = ccdp_graph::Graph::new(0);
-        let est = PrivateSpanningForestEstimator::new(1.0);
+        let est = PrivateSpanningForestEstimator::new(1.0).unwrap();
         let r = est.estimate(&g, &mut rng).unwrap();
-        assert!(r.value.abs() < 50.0);
-        assert_eq!(r.selected_delta, 1);
+        assert!(r.value().abs() < 50.0);
+        let d = r.diagnostics(token()).clone();
+        // Same release/diagnostics shape as the non-empty path: the grid
+        // degenerates to {1}, β comes from the shared default, the ledger
+        // records both stages.
+        assert_eq!(d.selected_delta, Some(1));
+        assert_eq!(d.extension_value, Some(0.0));
+        assert_eq!(d.family_values, vec![(1, 0.0)]);
+        assert_eq!(d.beta, Some(EstimatorConfig::new(1.0).resolved_beta(0)));
+        assert_eq!(d.noise_scale, Some(1.0 / 0.5));
+        assert_eq!(d.budget_ledger.len(), 2);
+        // A β override is honored on the empty graph exactly like elsewhere.
+        let est =
+            PrivateSpanningForestEstimator::from_config(EstimatorConfig::new(1.0).with_beta(0.123))
+                .unwrap();
+        let r = est.estimate(&g, &mut rng).unwrap();
+        assert_eq!(r.diagnostics(token()).beta, Some(0.123));
     }
 
     #[test]
     fn noise_scale_reflects_selected_delta() {
         let mut rng = StdRng::seed_from_u64(104);
         let g = generators::star(20);
-        let est = PrivateSpanningForestEstimator::new(1.0);
+        let est = PrivateSpanningForestEstimator::new(1.0).unwrap();
         let r = est.estimate(&g, &mut rng).unwrap();
-        assert!((r.noise_scale - r.selected_delta as f64 / 0.5).abs() < 1e-9);
+        let d = r.diagnostics(token());
+        assert!((d.noise_scale.unwrap() - d.selected_delta.unwrap() as f64 / 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn family_values_are_monotone_and_bounded_by_fsf() {
         let mut rng = StdRng::seed_from_u64(105);
         let g = generators::caveman(4, 4);
-        let est = PrivateSpanningForestEstimator::new(1.0);
+        let est = PrivateSpanningForestEstimator::new(1.0).unwrap();
         let r = est.estimate(&g, &mut rng).unwrap();
         let fsf = g.spanning_forest_size() as f64;
-        for w in r.family_values.windows(2) {
+        let d = r.diagnostics(token());
+        for w in d.family_values.windows(2) {
             assert!(w[0].1 <= w[1].1 + 1e-9);
         }
-        for &(_, v) in &r.family_values {
+        for &(_, v) in &d.family_values {
             assert!(v <= fsf + 1e-6);
         }
     }
@@ -321,15 +378,36 @@ mod tests {
     fn delta_max_override_limits_grid() {
         let mut rng = StdRng::seed_from_u64(106);
         let g = generators::path(50);
-        let est = PrivateSpanningForestEstimator::new(1.0).with_delta_max(4);
+        let est = PrivateSpanningForestEstimator::from_config(
+            EstimatorConfig::new(1.0).with_delta_max(4),
+        )
+        .unwrap();
         let r = est.estimate(&g, &mut rng).unwrap();
-        assert!(r.family_values.iter().all(|&(d, _)| d <= 4));
-        assert!(r.selected_delta <= 4);
+        let d = r.diagnostics(token());
+        assert!(d.family_values.iter().all(|&(delta, _)| delta <= 4));
+        assert!(d.selected_delta.unwrap() <= 4);
     }
 
     #[test]
-    #[should_panic]
-    fn invalid_epsilon_is_rejected() {
-        PrivateSpanningForestEstimator::new(-1.0);
+    fn invalid_epsilon_is_a_typed_error_not_a_panic() {
+        let err = PrivateSpanningForestEstimator::new(-1.0).unwrap_err();
+        assert_eq!(err, ConfigError::InvalidEpsilon { value: -1.0 });
+        let err = PrivateCcEstimator::new(f64::NAN).unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidEpsilon { .. }));
+    }
+
+    #[test]
+    fn budget_ledger_accounts_the_advertised_epsilon() {
+        let mut rng = StdRng::seed_from_u64(107);
+        let g = generators::planted_star_forest(20, 2, 5);
+        let est = PrivateCcEstimator::new(2.0).unwrap();
+        let r = est.estimate(&g, &mut rng).unwrap();
+        let ledger = &r.diagnostics(token()).budget_ledger;
+        assert_eq!(ledger.len(), 3, "node-count + gem + laplace stages");
+        let spent: f64 = ledger.iter().map(|(_, e)| e).sum();
+        assert!(
+            (spent - 2.0).abs() < 1e-9,
+            "ledger {ledger:?} must sum to ε"
+        );
     }
 }

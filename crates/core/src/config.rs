@@ -1,0 +1,259 @@
+//! Shared, validating configuration for every estimator in this crate.
+//!
+//! The estimators used to carry ad-hoc `with_*` setters that `assert!`-panicked
+//! on bad input. [`EstimatorConfig`] replaces them with one builder whose
+//! setters never panic; validation happens once, in
+//! [`EstimatorConfig::validate`] (called by every `from_config` constructor),
+//! and reports typed [`ConfigError`]s so services can reject bad requests
+//! without catching panics.
+
+use std::fmt;
+
+/// Typed validation errors produced by [`EstimatorConfig::validate`] and the
+/// estimator constructors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// ε must be strictly positive and finite.
+    InvalidEpsilon {
+        /// The rejected value.
+        value: f64,
+    },
+    /// β must lie strictly between 0 and 1.
+    InvalidBeta {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Δmax must be at least 1.
+    InvalidDeltaMax {
+        /// The rejected value.
+        value: usize,
+    },
+    /// The node-count budget fraction must lie strictly between 0 and 1.
+    InvalidNodeCountFraction {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A fixed Lipschitz parameter must be at least 1.
+    InvalidDelta {
+        /// The rejected value.
+        value: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidEpsilon { value } => {
+                write!(f, "epsilon must be positive and finite, got {value}")
+            }
+            ConfigError::InvalidBeta { value } => {
+                write!(f, "beta must lie strictly in (0, 1), got {value}")
+            }
+            ConfigError::InvalidDeltaMax { value } => {
+                write!(f, "delta_max must be at least 1, got {value}")
+            }
+            ConfigError::InvalidNodeCountFraction { value } => {
+                write!(
+                    f,
+                    "node-count budget fraction must lie strictly in (0, 1), got {value}"
+                )
+            }
+            ConfigError::InvalidDelta { value } => {
+                write!(f, "delta must be at least 1, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder-style configuration shared by the private estimators (and reused by
+/// the baselines for their common ε validation).
+///
+/// Setters store raw values and never panic; call [`EstimatorConfig::validate`]
+/// (or any `from_config` constructor, which does it for you) to surface typed
+/// errors.
+///
+/// ```
+/// use ccdp_core::{ConfigError, EstimatorConfig};
+///
+/// let ok = EstimatorConfig::new(1.0).with_beta(0.1).with_delta_max(64);
+/// assert!(ok.validate().is_ok());
+///
+/// let bad = EstimatorConfig::new(1.0).with_beta(1.5);
+/// assert_eq!(bad.validate(), Err(ConfigError::InvalidBeta { value: 1.5 }));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimatorConfig {
+    epsilon: f64,
+    beta: Option<f64>,
+    delta_max: Option<usize>,
+    node_count_fraction: f64,
+}
+
+impl EstimatorConfig {
+    /// Default share of ε spent on the node-count release by the
+    /// connected-components estimator.
+    pub const DEFAULT_NODE_COUNT_FRACTION: f64 = 0.1;
+
+    /// Starts a configuration with total privacy parameter `epsilon`.
+    pub fn new(epsilon: f64) -> Self {
+        EstimatorConfig {
+            epsilon,
+            beta: None,
+            delta_max: None,
+            node_count_fraction: Self::DEFAULT_NODE_COUNT_FRACTION,
+        }
+    }
+
+    /// Overrides the GEM failure probability β (default `1 / ln ln n`, clamped
+    /// to `(0.001, 0.5)`).
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = Some(beta);
+        self
+    }
+
+    /// Overrides the largest Δ of the selection grid (default `|V(G)|`).
+    ///
+    /// This is a public, data-independent parameter; choosing it below the
+    /// graph's Δ* degrades accuracy but never privacy.
+    pub fn with_delta_max(mut self, delta_max: usize) -> Self {
+        self.delta_max = Some(delta_max);
+        self
+    }
+
+    /// Sets the fraction of ε spent on the node-count release (in `(0, 1)`).
+    pub fn with_node_count_fraction(mut self, fraction: f64) -> Self {
+        self.node_count_fraction = fraction;
+        self
+    }
+
+    /// The total privacy parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The β override, if any.
+    pub fn beta(&self) -> Option<f64> {
+        self.beta
+    }
+
+    /// The Δmax override, if any.
+    pub fn delta_max(&self) -> Option<usize> {
+        self.delta_max
+    }
+
+    /// The node-count budget fraction.
+    pub fn node_count_fraction(&self) -> f64 {
+        self.node_count_fraction
+    }
+
+    /// The β to use on an `n`-vertex graph: the override if set, otherwise the
+    /// paper's default `1 / ln ln n` clamped to `(0.001, 0.5)`.
+    pub fn resolved_beta(&self, n: usize) -> f64 {
+        self.beta.unwrap_or_else(|| {
+            let lnln = (n.max(3) as f64).ln().ln();
+            (1.0 / lnln).clamp(0.001, 0.5)
+        })
+    }
+
+    /// Checks every field, returning the first violation as a typed error.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(ConfigError::InvalidEpsilon {
+                value: self.epsilon,
+            });
+        }
+        if let Some(beta) = self.beta {
+            if !(beta.is_finite() && beta > 0.0 && beta < 1.0) {
+                return Err(ConfigError::InvalidBeta { value: beta });
+            }
+        }
+        if let Some(delta_max) = self.delta_max {
+            if delta_max == 0 {
+                return Err(ConfigError::InvalidDeltaMax { value: delta_max });
+            }
+        }
+        let f = self.node_count_fraction;
+        if !(f.is_finite() && f > 0.0 && f < 1.0) {
+            return Err(ConfigError::InvalidNodeCountFraction { value: f });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(EstimatorConfig::new(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_epsilon_is_typed() {
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = EstimatorConfig::new(eps).validate().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::InvalidEpsilon { .. }),
+                "{eps} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_beta_is_typed() {
+        for beta in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
+            let err = EstimatorConfig::new(1.0)
+                .with_beta(beta)
+                .validate()
+                .unwrap_err();
+            assert!(
+                matches!(err, ConfigError::InvalidBeta { .. }),
+                "{beta} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_delta_max_is_typed() {
+        let err = EstimatorConfig::new(1.0)
+            .with_delta_max(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidDeltaMax { value: 0 });
+    }
+
+    #[test]
+    fn invalid_fraction_is_typed() {
+        for frac in [0.0, 1.0, -0.2, f64::NAN] {
+            let err = EstimatorConfig::new(1.0)
+                .with_node_count_fraction(frac)
+                .validate()
+                .unwrap_err();
+            assert!(
+                matches!(err, ConfigError::InvalidNodeCountFraction { .. }),
+                "{frac} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn resolved_beta_uses_override_then_default() {
+        assert_eq!(
+            EstimatorConfig::new(1.0)
+                .with_beta(0.25)
+                .resolved_beta(1000),
+            0.25
+        );
+        let default = EstimatorConfig::new(1.0).resolved_beta(1000);
+        assert!(default > 0.0 && default <= 0.5);
+    }
+
+    #[test]
+    fn display_messages_name_the_offender() {
+        let msg = ConfigError::InvalidBeta { value: 3.0 }.to_string();
+        assert!(msg.contains("beta") && msg.contains('3'));
+    }
+}

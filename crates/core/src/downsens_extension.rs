@@ -115,7 +115,9 @@ mod tests {
         for _ in 0..10 {
             let g = generators::erdos_renyi(7, 0.4, &mut rng);
             for delta in 1..=4usize {
-                assert!(downsens_extension_fsf(&g, delta) <= g.spanning_forest_size() as f64 + 1e-9);
+                assert!(
+                    downsens_extension_fsf(&g, delta) <= g.spanning_forest_size() as f64 + 1e-9
+                );
             }
         }
     }
@@ -155,7 +157,19 @@ mod tests {
         // used by this module stays ≤ f_sf.
         let g = Graph::from_edges(
             7,
-            &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (1, 5), (1, 6), (2, 5), (3, 6), (4, 6)],
+            &[
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (1, 6),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+            ],
         );
         assert_eq!(down_sensitivity_fsf(&g).value(), 3);
         let restricted = {
@@ -164,7 +178,8 @@ mod tests {
             for subset in ccdp_graph::subgraph::all_vertex_subsets(&g) {
                 let (h, _) = ccdp_graph::subgraph::induced_subgraph(&g, &subset);
                 if down_sensitivity_fsf(&h).value() <= 2 {
-                    best = best.min(h.spanning_forest_size() as f64 + 2.0 * (n - subset.len() as f64));
+                    best =
+                        best.min(h.spanning_forest_size() as f64 + 2.0 * (n - subset.len() as f64));
                 }
             }
             best

@@ -55,7 +55,10 @@ impl LipschitzExtension {
     /// Panics if `delta == 0`.
     pub fn new(delta: usize) -> Self {
         assert!(delta >= 1, "delta must be at least 1");
-        LipschitzExtension { delta, use_fast_path: true }
+        LipschitzExtension {
+            delta,
+            use_fast_path: true,
+        }
     }
 
     /// Disables the spanning-forest fast path so that the LP is always solved
@@ -139,14 +142,20 @@ mod tests {
     #[test]
     fn empty_graph_evaluates_to_zero() {
         let g = Graph::new(6);
-        assert!(approx(LipschitzExtension::new(3).evaluate(&g).unwrap(), 0.0));
+        assert!(approx(
+            LipschitzExtension::new(3).evaluate(&g).unwrap(),
+            0.0
+        ));
     }
 
     #[test]
     fn anchor_property_on_path() {
         // A path has a spanning 2-forest, so f_2 = f_sf; and f_1 < f_sf.
         let g = generators::path(7);
-        assert!(approx(LipschitzExtension::new(2).evaluate(&g).unwrap(), 6.0));
+        assert!(approx(
+            LipschitzExtension::new(2).evaluate(&g).unwrap(),
+            6.0
+        ));
         let f1 = LipschitzExtension::new(1).evaluate(&g).unwrap();
         assert!(f1 < 6.0);
         // With Δ=1 the polytope is the fractional matching polytope of the path:
@@ -191,9 +200,13 @@ mod tests {
         for _ in 0..5 {
             let g = generators::erdos_renyi(9, 0.3, &mut rng);
             for delta in 2..=4usize {
-                let fast = LipschitzExtension::new(delta).evaluate_detailed(&g).unwrap();
-                let slow =
-                    LipschitzExtension::new(delta).without_fast_path().evaluate_detailed(&g).unwrap();
+                let fast = LipschitzExtension::new(delta)
+                    .evaluate_detailed(&g)
+                    .unwrap();
+                let slow = LipschitzExtension::new(delta)
+                    .without_fast_path()
+                    .evaluate_detailed(&g)
+                    .unwrap();
                 assert!(
                     approx(fast.value, slow.value),
                     "fast {} vs lp {} at delta {delta}",

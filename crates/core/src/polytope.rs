@@ -33,6 +33,11 @@ use ccdp_lp::LinearProgram;
 const VIOLATION_TOL: f64 = 1e-6;
 /// Safety bound on cutting-plane rounds per component.
 const MAX_ROUNDS: usize = 400;
+/// Most-violated cuts admitted per round. Empirically (supercritical
+/// Erdős–Rényi, Δ just below Δ*) larger budgets inflate the dense tableau and
+/// slow every subsequent from-scratch re-solve more than they save in rounds;
+/// 5 is the measured sweet spot for the current simplex.
+const MAX_CUTS_PER_ROUND: usize = 5;
 
 /// Result of maximizing `x(E)` over the Δ-bounded forest polytope.
 #[derive(Clone, Debug)]
@@ -55,11 +60,17 @@ pub struct PolytopeSolution {
 /// the paper's algorithm only uses integer values.
 pub fn forest_polytope_max(g: &Graph, delta: f64) -> Result<PolytopeSolution, CoreError> {
     if delta <= 0.0 || !delta.is_finite() {
-        return Err(CoreError::InvalidParameter(format!("delta must be positive, got {delta}")));
+        return Err(CoreError::InvalidParameter(format!(
+            "delta must be positive, got {delta}"
+        )));
     }
     let all_edges = g.edge_vec();
-    let edge_index: std::collections::HashMap<(usize, usize), usize> =
-        all_edges.iter().copied().enumerate().map(|(i, e)| (e, i)).collect();
+    let edge_index: std::collections::HashMap<(usize, usize), usize> = all_edges
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, e)| (e, i))
+        .collect();
 
     let mut total_value = 0.0;
     let mut edge_weights = vec![0.0; all_edges.len()];
@@ -120,17 +131,18 @@ fn solve_component(g: &Graph, delta: f64) -> Result<PolytopeSolution, CoreError>
         lp.add_constraint_sparse(&[(i, 1.0)], 1.0);
     }
     // Whole-component constraint x(E) ≤ n − 1.
-    lp.add_constraint_sparse(&(0..m).map(|i| (i, 1.0)).collect::<Vec<_>>(), (n - 1) as f64);
+    lp.add_constraint_sparse(
+        &(0..m).map(|i| (i, 1.0)).collect::<Vec<_>>(),
+        (n - 1) as f64,
+    );
 
     let mut generated_cuts = 0;
     let mut lp_iterations = 0;
-    let mut lp_solves = 0;
     let mut seen_cuts: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
 
-    for _round in 0..MAX_ROUNDS {
+    for round in 0..MAX_ROUNDS {
         let sol = lp.solve()?;
         lp_iterations += sol.iterations;
-        lp_solves += 1;
         let violated = find_violated_forest_constraints(g, &edges, &sol.values);
         let mut added = false;
         for set in violated {
@@ -138,7 +150,9 @@ fn solve_component(g: &Graph, delta: f64) -> Result<PolytopeSolution, CoreError>
                 let terms: Vec<(usize, f64)> = edges
                     .iter()
                     .enumerate()
-                    .filter(|(_, &(a, b))| set.binary_search(&a).is_ok() && set.binary_search(&b).is_ok())
+                    .filter(|(_, &(a, b))| {
+                        set.binary_search(&a).is_ok() && set.binary_search(&b).is_ok()
+                    })
                     .map(|(i, _)| (i, 1.0))
                     .collect();
                 lp.add_constraint_sparse(&terms, (set.len() - 1) as f64);
@@ -152,7 +166,7 @@ fn solve_component(g: &Graph, delta: f64) -> Result<PolytopeSolution, CoreError>
                 edge_weights: sol.values,
                 generated_cuts,
                 lp_iterations,
-                lp_solves,
+                lp_solves: round + 1,
             });
         }
     }
@@ -181,9 +195,9 @@ fn find_violated_forest_constraints(
         let mut inst = ClosureInstance::new();
         // One item per non-root vertex, cost 1.
         let mut vertex_item = vec![usize::MAX; n];
-        for v in 0..n {
+        for (v, item) in vertex_item.iter_mut().enumerate() {
             if v != root {
-                vertex_item[v] = inst.add_item(-1.0);
+                *item = inst.add_item(-1.0);
             }
         }
         // One item per edge with positive weight; edges incident to the root only
@@ -209,8 +223,8 @@ fn find_violated_forest_constraints(
         // closure.weight = max_{S ∋ root} x(E[S]) − (|S| − 1).
         if closure.weight > VIOLATION_TOL {
             let mut set: Vec<usize> = vec![root];
-            for v in 0..n {
-                if v != root && closure.selected[vertex_item[v]] {
+            for (v, &item) in vertex_item.iter().enumerate() {
+                if v != root && closure.selected[item] {
                     set.push(v);
                 }
             }
@@ -228,7 +242,7 @@ fn find_violated_forest_constraints(
         if !results.contains(&set) {
             results.push(set);
         }
-        if results.len() >= 5 {
+        if results.len() >= MAX_CUTS_PER_ROUND {
             break;
         }
     }
@@ -272,7 +286,11 @@ mod tests {
         let g = generators::star(5);
         for delta in [1.0, 2.0, 3.0, 4.0] {
             let sol = forest_polytope_max(&g, delta).unwrap();
-            assert!(approx(sol.value, delta), "star value {} != delta {delta}", sol.value);
+            assert!(
+                approx(sol.value, delta),
+                "star value {} != delta {delta}",
+                sol.value
+            );
         }
         assert!(approx(forest_polytope_max(&g, 5.0).unwrap().value, 5.0));
         assert!(approx(forest_polytope_max(&g, 7.0).unwrap().value, 5.0));
@@ -288,7 +306,11 @@ mod tests {
         // With Δ = 1 the answer is the fractional matching bound: each vertex has
         // degree weight ≤ 1, so x(E) ≤ 4/2 = 2.
         let sol1 = forest_polytope_max(&g, 1.0).unwrap();
-        assert!(approx(sol1.value, 2.0), "K4 with delta=1 was {}", sol1.value);
+        assert!(
+            approx(sol1.value, 2.0),
+            "K4 with delta=1 was {}",
+            sol1.value
+        );
     }
 
     #[test]
@@ -319,7 +341,7 @@ mod tests {
         assert!(approx(sol.edge_weights.iter().sum::<f64>(), sol.value));
         // All weights within [0, 1].
         for &w in &sol.edge_weights {
-            assert!(w >= -1e-9 && w <= 1.0 + 1e-9);
+            assert!((-1e-9..=1.0 + 1e-9).contains(&w));
         }
     }
 
@@ -363,7 +385,11 @@ mod tests {
         g.add_edge(5, 6);
         g.add_edge(6, 7);
         let sol = forest_polytope_max(&g, 3.0).unwrap();
-        assert!(approx(sol.value, g.spanning_forest_size() as f64), "value {}", sol.value);
+        assert!(
+            approx(sol.value, g.spanning_forest_size() as f64),
+            "value {}",
+            sol.value
+        );
         let edges = g.edge_vec();
         let n = g.num_vertices();
         for mask in 0u32..(1 << n) {
@@ -408,8 +434,10 @@ mod tests {
         let g = generators::complete(4);
         let edges = g.edge_vec();
         // A spanning star (indicator vector) is in the forest polytope.
-        let x: Vec<f64> =
-            edges.iter().map(|&(a, _)| if a == 0 { 1.0 } else { 0.0 }).collect();
+        let x: Vec<f64> = edges
+            .iter()
+            .map(|&(a, _)| if a == 0 { 1.0 } else { 0.0 })
+            .collect();
         assert!(find_violated_forest_constraints(&g, &edges, &x).is_empty());
     }
 

@@ -1,0 +1,229 @@
+//! Type-safe released outputs.
+//!
+//! The old `PrivateEstimate` struct mixed the differentially private estimate
+//! with non-private intermediate values (`extension_value`, `family_values`,
+//! …) behind nothing but a doc-comment warning. [`Release`] separates the two
+//! at the type level: the default surface exposes only the private
+//! [`Release::value`] (plus data-independent metadata), while the non-private
+//! [`Diagnostics`] are reachable only through an explicit
+//! [`DiagnosticsAccess`] capability token — so leaking them takes a visible,
+//! greppable acknowledgement instead of an accidental field access.
+
+use std::fmt;
+
+/// The privacy guarantee attached to a [`Release`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Privacy {
+    /// ε node-differential privacy (the paper's setting).
+    NodeDp {
+        /// The privacy parameter ε.
+        epsilon: f64,
+    },
+    /// ε edge-differential privacy (a weaker neighbor relation).
+    EdgeDp {
+        /// The privacy parameter ε.
+        epsilon: f64,
+    },
+    /// No privacy guarantee (baseline accuracy ceiling).
+    NonPrivate,
+}
+
+impl Privacy {
+    /// The ε of the guarantee, or `None` for non-private output.
+    pub fn epsilon(&self) -> Option<f64> {
+        match *self {
+            Privacy::NodeDp { epsilon } | Privacy::EdgeDp { epsilon } => Some(epsilon),
+            Privacy::NonPrivate => None,
+        }
+    }
+}
+
+impl fmt::Display for Privacy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Privacy::NodeDp { epsilon } => write!(f, "ε={epsilon} node-DP"),
+            Privacy::EdgeDp { epsilon } => write!(f, "ε={epsilon} edge-DP"),
+            Privacy::NonPrivate => write!(f, "non-private"),
+        }
+    }
+}
+
+/// Capability token gating access to non-private [`Diagnostics`].
+///
+/// Constructing it spells out the contract at the call site:
+///
+/// ```
+/// use ccdp_core::DiagnosticsAccess;
+/// let token = DiagnosticsAccess::acknowledge_non_private();
+/// # let _ = token;
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct DiagnosticsAccess {
+    _private: (),
+}
+
+impl DiagnosticsAccess {
+    /// Acknowledges that diagnostics reference non-private intermediate values
+    /// and must not be published if the privacy guarantee is to be preserved.
+    pub fn acknowledge_non_private() -> Self {
+        DiagnosticsAccess { _private: () }
+    }
+}
+
+/// Non-private diagnostics recorded alongside a release, for experiments,
+/// debugging and tests. **Never publish these**: several fields are exact
+/// functions of the sensitive input graph.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Diagnostics {
+    /// The Lipschitz parameter Δ̂ selected by GEM (adaptive estimators only).
+    pub selected_delta: Option<usize>,
+    /// The exact value of the selected extension `f_Δ̂(G)` (non-private!).
+    pub extension_value: Option<f64>,
+    /// Scale of the Laplace noise added in the final release step.
+    pub noise_scale: Option<f64>,
+    /// The GEM failure probability β that was used.
+    pub beta: Option<f64>,
+    /// Whether any evaluated extension needed the LP path.
+    pub used_lp: bool,
+    /// The evaluated grid of `(Δ, f_Δ(G))` pairs (non-private!).
+    pub family_values: Vec<(usize, f64)>,
+    /// The private Laplace release of `|V(G)|` used by Equation (1), if any.
+    pub node_count_estimate: Option<f64>,
+    /// The private spanning-forest estimate combined by Equation (1), if any.
+    pub spanning_forest_estimate: Option<f64>,
+    /// The per-stage privacy-budget ledger `(stage, ε)`.
+    pub budget_ledger: Vec<(String, f64)>,
+}
+
+/// A released estimate: the differentially private value plus data-independent
+/// metadata, with non-private diagnostics gated behind [`DiagnosticsAccess`].
+///
+/// `Debug` and `Display` deliberately elide the diagnostics, so logging a
+/// release never leaks them.
+#[derive(Clone)]
+pub struct Release {
+    value: f64,
+    privacy: Privacy,
+    estimator: &'static str,
+    diagnostics: Diagnostics,
+}
+
+impl Release {
+    /// Assembles a release. Implementors of
+    /// [`Estimator`](crate::estimator::Estimator) outside this crate can use
+    /// this to produce compatible output.
+    pub fn new(
+        value: f64,
+        privacy: Privacy,
+        estimator: &'static str,
+        diagnostics: Diagnostics,
+    ) -> Self {
+        Release {
+            value,
+            privacy,
+            estimator,
+            diagnostics,
+        }
+    }
+
+    /// The released estimate. This is the only data-dependent field that is
+    /// safe to publish (under the guarantee reported by [`Release::privacy`]).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The privacy guarantee under which [`Release::value`] was produced.
+    pub fn privacy(&self) -> Privacy {
+        self.privacy
+    }
+
+    /// Name of the estimator that produced this release.
+    pub fn estimator(&self) -> &'static str {
+        self.estimator
+    }
+
+    /// Borrows the non-private diagnostics. Requires an explicit
+    /// [`DiagnosticsAccess`] acknowledgement; see the module docs.
+    pub fn diagnostics(&self, _access: DiagnosticsAccess) -> &Diagnostics {
+        &self.diagnostics
+    }
+
+    /// Consumes the release and returns the non-private diagnostics.
+    pub fn into_diagnostics(self, _access: DiagnosticsAccess) -> Diagnostics {
+        self.diagnostics
+    }
+}
+
+impl fmt::Debug for Release {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Release")
+            .field("value", &self.value)
+            .field("privacy", &self.privacy)
+            .field("estimator", &self.estimator)
+            .field("diagnostics", &"<gated: DiagnosticsAccess required>")
+            .finish()
+    }
+}
+
+impl fmt::Display for Release {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} = {:.3} ({})",
+            self.estimator, self.value, self.privacy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_release() -> Release {
+        Release::new(
+            41.5,
+            Privacy::NodeDp { epsilon: 1.0 },
+            "test-estimator",
+            Diagnostics {
+                selected_delta: Some(4),
+                ..Diagnostics::default()
+            },
+        )
+    }
+
+    #[test]
+    fn default_surface_exposes_value_and_metadata_only() {
+        let r = sample_release();
+        assert_eq!(r.value(), 41.5);
+        assert_eq!(r.privacy().epsilon(), Some(1.0));
+        assert_eq!(r.estimator(), "test-estimator");
+    }
+
+    #[test]
+    fn debug_and_display_never_print_diagnostics() {
+        let r = sample_release();
+        let debug = format!("{r:?}");
+        assert!(debug.contains("gated"), "{debug}");
+        assert!(!debug.contains("selected_delta: Some(4)"), "{debug}");
+        let display = format!("{r}");
+        assert!(
+            display.contains("test-estimator") && display.contains("node-DP"),
+            "{display}"
+        );
+    }
+
+    #[test]
+    fn diagnostics_require_the_token() {
+        let r = sample_release();
+        let token = DiagnosticsAccess::acknowledge_non_private();
+        assert_eq!(r.diagnostics(token).selected_delta, Some(4));
+        assert_eq!(r.into_diagnostics(token).selected_delta, Some(4));
+    }
+
+    #[test]
+    fn privacy_epsilon_accessor() {
+        assert_eq!(Privacy::EdgeDp { epsilon: 2.0 }.epsilon(), Some(2.0));
+        assert_eq!(Privacy::NonPrivate.epsilon(), None);
+        assert!(Privacy::NonPrivate.to_string().contains("non-private"));
+    }
+}

@@ -22,7 +22,10 @@ impl PrivacyBudget {
             total_epsilon.is_finite() && total_epsilon > 0.0,
             "total epsilon must be positive"
         );
-        PrivacyBudget { total_epsilon, spent: Vec::new() }
+        PrivacyBudget {
+            total_epsilon,
+            spent: Vec::new(),
+        }
     }
 
     /// The total ε of the budget.
@@ -59,7 +62,10 @@ impl PrivacyBudget {
 
     /// Consumes an equal share `total/k` of the *original* budget.
     pub fn spend_fraction(&mut self, stage: &str, fraction: f64) -> Result<f64, BudgetExceeded> {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must lie in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must lie in (0, 1]"
+        );
         self.spend(stage, self.total_epsilon * fraction)
     }
 

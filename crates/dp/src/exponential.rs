@@ -25,8 +25,10 @@ pub fn exponential_mechanism_min<R: Rng + ?Sized>(
     assert!(sensitivity > 0.0, "sensitivity must be positive");
 
     // Work in log space and subtract the maximum exponent for numerical stability.
-    let exponents: Vec<f64> =
-        scores.iter().map(|&q| -epsilon * q / (2.0 * sensitivity)).collect();
+    let exponents: Vec<f64> = scores
+        .iter()
+        .map(|&q| -epsilon * q / (2.0 * sensitivity))
+        .collect();
     let max_exp = exponents.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let weights: Vec<f64> = exponents.iter().map(|&e| (e - max_exp).exp()).collect();
     let total: f64 = weights.iter().sum();
@@ -45,8 +47,10 @@ pub fn exponential_mechanism_min<R: Rng + ?Sized>(
 /// Probability that the Exponential Mechanism (minimization convention) selects
 /// each index — exposed for tests and diagnostics.
 pub fn selection_probabilities(scores: &[f64], sensitivity: f64, epsilon: f64) -> Vec<f64> {
-    let exponents: Vec<f64> =
-        scores.iter().map(|&q| -epsilon * q / (2.0 * sensitivity)).collect();
+    let exponents: Vec<f64> = scores
+        .iter()
+        .map(|&q| -epsilon * q / (2.0 * sensitivity))
+        .collect();
     let max_exp = exponents.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let weights: Vec<f64> = exponents.iter().map(|&e| (e - max_exp).exp()).collect();
     let total: f64 = weights.iter().sum();
@@ -86,7 +90,10 @@ mod tests {
             counts[exponential_mechanism_min(&scores, 1.0, 1.0, &mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((c as f64 - 2000.0).abs() < 250.0, "counts {counts:?} far from uniform");
+            assert!(
+                (c as f64 - 2000.0).abs() < 250.0,
+                "counts {counts:?} far from uniform"
+            );
         }
     }
 

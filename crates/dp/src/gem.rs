@@ -87,8 +87,11 @@ pub fn generalized_exponential_mechanism<R: Rng + ?Sized>(
 
     // Step 6: normalized pairwise scores
     // s_i = max_j [ (q_i + t·Δ_i) − (q_j + t·Δ_j) ] / (Δ_i + Δ_j).
-    let shifted: Vec<f64> =
-        q.iter().zip(candidates).map(|(&qi, c)| qi + t * c.delta).collect();
+    let shifted: Vec<f64> = q
+        .iter()
+        .zip(candidates)
+        .map(|(&qi, c)| qi + t * c.delta)
+        .collect();
     let scores: Vec<f64> = candidates
         .iter()
         .enumerate()
@@ -131,7 +134,10 @@ mod tests {
     fn single_candidate_is_selected() {
         let mut rng = StdRng::seed_from_u64(0);
         let sel = generalized_exponential_mechanism(
-            &[GemCandidate { delta: 1.0, value: 5.0 }],
+            &[GemCandidate {
+                delta: 1.0,
+                value: 5.0,
+            }],
             7.0,
             1.0,
             0.1,
@@ -147,10 +153,22 @@ mod tests {
         // Δ=64 matches but pays a large Δ/ε penalty.
         let mut rng = StdRng::seed_from_u64(1);
         let candidates = vec![
-            GemCandidate { delta: 1.0, value: 0.0 },
-            GemCandidate { delta: 2.0, value: 10.0 },
-            GemCandidate { delta: 4.0, value: 100.0 },
-            GemCandidate { delta: 64.0, value: 100.0 },
+            GemCandidate {
+                delta: 1.0,
+                value: 0.0,
+            },
+            GemCandidate {
+                delta: 2.0,
+                value: 10.0,
+            },
+            GemCandidate {
+                delta: 4.0,
+                value: 100.0,
+            },
+            GemCandidate {
+                delta: 64.0,
+                value: 100.0,
+            },
         ];
         let mut wins = 0;
         let trials = 300;
@@ -160,14 +178,25 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins > trials * 7 / 10, "best Δ chosen only {wins}/{trials} times");
+        assert!(
+            wins > trials * 7 / 10,
+            "best Δ chosen only {wins}/{trials} times"
+        );
     }
 
     #[test]
     fn approximation_errors_follow_definition() {
         let mut rng = StdRng::seed_from_u64(2);
-        let candidates =
-            vec![GemCandidate { delta: 1.0, value: 3.0 }, GemCandidate { delta: 2.0, value: 5.0 }];
+        let candidates = vec![
+            GemCandidate {
+                delta: 1.0,
+                value: 3.0,
+            },
+            GemCandidate {
+                delta: 2.0,
+                value: 5.0,
+            },
+        ];
         let sel = generalized_exponential_mechanism(&candidates, 5.0, 1.0, 0.1, &mut rng);
         assert!((sel.approximation_errors[0] - (2.0 + 1.0)).abs() < 1e-12);
         assert!((sel.approximation_errors[1] - (0.0 + 2.0)).abs() < 1e-12);
@@ -179,13 +208,27 @@ mod tests {
         // q_i leaves them unchanged — this is what makes using h(G) harmless.
         let mut rng = StdRng::seed_from_u64(3);
         let candidates = vec![
-            GemCandidate { delta: 1.0, value: 1.0 },
-            GemCandidate { delta: 2.0, value: 4.0 },
-            GemCandidate { delta: 4.0, value: 6.0 },
+            GemCandidate {
+                delta: 1.0,
+                value: 1.0,
+            },
+            GemCandidate {
+                delta: 2.0,
+                value: 4.0,
+            },
+            GemCandidate {
+                delta: 4.0,
+                value: 6.0,
+            },
         ];
         let a = generalized_exponential_mechanism(&candidates, 6.0, 1.0, 0.1, &mut rng);
-        let shifted: Vec<GemCandidate> =
-            candidates.iter().map(|c| GemCandidate { delta: c.delta, value: c.value + 10.0 }).collect();
+        let shifted: Vec<GemCandidate> = candidates
+            .iter()
+            .map(|c| GemCandidate {
+                delta: c.delta,
+                value: c.value + 10.0,
+            })
+            .collect();
         let b = generalized_exponential_mechanism(&shifted, 16.0, 1.0, 0.1, &mut rng);
         for (x, y) in a.scores.iter().zip(&b.scores) {
             assert!((x - y).abs() < 1e-9, "scores changed under a uniform shift");
@@ -220,6 +263,9 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(failures < trials / 10, "{failures}/{trials} selections were far from optimal");
+        assert!(
+            failures < trials / 10,
+            "{failures}/{trials} selections were far from optimal"
+        );
     }
 }

@@ -17,7 +17,10 @@ impl LaplaceNoise {
     /// # Panics
     /// Panics if `scale` is negative or not finite.
     pub fn new(scale: f64) -> Self {
-        assert!(scale.is_finite() && scale >= 0.0, "scale must be a non-negative real");
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "scale must be a non-negative real"
+        );
         LaplaceNoise { scale }
     }
 
@@ -37,9 +40,12 @@ impl LaplaceNoise {
             return 0.0;
         }
         // Inverse-CDF sampling: u uniform in (-1/2, 1/2),
-        // X = -b · sign(u) · ln(1 - 2|u|).
+        // X = -b · sign(u) · ln(1 - 2|u|). The argument is clamped away from 0
+        // (u = -1/2 has probability 2⁻⁵³ but would yield ln(0) = -∞): the draw
+        // stays finite and the tail truncation at ~708·b is far beyond any
+        // quantile the mechanisms use.
         let u: f64 = rng.gen::<f64>() - 0.5;
-        let magnitude = -(1.0 - 2.0 * u.abs()).ln() * self.scale;
+        let magnitude = -(1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln() * self.scale;
         if u < 0.0 {
             -magnitude
         } else {
@@ -130,7 +136,10 @@ mod tests {
         let t = 2.0;
         let exceed = (0..n).filter(|_| noise.sample(&mut rng).abs() >= t).count() as f64 / n as f64;
         let expected = noise.tail_probability(t);
-        assert!((exceed - expected).abs() < 0.01, "tail {exceed} vs expected {expected}");
+        assert!(
+            (exceed - expected).abs() < 0.01,
+            "tail {exceed} vs expected {expected}"
+        );
     }
 
     #[test]

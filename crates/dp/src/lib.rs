@@ -19,7 +19,7 @@ pub mod exponential;
 pub mod gem;
 pub mod laplace;
 
-pub use composition::PrivacyBudget;
+pub use composition::{BudgetExceeded, PrivacyBudget};
 pub use exponential::exponential_mechanism_min;
 pub use gem::{generalized_exponential_mechanism, GemCandidate, GemSelection};
 pub use laplace::{laplace_mechanism, sample_laplace, LaplaceNoise};

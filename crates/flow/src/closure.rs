@@ -49,7 +49,10 @@ impl ClosureInstance {
     /// # Panics
     /// Panics if an index is out of range.
     pub fn add_requirement(&mut self, a: usize, b: usize) {
-        assert!(a < self.weights.len() && b < self.weights.len(), "item out of range");
+        assert!(
+            a < self.weights.len() && b < self.weights.len(),
+            "item out of range"
+        );
         self.arcs.push((a, b));
     }
 
@@ -63,17 +66,15 @@ impl ClosureInstance {
 pub fn max_weight_closure(instance: &ClosureInstance) -> ClosureSolution {
     let n = instance.num_items();
     if n == 0 {
-        return ClosureSolution { weight: 0.0, selected: Vec::new() };
+        return ClosureSolution {
+            weight: 0.0,
+            selected: Vec::new(),
+        };
     }
     let source = n;
     let sink = n + 1;
     let mut net = FlowNetwork::new(n + 2);
-    let infinite: f64 = 1.0
-        + instance
-            .weights
-            .iter()
-            .map(|w| w.abs())
-            .sum::<f64>();
+    let infinite: f64 = 1.0 + instance.weights.iter().map(|w| w.abs()).sum::<f64>();
     let mut total_profit = 0.0;
     for (i, &w) in instance.weights.iter().enumerate() {
         if w > 0.0 {
@@ -88,7 +89,10 @@ pub fn max_weight_closure(instance: &ClosureInstance) -> ClosureSolution {
     }
     let result = net.max_flow(source, sink);
     let selected: Vec<bool> = (0..n).map(|i| result.source_side[i]).collect();
-    ClosureSolution { weight: (total_profit - result.value).max(0.0), selected }
+    ClosureSolution {
+        weight: (total_profit - result.value).max(0.0),
+        selected,
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +114,10 @@ mod tests {
                     continue 'outer;
                 }
             }
-            let w: f64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| instance.weights[i]).sum();
+            let w: f64 = (0..n)
+                .filter(|&i| mask >> i & 1 == 1)
+                .map(|i| instance.weights[i])
+                .sum();
             best = best.max(w);
         }
         best

@@ -34,7 +34,9 @@ pub struct MaxFlowResult {
 impl FlowNetwork {
     /// Creates a network with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { graph: vec![Vec::new(); n] }
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+        }
     }
 
     /// Number of vertices.
@@ -48,11 +50,22 @@ impl FlowNetwork {
     /// Panics if the capacity is negative or an endpoint is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: f64) {
         assert!(cap >= 0.0, "capacity must be non-negative");
-        assert!(from < self.graph.len() && to < self.graph.len(), "vertex out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "vertex out of range"
+        );
         let rev_from = self.graph[to].len() + usize::from(from == to);
         let rev_to = self.graph[from].len();
-        self.graph[from].push(Edge { to, cap, rev: rev_from });
-        self.graph[to].push(Edge { to: from, cap: 0.0, rev: rev_to });
+        self.graph[from].push(Edge {
+            to,
+            cap,
+            rev: rev_from,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0.0,
+            rev: rev_to,
+        });
     }
 
     fn bfs_levels(&self, source: usize, sink: usize) -> Option<Vec<i32>> {

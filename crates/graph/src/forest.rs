@@ -30,7 +30,10 @@ pub struct SpanningForest {
 impl SpanningForest {
     /// Creates a forest over `num_vertices` vertices from an edge list.
     pub fn new(num_vertices: usize, edges: Vec<(usize, usize)>) -> Self {
-        SpanningForest { num_vertices, edges }
+        SpanningForest {
+            num_vertices,
+            edges,
+        }
     }
 
     /// Number of vertices of the host graph.
@@ -121,7 +124,10 @@ struct ForestBuilder {
 
 impl ForestBuilder {
     fn new(n: usize) -> Self {
-        ForestBuilder { adj: vec![Vec::new(); n], num_edges: 0 }
+        ForestBuilder {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
     }
 
     fn degree(&self, v: usize) -> usize {
@@ -136,9 +142,15 @@ impl ForestBuilder {
     }
 
     fn remove_edge(&mut self, u: usize, v: usize) {
-        let pu = self.adj[u].iter().position(|&x| x == v).expect("edge not present");
+        let pu = self.adj[u]
+            .iter()
+            .position(|&x| x == v)
+            .expect("edge not present");
         self.adj[u].swap_remove(pu);
-        let pv = self.adj[v].iter().position(|&x| x == u).expect("edge not present");
+        let pv = self.adj[v]
+            .iter()
+            .position(|&x| x == u)
+            .expect("edge not present");
         self.adj[v].swap_remove(pv);
         self.num_edges -= 1;
     }
@@ -264,8 +276,11 @@ pub fn bounded_degree_spanning_forest(g: &Graph, delta: usize) -> Option<Spannin
                 return None;
             }
             // N = Δ forest-neighbors of `cur`, excluding `prev`.
-            let candidates: Vec<usize> =
-                forest.adj[cur].iter().copied().filter(|&w| w != prev).collect();
+            let candidates: Vec<usize> = forest.adj[cur]
+                .iter()
+                .copied()
+                .filter(|&w| w != prev)
+                .collect();
             debug_assert!(candidates.len() >= delta);
             // Find a pair (a, b) of candidates adjacent in G. If none exists among
             // the first Δ candidates, G has an induced Δ-star centered at `cur`,
@@ -290,7 +305,10 @@ pub fn bounded_degree_spanning_forest(g: &Graph, delta: usize) -> Option<Spannin
     }
 
     let result = forest.into_forest();
-    debug_assert!(result.is_spanning_forest_of(g), "local repair must preserve the spanning forest");
+    debug_assert!(
+        result.is_spanning_forest_of(g),
+        "local repair must preserve the spanning forest"
+    );
     if result.max_degree() <= delta {
         Some(result)
     } else {
@@ -351,6 +369,7 @@ fn has_spanning_forest_with_degree(
     let n = g.num_vertices();
     let mut uf = UnionFind::new(n);
     let mut deg = vec![0usize; n];
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         edges: &[(usize, usize)],
         idx: usize,
@@ -379,7 +398,16 @@ fn has_spanning_forest_with_degree(
             if uf2.union(u, v) {
                 deg[u] += 1;
                 deg[v] += 1;
-                let r = recurse(edges, idx + 1, chosen + 1, target, delta, &mut uf2, deg, budget);
+                let r = recurse(
+                    edges,
+                    idx + 1,
+                    chosen + 1,
+                    target,
+                    delta,
+                    &mut uf2,
+                    deg,
+                    budget,
+                );
                 deg[u] -= 1;
                 deg[v] -= 1;
                 match r {
@@ -452,7 +480,8 @@ mod tests {
     fn bounded_forest_on_complete_graph() {
         // K_n has no induced 2-star, so a Hamiltonian path (spanning 2-forest) exists.
         let g = generators::complete(7);
-        let f = bounded_degree_spanning_forest(&g, 2).expect("complete graph has a Hamiltonian path");
+        let f =
+            bounded_degree_spanning_forest(&g, 2).expect("complete graph has a Hamiltonian path");
         assert!(f.is_spanning_forest_of(&g));
         assert!(f.max_degree() <= 2);
     }

@@ -143,7 +143,9 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// `Δ* ≤ 6`.
 pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Graph {
     assert!(radius > 0.0 && radius <= 1.0, "radius must lie in (0, 1]");
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     geometric_from_points(&points, radius)
 }
 
@@ -194,7 +196,7 @@ pub fn geometric_from_points(points: &[(f64, f64)], radius: f64) -> Graph {
 /// `m` vertices and attaches each new vertex to `m` existing vertices chosen with
 /// probability proportional to their degree.
 pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
-    assert!(m >= 1 && n >= m + 1, "need n > m >= 1");
+    assert!(m >= 1 && n > m, "need n > m >= 1");
     let mut g = complete(m);
     for _ in m..n {
         let v = g.add_vertex();
@@ -233,7 +235,7 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
     let n: usize = sizes.iter().sum();
     let mut block = Vec::with_capacity(n);
     for (b, &s) in sizes.iter().enumerate() {
-        block.extend(std::iter::repeat(b).take(s));
+        block.extend(std::iter::repeat_n(b, s));
     }
     let mut g = Graph::new(n);
     for u in 0..n {

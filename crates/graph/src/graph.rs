@@ -70,7 +70,10 @@ impl Graph {
     /// # Panics
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
-        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "vertex out of range"
+        );
         if u == v {
             return false;
         }

@@ -12,16 +12,27 @@ pub enum ParseError {
     /// A line could not be parsed as two vertex indices.
     MalformedLine { line_number: usize, content: String },
     /// An endpoint was out of range for the declared vertex count.
-    VertexOutOfRange { line_number: usize, vertex: usize, num_vertices: usize },
+    VertexOutOfRange {
+        line_number: usize,
+        vertex: usize,
+        num_vertices: usize,
+    },
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseError::MalformedLine { line_number, content } => {
+            ParseError::MalformedLine {
+                line_number,
+                content,
+            } => {
                 write!(f, "line {line_number}: malformed edge `{content}`")
             }
-            ParseError::VertexOutOfRange { line_number, vertex, num_vertices } => write!(
+            ParseError::VertexOutOfRange {
+                line_number,
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "line {line_number}: vertex {vertex} out of range for {num_vertices} vertices"
             ),
@@ -69,7 +80,10 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
         let (u, v) = match (parts.next(), parts.next()) {
             (Some(u), Some(v)) => (u, v),
             _ => {
-                return Err(ParseError::MalformedLine { line_number: i + 1, content: line.to_string() })
+                return Err(ParseError::MalformedLine {
+                    line_number: i + 1,
+                    content: line.to_string(),
+                })
             }
         };
         let u: usize = u.parse().map_err(|_| ParseError::MalformedLine {
@@ -138,13 +152,19 @@ mod tests {
     #[test]
     fn malformed_line_is_rejected() {
         let err = from_edge_list("0 1\nnot-an-edge\n").unwrap_err();
-        assert!(matches!(err, ParseError::MalformedLine { line_number: 2, .. }));
+        assert!(matches!(
+            err,
+            ParseError::MalformedLine { line_number: 2, .. }
+        ));
     }
 
     #[test]
     fn out_of_range_vertex_is_rejected() {
         let err = from_edge_list("# 3 1\n0 7\n").unwrap_err();
-        assert!(matches!(err, ParseError::VertexOutOfRange { vertex: 7, .. }));
+        assert!(matches!(
+            err,
+            ParseError::VertexOutOfRange { vertex: 7, .. }
+        ));
     }
 
     #[test]

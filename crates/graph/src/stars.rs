@@ -40,7 +40,11 @@ impl StarNumber {
 pub fn max_independent_set_size(adj_masks: &[u128]) -> usize {
     let n = adj_masks.len();
     assert!(n <= 128, "bitset MIS limited to 128 vertices");
-    let all: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let all: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     fn mis(candidates: u128, adj: &[u128], best: &mut usize, current: usize) {
         if candidates == 0 {
             *best = (*best).max(current);
@@ -81,11 +85,7 @@ fn greedy_independent_set_size(adj_masks: &[Vec<usize>]) -> usize {
     let mut alive: Vec<bool> = vec![true; n];
     let mut deg: Vec<usize> = adj_masks.iter().map(Vec::len).collect();
     let mut size = 0;
-    loop {
-        let v = match (0..n).filter(|&v| alive[v]).min_by_key(|&v| deg[v]) {
-            Some(v) => v,
-            None => break,
-        };
+    while let Some(v) = (0..n).filter(|&v| alive[v]).min_by_key(|&v| deg[v]) {
         size += 1;
         alive[v] = false;
         for &w in &adj_masks[v] {
@@ -106,13 +106,19 @@ pub fn induced_star_at(g: &Graph, center: usize) -> StarNumber {
     let nbrs = g.neighbors(center);
     let k = nbrs.len();
     if k == 0 {
-        return StarNumber { value: 0, exact: true };
+        return StarNumber {
+            value: 0,
+            exact: true,
+        };
     }
     // Count edges inside the neighborhood; if there are none, the whole
     // neighborhood is an induced star.
     let internal_edges = g.edges_within(nbrs);
     if internal_edges == 0 {
-        return StarNumber { value: k, exact: true };
+        return StarNumber {
+            value: k,
+            exact: true,
+        };
     }
     if k <= 128 {
         let index_of = |v: usize| nbrs.binary_search(&v).unwrap();
@@ -124,7 +130,10 @@ pub fn induced_star_at(g: &Graph, center: usize) -> StarNumber {
                 }
             }
         }
-        StarNumber { value: max_independent_set_size(&masks), exact: true }
+        StarNumber {
+            value: max_independent_set_size(&masks),
+            exact: true,
+        }
     } else {
         let mut local_adj = vec![Vec::new(); k];
         for (i, &u) in nbrs.iter().enumerate() {
@@ -136,7 +145,10 @@ pub fn induced_star_at(g: &Graph, center: usize) -> StarNumber {
                 }
             }
         }
-        StarNumber { value: greedy_independent_set_size(&local_adj), exact: false }
+        StarNumber {
+            value: greedy_independent_set_size(&local_adj),
+            exact: false,
+        }
     }
 }
 
@@ -174,8 +186,10 @@ pub fn induced_star_number_brute_force(g: &Graph) -> usize {
         let nbrs = g.neighbors(center);
         let k = nbrs.len();
         for mask in 0u32..(1 << k) {
-            let leaves: Vec<usize> =
-                (0..k).filter(|&i| mask >> i & 1 == 1).map(|i| nbrs[i]).collect();
+            let leaves: Vec<usize> = (0..k)
+                .filter(|&i| mask >> i & 1 == 1)
+                .map(|i| nbrs[i])
+                .collect();
             if leaves.len() <= best {
                 continue;
             }
@@ -273,7 +287,11 @@ mod tests {
         for _ in 0..5 {
             let g = generators::random_geometric(200, 0.12, &mut rng);
             let s = induced_star_number(&g);
-            assert!(s.value() <= 5, "geometric graph had an induced {}-star", s.value());
+            assert!(
+                s.value() <= 5,
+                "geometric graph had an induced {}-star",
+                s.value()
+            );
         }
     }
 

@@ -20,7 +20,10 @@ pub fn induced_subgraph(g: &Graph, keep: &[usize]) -> (Graph, Vec<usize>) {
     let mut new_index = vec![usize::MAX; n];
     for (new, &old) in keep.iter().enumerate() {
         assert!(old < n, "vertex {old} out of range");
-        assert!(new_index[old] == usize::MAX, "duplicate vertex {old} in keep set");
+        assert!(
+            new_index[old] == usize::MAX,
+            "duplicate vertex {old} in keep set"
+        );
         new_index[old] = new;
     }
     let mut h = Graph::new(keep.len());

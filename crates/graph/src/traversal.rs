@@ -142,7 +142,17 @@ mod tests {
         // Cross-check against the definition on a hand-made graph.
         let g = Graph::from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (4, 6), (6, 7)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (4, 6),
+                (6, 7),
+            ],
         );
         let cc = num_connected_components(&g);
         let expected: Vec<usize> = (0..g.num_vertices())

@@ -54,7 +54,11 @@ impl UnionFind {
         if rx == ry {
             return false;
         }
-        let (hi, lo) = if self.rank[rx] >= self.rank[ry] { (rx, ry) } else { (ry, rx) };
+        let (hi, lo) = if self.rank[rx] >= self.rank[ry] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
         self.parent[lo] = hi;
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;

@@ -12,7 +12,11 @@ pub enum LpError {
     /// A right-hand side was negative; this solver requires `b ≥ 0`.
     NegativeRhs { row: usize },
     /// A constraint row has the wrong number of coefficients.
-    DimensionMismatch { row: usize, expected: usize, got: usize },
+    DimensionMismatch {
+        row: usize,
+        expected: usize,
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for LpError {
@@ -20,9 +24,14 @@ impl std::fmt::Display for LpError {
         match self {
             LpError::Unbounded => write!(f, "objective is unbounded"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
-            LpError::NegativeRhs { row } => write!(f, "constraint {row} has a negative right-hand side"),
+            LpError::NegativeRhs { row } => {
+                write!(f, "constraint {row} has a negative right-hand side")
+            }
             LpError::DimensionMismatch { row, expected, got } => {
-                write!(f, "constraint {row} has {got} coefficients, expected {expected}")
+                write!(
+                    f,
+                    "constraint {row} has {got} coefficients, expected {expected}"
+                )
             }
         }
     }
@@ -61,7 +70,12 @@ impl LinearProgram {
     /// Panics if the objective length does not match `num_vars`.
     pub fn new(num_vars: usize, objective: Vec<f64>) -> Self {
         assert_eq!(objective.len(), num_vars, "objective length mismatch");
-        LinearProgram { num_vars, objective, rows: Vec::new(), rhs: Vec::new() }
+        LinearProgram {
+            num_vars,
+            objective,
+            rows: Vec::new(),
+            rhs: Vec::new(),
+        }
     }
 
     /// Number of structural variables.
@@ -178,7 +192,10 @@ mod tests {
     fn negative_rhs_is_rejected() {
         let mut lp = LinearProgram::new(1, vec![1.0]);
         lp.add_constraint_dense(vec![1.0], -2.0);
-        assert!(matches!(lp.solve().unwrap_err(), LpError::NegativeRhs { row: 0 }));
+        assert!(matches!(
+            lp.solve().unwrap_err(),
+            LpError::NegativeRhs { row: 0 }
+        ));
     }
 
     #[test]

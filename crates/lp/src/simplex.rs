@@ -30,7 +30,10 @@ pub fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpError
     // basis[i] = index of the basic variable of row i (initially the slacks).
     let mut basis: Vec<usize> = (n..n + m).collect();
 
-    let max_iterations = 50 * (n + m + 10);
+    // Bland's rule (below) guarantees termination, so the cap is only an
+    // emergency brake against numerical stalls; degenerate forest-polytope
+    // relaxations routinely need more pivots than the old 50·(n+m+10).
+    let max_iterations = 500 * (n + m + 10);
     let bland_threshold = 10 * (n + m + 10);
     let mut iterations = 0usize;
 
@@ -40,9 +43,9 @@ pub fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpError
             // Dantzig: most negative objective-row coefficient.
             let mut best = None;
             let mut best_val = -EPS;
-            for j in 0..cols - 1 {
-                if tab[m][j] < best_val {
-                    best_val = tab[m][j];
+            for (j, &val) in tab[m][..cols - 1].iter().enumerate() {
+                if val < best_val {
+                    best_val = val;
                     best = Some(j);
                 }
             }
@@ -65,11 +68,9 @@ pub fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpError
                 let better = ratio < best_ratio - EPS
                     || ((ratio - best_ratio).abs() <= EPS
                         && pivot_row.is_some_and(|r: usize| basis[i] < basis[r]));
-                if better || pivot_row.is_none() {
-                    if ratio < best_ratio + EPS {
-                        best_ratio = ratio.min(best_ratio);
-                        pivot_row = Some(i);
-                    }
+                if (better || pivot_row.is_none()) && ratio < best_ratio + EPS {
+                    best_ratio = ratio.min(best_ratio);
+                    pivot_row = Some(i);
                 }
             }
         }
@@ -82,16 +83,15 @@ pub fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpError
         for v in tab[pivot_row].iter_mut() {
             *v /= pivot_val;
         }
-        for i in 0..=m {
-            if i == pivot_row {
-                continue;
-            }
-            let factor = tab[i][pivot_col];
+        let (before, rest) = tab.split_at_mut(pivot_row);
+        let (pivot_row_data, after) = rest.split_first_mut().expect("pivot row in tableau");
+        for row in before.iter_mut().chain(after.iter_mut()) {
+            let factor = row[pivot_col];
             if factor.abs() > EPS {
-                for j in 0..cols {
-                    tab[i][j] -= factor * tab[pivot_row][j];
+                for (t, &p) in row.iter_mut().zip(pivot_row_data.iter()) {
+                    *t -= factor * p;
                 }
-                tab[i][pivot_col] = 0.0;
+                row[pivot_col] = 0.0;
             }
         }
         basis[pivot_row] = pivot_col;
@@ -110,7 +110,11 @@ pub fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpError
         }
     }
     let objective_value = c.iter().zip(&values).map(|(ci, xi)| ci * xi).sum();
-    Ok(LpSolution { objective_value, values, iterations })
+    Ok(LpSolution {
+        objective_value,
+        values,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -124,12 +128,7 @@ mod tests {
     #[test]
     fn simple_maximization() {
         // max 2x + y s.t. x + y ≤ 4, x ≤ 2 -> 6 at (2, 2).
-        let sol = solve(
-            &[2.0, 1.0],
-            &[vec![1.0, 1.0], vec![1.0, 0.0]],
-            &[4.0, 2.0],
-        )
-        .unwrap();
+        let sol = solve(&[2.0, 1.0], &[vec![1.0, 1.0], vec![1.0, 0.0]], &[4.0, 2.0]).unwrap();
         assert!(approx(sol.objective_value, 6.0));
     }
 
@@ -151,7 +150,11 @@ mod tests {
         // the optimum of this classic LP is 2.5 attained at x=0, y=0.5... verify by value.
         let sol = solve(
             &[1.0, 2.0, 3.0],
-            &[vec![1.0, 1.0, 0.0], vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 1.0]],
+            &[
+                vec![1.0, 1.0, 0.0],
+                vec![0.0, 1.0, 1.0],
+                vec![1.0, 0.0, 1.0],
+            ],
             &[1.0, 1.0, 1.0],
         )
         .unwrap();
@@ -168,8 +171,9 @@ mod tests {
             let n = rng.gen_range(1..6);
             let m = rng.gen_range(1..8);
             let c: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..3.0)).collect();
-            let a: Vec<Vec<f64>> =
-                (0..m).map(|_| (0..n).map(|_| rng.gen_range(0.0..2.0)).collect()).collect();
+            let a: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..2.0)).collect())
+                .collect();
             let b: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..5.0)).collect();
             match solve(&c, &a, &b) {
                 Ok(sol) => {

@@ -7,12 +7,9 @@
 //! example builds a synthetic match graph with skewed cluster sizes and compares
 //! the private estimate of the number of entities to the truth across ε.
 //!
-//! Run with: `cargo run --release -p ccdp-core --example population_classes`
+//! Run with: `cargo run --release --example population_classes`
 
-use ccdp_core::PrivateCcEstimator;
-use ccdp_graph::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ccdp::prelude::*;
 
 /// Builds a synthetic record-linkage graph: clusters of duplicate records with a
 /// skewed size distribution, each cluster internally connected by a sparse chain
@@ -56,14 +53,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         truth
     );
 
-    println!("\n{:>8} {:>14} {:>14} {:>12}", "epsilon", "estimate", "abs error", "rel error");
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>12}",
+        "epsilon", "estimate", "abs error", "rel error"
+    );
     for epsilon in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let estimator = PrivateCcEstimator::new(epsilon);
+        let estimator = PrivateCcEstimator::from_config(EstimatorConfig::new(epsilon))?;
         let trials = 5;
         let mut err = 0.0;
         let mut last = 0.0;
         for _ in 0..trials {
-            last = estimator.estimate(&graph, &mut rng)?.value;
+            last = estimator.estimate(&graph, &mut rng)?.value();
             err += (last - truth as f64).abs();
         }
         err /= trials as f64;

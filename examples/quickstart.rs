@@ -1,12 +1,9 @@
 //! Quickstart: release the number of connected components of a graph with
-//! node-differential privacy.
+//! node-differential privacy, through the `ccdp` facade.
 //!
-//! Run with: `cargo run --release -p ccdp-core --example quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
-use ccdp_core::{LipschitzExtension, PrivateCcEstimator};
-use ccdp_graph::generators;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ccdp::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2023);
@@ -15,21 +12,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // isolated individuals -> 120 connected components.
     let graph = generators::planted_star_forest(80, 3, 40);
     let true_cc = graph.num_connected_components();
-    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
     println!("true number of connected components: {true_cc}");
 
     // Release the count with ε = 1 node-differential privacy.
-    let estimator = PrivateCcEstimator::new(1.0);
-    let released = estimator.estimate(&graph, &mut rng)?;
-    println!("ε = 1 node-private estimate:        {:.1}", released.value);
+    let estimator = PrivateCcEstimator::from_config(EstimatorConfig::new(1.0))?;
+    let release = estimator.estimate(&graph, &mut rng)?;
+    println!("ε = 1 node-private estimate:        {:.1}", release.value());
+
+    // Non-private diagnostics exist for experiments, but reading them takes an
+    // explicit acknowledgement — they must never be published.
+    let diagnostics = release.diagnostics(DiagnosticsAccess::acknowledge_non_private());
     println!(
         "  (GEM selected Δ̂ = {}, Laplace scale = {:.2})",
-        released.spanning_forest.selected_delta, released.spanning_forest.noise_scale
+        diagnostics.selected_delta.unwrap_or(0),
+        diagnostics.noise_scale.unwrap_or(f64::NAN),
     );
 
     // The Lipschitz extensions underlying the algorithm can be evaluated directly.
-    println!("\nLipschitz extension family f_Δ(G) (underestimates of f_sf = {}):",
-        graph.spanning_forest_size());
+    println!(
+        "\nLipschitz extension family f_Δ(G) (underestimates of f_sf = {}):",
+        graph.spanning_forest_size()
+    );
     for delta in [1usize, 2, 3, 4, 8] {
         let value = LipschitzExtension::new(delta).evaluate(&graph)?;
         println!("  f_{delta:<2} = {value:.2}");

@@ -5,14 +5,11 @@
 //! additive error Õ(ln ln n / ε) — essentially independent of n. This example
 //! verifies the structural fact and reports the error as n grows.
 //!
-//! Run with: `cargo run --release -p ccdp-core --example sensor_network`
+//! Run with: `cargo run --release --example sensor_network`
 
-use ccdp_core::PrivateCcEstimator;
-use ccdp_graph::forest::delta_star_upper_bound;
-use ccdp_graph::generators;
-use ccdp_graph::stars::induced_star_number;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ccdp::prelude::*;
+use forest::delta_star_upper_bound;
+use stars::induced_star_number;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(42);
@@ -28,11 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let truth = graph.num_connected_components() as f64;
         let star = induced_star_number(&graph);
         let delta_ub = delta_star_upper_bound(&graph);
-        let estimator = PrivateCcEstimator::new(epsilon);
+        let estimator = PrivateCcEstimator::from_config(EstimatorConfig::new(epsilon))?;
         let trials = 5;
         let mut err = 0.0;
         for _ in 0..trials {
-            err += (estimator.estimate(&graph, &mut rng)?.value - truth).abs();
+            err += (estimator.estimate(&graph, &mut rng)?.value() - truth).abs();
         }
         err /= trials as f64;
         println!(

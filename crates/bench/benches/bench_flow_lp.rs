@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks for the max-flow and LP substrates.
+//! Criterion micro-benchmarks for the max-flow, LP and polytope-solver
+//! substrates.
 
 use ccdp_flow::{max_weight_closure, ClosureInstance, FlowNetwork};
-use ccdp_lp::LinearProgram;
+use ccdp_graph::generators;
+use ccdp_lp::{LinearProgram, SolverBackend};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,5 +98,42 @@ fn bench_simplex(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dinic, bench_closure, bench_simplex);
+fn bench_forest_polytope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_polytope");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    // Both backends on a modest instance (the reference simplex backend is
+    // only viable at this scale)…
+    let mut rng = StdRng::seed_from_u64(3);
+    let small = generators::erdos_renyi(40, 3.0 / 40.0, &mut rng);
+    for backend in [SolverBackend::Combinatorial, SolverBackend::Simplex] {
+        group.bench_function(format!("er40_d2_{}", backend.solver().name()), |b| {
+            b.iter(|| backend.solver().solve(&small, 2.0).unwrap().value)
+        });
+    }
+    // …and the default backend on the supercritical giant-component workload
+    // that motivated the solver layer (minutes with the old dense simplex).
+    let giant = generators::erdos_renyi(300, 3.0 / 300.0, &mut rng);
+    for delta in [2.0, 3.0] {
+        group.bench_function(format!("er300_giant_d{delta}_combinatorial"), |b| {
+            b.iter(|| {
+                SolverBackend::Combinatorial
+                    .solver()
+                    .solve(&giant, delta)
+                    .unwrap()
+                    .value
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dinic,
+    bench_closure,
+    bench_simplex,
+    bench_forest_polytope
+);
 criterion_main!(benches);

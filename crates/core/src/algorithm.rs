@@ -21,10 +21,11 @@
 //! call chain, and release typed [`Release`] values whose non-private
 //! diagnostics are gated behind [`DiagnosticsAccess`](crate::DiagnosticsAccess).
 
+use crate::cache::ExtensionCache;
 use crate::config::{ConfigError, EstimatorConfig};
 use crate::error::CcdpError;
 use crate::estimator::Estimator;
-use crate::extension::{evaluate_family, EvaluationPath};
+use crate::extension::{evaluate_family_with, EvaluationPath, ExtensionEvaluation};
 use crate::release::{Diagnostics, Privacy, Release};
 use ccdp_dp::composition::{BudgetExceeded, PrivacyBudget};
 use ccdp_dp::gem::{generalized_exponential_mechanism, power_of_two_grid, GemCandidate};
@@ -36,6 +37,9 @@ use rand::{Rng, RngCore};
 #[derive(Clone, Debug)]
 pub struct PrivateSpanningForestEstimator {
     config: EstimatorConfig,
+    /// Memo for the deterministic family evaluation (`None` when disabled).
+    /// Clones share it, so a cloned serving fleet warms one cache.
+    family_cache: Option<std::sync::Arc<ExtensionCache>>,
 }
 
 impl PrivateSpanningForestEstimator {
@@ -50,7 +54,11 @@ impl PrivateSpanningForestEstimator {
     /// Creates an estimator from a validated configuration.
     pub fn from_config(config: EstimatorConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        Ok(PrivateSpanningForestEstimator { config })
+        let family_cache = config.resolve_family_cache();
+        Ok(PrivateSpanningForestEstimator {
+            config,
+            family_cache,
+        })
     }
 
     /// The privacy parameter ε.
@@ -61,6 +69,26 @@ impl PrivateSpanningForestEstimator {
     /// The configuration this estimator runs with.
     pub fn config(&self) -> &EstimatorConfig {
         &self.config
+    }
+
+    /// The family cache this estimator consults, if caching is enabled.
+    pub fn family_cache(&self) -> Option<&std::sync::Arc<ExtensionCache>> {
+        self.family_cache.as_ref()
+    }
+
+    /// Evaluates the family through the cache (or directly when disabled).
+    /// Returns a shared handle so cache hits copy nothing — each evaluation
+    /// carries per-Δ LP details that would otherwise be cloned per estimate.
+    fn family(
+        &self,
+        g: &Graph,
+        grid: &[usize],
+    ) -> Result<std::sync::Arc<Vec<ExtensionEvaluation>>, CcdpError> {
+        let backend = self.config.solver();
+        match &self.family_cache {
+            Some(cache) => Ok(cache.evaluate_family(g, grid, backend)?),
+            None => Ok(std::sync::Arc::new(evaluate_family_with(g, grid, backend)?)),
+        }
     }
 
     /// Runs Algorithm 1 on `g` and returns the private release of `f_sf(G)`.
@@ -101,13 +129,13 @@ impl PrivateSpanningForestEstimator {
         // degenerates to {1}, the extension value to 0.
         let delta_max = self.config.delta_max().unwrap_or(n).min(n.max(1));
         let grid = power_of_two_grid(delta_max);
-        let evals = evaluate_family(g, &grid)?;
+        let evals = self.family(g, &grid)?;
         let used_lp = evals
             .iter()
             .any(|e| e.path == EvaluationPath::LinearProgram);
         let candidates: Vec<GemCandidate> = grid
             .iter()
-            .zip(&evals)
+            .zip(evals.iter())
             .map(|(&d, e)| GemCandidate {
                 delta: d as f64,
                 value: e.value,

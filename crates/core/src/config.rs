@@ -7,7 +7,10 @@
 //! and reports typed [`ConfigError`]s so services can reject bad requests
 //! without catching panics.
 
+use crate::cache::ExtensionCache;
+use ccdp_lp::SolverBackend;
 use std::fmt;
+use std::sync::Arc;
 
 /// Typed validation errors produced by [`EstimatorConfig::validate`] and the
 /// estimator constructors.
@@ -83,12 +86,32 @@ impl std::error::Error for ConfigError {}
 /// let bad = EstimatorConfig::new(1.0).with_beta(1.5);
 /// assert_eq!(bad.validate(), Err(ConfigError::InvalidBeta { value: 1.5 }));
 /// ```
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct EstimatorConfig {
     epsilon: f64,
     beta: Option<f64>,
     delta_max: Option<usize>,
     node_count_fraction: f64,
+    solver: SolverBackend,
+    family_cache_enabled: bool,
+    shared_family_cache: Option<Arc<ExtensionCache>>,
+}
+
+impl PartialEq for EstimatorConfig {
+    fn eq(&self, other: &Self) -> bool {
+        let same_cache = match (&self.shared_family_cache, &other.shared_family_cache) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.epsilon == other.epsilon
+            && self.beta == other.beta
+            && self.delta_max == other.delta_max
+            && self.node_count_fraction == other.node_count_fraction
+            && self.solver == other.solver
+            && self.family_cache_enabled == other.family_cache_enabled
+            && same_cache
+    }
 }
 
 impl EstimatorConfig {
@@ -103,6 +126,9 @@ impl EstimatorConfig {
             beta: None,
             delta_max: None,
             node_count_fraction: Self::DEFAULT_NODE_COUNT_FRACTION,
+            solver: SolverBackend::default(),
+            family_cache_enabled: true,
+            shared_family_cache: None,
         }
     }
 
@@ -128,6 +154,33 @@ impl EstimatorConfig {
         self
     }
 
+    /// Selects the forest-polytope solver backend (default
+    /// [`SolverBackend::Combinatorial`]).
+    ///
+    /// A public, data-independent implementation choice: both backends are
+    /// exact, so this affects runtime only, never privacy or accuracy.
+    pub fn with_solver(mut self, solver: SolverBackend) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Enables or disables the per-estimator Lipschitz-extension family cache
+    /// (default enabled). Caching only memoizes a deterministic,
+    /// never-released intermediate, so it does not affect privacy.
+    pub fn with_family_caching(mut self, enabled: bool) -> Self {
+        self.family_cache_enabled = enabled;
+        self
+    }
+
+    /// Shares an existing [`ExtensionCache`] across estimators (e.g. one
+    /// cache for a whole serving fleet answering queries about the same
+    /// graphs). Implies family caching is enabled.
+    pub fn with_shared_family_cache(mut self, cache: Arc<ExtensionCache>) -> Self {
+        self.family_cache_enabled = true;
+        self.shared_family_cache = Some(cache);
+        self
+    }
+
     /// The total privacy parameter ε.
     pub fn epsilon(&self) -> f64 {
         self.epsilon
@@ -146,6 +199,35 @@ impl EstimatorConfig {
     /// The node-count budget fraction.
     pub fn node_count_fraction(&self) -> f64 {
         self.node_count_fraction
+    }
+
+    /// The selected forest-polytope solver backend.
+    pub fn solver(&self) -> SolverBackend {
+        self.solver
+    }
+
+    /// Whether the family cache is enabled.
+    pub fn family_caching(&self) -> bool {
+        self.family_cache_enabled
+    }
+
+    /// The shared family cache, if one was supplied.
+    pub fn shared_family_cache(&self) -> Option<&Arc<ExtensionCache>> {
+        self.shared_family_cache.as_ref()
+    }
+
+    /// Resolves the family cache this configuration asks for: the shared one
+    /// if supplied, a fresh private one if caching is enabled, `None` if
+    /// disabled. Called once per estimator construction.
+    pub(crate) fn resolve_family_cache(&self) -> Option<Arc<ExtensionCache>> {
+        if !self.family_cache_enabled {
+            return None;
+        }
+        Some(
+            self.shared_family_cache
+                .clone()
+                .unwrap_or_else(|| Arc::new(ExtensionCache::default())),
+        )
     }
 
     /// The β to use on an `n`-vertex graph: the override if set, otherwise the
@@ -255,5 +337,46 @@ mod tests {
     fn display_messages_name_the_offender() {
         let msg = ConfigError::InvalidBeta { value: 3.0 }.to_string();
         assert!(msg.contains("beta") && msg.contains('3'));
+    }
+
+    #[test]
+    fn solver_backend_defaults_to_combinatorial_and_is_selectable() {
+        let config = EstimatorConfig::new(1.0);
+        assert_eq!(config.solver(), SolverBackend::Combinatorial);
+        let config = config.with_solver(SolverBackend::Simplex);
+        assert_eq!(config.solver(), SolverBackend::Simplex);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn family_cache_resolution_honors_the_knobs() {
+        // Default: caching on, fresh private cache.
+        assert!(EstimatorConfig::new(1.0).resolve_family_cache().is_some());
+        // Disabled: no cache.
+        assert!(EstimatorConfig::new(1.0)
+            .with_family_caching(false)
+            .resolve_family_cache()
+            .is_none());
+        // Shared: the supplied handle is returned.
+        let shared = Arc::new(ExtensionCache::default());
+        let resolved = EstimatorConfig::new(1.0)
+            .with_shared_family_cache(Arc::clone(&shared))
+            .resolve_family_cache()
+            .unwrap();
+        assert!(Arc::ptr_eq(&shared, &resolved));
+    }
+
+    #[test]
+    fn config_equality_accounts_for_the_new_fields() {
+        assert_eq!(EstimatorConfig::new(1.0), EstimatorConfig::new(1.0));
+        assert_ne!(
+            EstimatorConfig::new(1.0),
+            EstimatorConfig::new(1.0).with_solver(SolverBackend::Simplex)
+        );
+        let shared = Arc::new(ExtensionCache::default());
+        assert_eq!(
+            EstimatorConfig::new(1.0).with_shared_family_cache(Arc::clone(&shared)),
+            EstimatorConfig::new(1.0).with_shared_family_cache(shared)
+        );
     }
 }

@@ -29,6 +29,9 @@
 //!   Theorem 1.11), since it is Δ-Lipschitz,
 //! * cross-checking the polytope-based extension on small instances.
 
+use crate::error::CoreError;
+use crate::extension::LipschitzExtension;
+use crate::polytope::SolverBackend;
 use ccdp_graph::subgraph::{all_vertex_subsets, induced_subgraph};
 use ccdp_graph::Graph;
 
@@ -54,6 +57,31 @@ where
 /// The down-sensitivity-based extension of `f_sf` with parameter `delta`.
 pub fn downsens_extension_fsf(g: &Graph, delta: usize) -> f64 {
     downsens_extension(g, delta as f64, |h| h.spanning_forest_size() as f64)
+}
+
+/// The McShane step applied to the *polytope-based* extension `f_Δ` itself,
+/// evaluated through the selected [`PolytopeSolver`](crate::PolytopeSolver)
+/// backend: `min over induced H ⪯ G of f_Δ(H) + Δ · d(H, G)`.
+///
+/// Because `f_Δ` is already Δ-Lipschitz with respect to node distance
+/// (Lemma 3.3), this minimum is attained at `H = G` and the function equals
+/// `f_Δ(G)` exactly — which makes it a sharp exponential-time cross-check of
+/// a solver backend: any non-Lipschitz glitch in a backend's values shows up
+/// as a strict gap. Intended for graphs with at most ~15 vertices.
+pub fn downsens_extension_fdelta(
+    g: &Graph,
+    delta: usize,
+    backend: SolverBackend,
+) -> Result<f64, CoreError> {
+    let ext = LipschitzExtension::new(delta).with_backend(backend);
+    let n = g.num_vertices() as f64;
+    let mut best = f64::INFINITY;
+    for subset in all_vertex_subsets(g) {
+        let (h, _) = induced_subgraph(g, &subset);
+        let distance = n - subset.len() as f64;
+        best = best.min(ext.evaluate(&h)? + delta as f64 * distance);
+    }
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -193,5 +221,49 @@ mod tests {
         let g = generators::cycle(5);
         let generic = downsens_extension(&g, 2.0, |h| h.spanning_forest_size() as f64);
         assert!(approx(generic, downsens_extension_fsf(&g, 2)));
+    }
+
+    #[test]
+    fn mcshane_step_is_the_identity_on_fdelta_for_both_backends() {
+        // f_Δ is Δ-Lipschitz, so min_H f_Δ(H) + Δ·d(H, G) = f_Δ(G) exactly;
+        // a strict gap would expose a non-Lipschitz backend bug.
+        let mut rng = StdRng::seed_from_u64(61);
+        let approx5 = |a: f64, b: f64| (a - b).abs() < 1e-5;
+        for _ in 0..3 {
+            let g = generators::erdos_renyi(7, 0.4, &mut rng);
+            for delta in 1..=3usize {
+                for backend in [SolverBackend::Combinatorial, SolverBackend::Simplex] {
+                    let direct = crate::extension::LipschitzExtension::new(delta)
+                        .with_backend(backend)
+                        .evaluate(&g)
+                        .unwrap();
+                    let mcshane = downsens_extension_fdelta(&g, delta, backend).unwrap();
+                    assert!(
+                        approx5(direct, mcshane),
+                        "{backend:?} Δ={delta}: f_Δ={direct} vs McShane={mcshane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downsens_extension_dominates_the_polytope_extension() {
+        // b f_Δ is the largest Δ-Lipschitz underestimate over the induced
+        // order, so it dominates f_Δ pointwise.
+        let mut rng = StdRng::seed_from_u64(63);
+        for _ in 0..5 {
+            let g = generators::erdos_renyi(7, 0.4, &mut rng);
+            for delta in 1..=3usize {
+                let fdelta = crate::extension::LipschitzExtension::new(delta)
+                    .evaluate(&g)
+                    .unwrap();
+                let bf = downsens_extension_fsf(&g, delta);
+                assert!(
+                    fdelta <= bf + 1e-6,
+                    "Δ={delta}: f_Δ = {fdelta} exceeds b f_Δ = {bf}"
+                );
+            }
+        }
     }
 }

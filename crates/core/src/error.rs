@@ -3,7 +3,7 @@
 
 use crate::config::ConfigError;
 use ccdp_dp::composition::BudgetExceeded;
-use ccdp_lp::LpError;
+use ccdp_lp::{LpError, PolytopeError};
 
 /// Errors surfaced by the core algorithms (extension evaluation and the
 /// constraint-generation loop).
@@ -47,6 +47,20 @@ impl std::error::Error for CoreError {
 impl From<LpError> for CoreError {
     fn from(e: LpError) -> Self {
         CoreError::Lp(e)
+    }
+}
+
+impl From<PolytopeError> for CoreError {
+    fn from(e: PolytopeError) -> Self {
+        match e {
+            PolytopeError::InvalidDelta { delta } => {
+                CoreError::InvalidParameter(format!("delta must be positive, got {delta}"))
+            }
+            PolytopeError::Lp(lp) => CoreError::Lp(lp),
+            PolytopeError::SeparationDidNotConverge { rounds } => {
+                CoreError::SeparationDidNotConverge { rounds }
+            }
+        }
     }
 }
 

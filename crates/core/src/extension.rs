@@ -15,7 +15,7 @@
 //! analysis targets; the LP is only exercised when Δ is below the graph's Δ*.
 
 use crate::error::CoreError;
-use crate::polytope::{forest_polytope_max, PolytopeSolution};
+use crate::polytope::{forest_polytope_max_with, PolytopeSolution, SolverBackend};
 use ccdp_graph::forest::bounded_degree_spanning_forest;
 use ccdp_graph::Graph;
 
@@ -46,10 +46,12 @@ pub struct ExtensionEvaluation {
 pub struct LipschitzExtension {
     delta: usize,
     use_fast_path: bool,
+    backend: SolverBackend,
 }
 
 impl LipschitzExtension {
-    /// Creates the extension with Lipschitz parameter `delta ≥ 1`.
+    /// Creates the extension with Lipschitz parameter `delta ≥ 1`, evaluated
+    /// with the default (combinatorial) polytope backend.
     ///
     /// # Panics
     /// Panics if `delta == 0`.
@@ -58,19 +60,31 @@ impl LipschitzExtension {
         LipschitzExtension {
             delta,
             use_fast_path: true,
+            backend: SolverBackend::default(),
         }
     }
 
-    /// Disables the spanning-forest fast path so that the LP is always solved
-    /// (used by tests and the runtime ablation experiment).
+    /// Disables the spanning-forest fast path so that the polytope is always
+    /// maximized (used by tests and the runtime ablation experiment).
     pub fn without_fast_path(mut self) -> Self {
         self.use_fast_path = false;
+        self
+    }
+
+    /// Selects the polytope solver backend used on the non-anchored path.
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
         self
     }
 
     /// The Lipschitz parameter Δ.
     pub fn delta(&self) -> usize {
         self.delta
+    }
+
+    /// The polytope solver backend.
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
     }
 
     /// Evaluates `f_Δ(G)` (this is `EvalLipschitzExtension` of Algorithm 2).
@@ -99,7 +113,7 @@ impl LipschitzExtension {
                 lp: None,
             });
         }
-        let lp = forest_polytope_max(g, self.delta as f64)?;
+        let lp = forest_polytope_max_with(g, self.delta as f64, self.backend)?;
         Ok(ExtensionEvaluation {
             value: lp.value,
             delta: self.delta,
@@ -109,17 +123,33 @@ impl LipschitzExtension {
     }
 }
 
-/// Evaluates the whole family `{f_Δ}` on the given grid of Δ values.
+/// Evaluates the whole family `{f_Δ}` on the given grid of Δ values with the
+/// default (combinatorial) backend.
 ///
 /// This is the loop of Algorithm 4 (steps 2–4) that feeds the Generalized
 /// Exponential Mechanism. Values are clamped to be monotone non-decreasing in Δ,
 /// which they are mathematically (Lemma 3.3) but may fail to be by a hair
 /// numerically when different Δ values take different evaluation paths.
 pub fn evaluate_family(g: &Graph, grid: &[usize]) -> Result<Vec<ExtensionEvaluation>, CoreError> {
+    evaluate_family_with(g, grid, SolverBackend::default())
+}
+
+/// [`evaluate_family`] with an explicitly selected polytope solver backend.
+///
+/// Repeated evaluations of the same graph should go through
+/// [`ExtensionCache`](crate::cache::ExtensionCache) instead, which wraps this
+/// function with a graph-keyed memo.
+pub fn evaluate_family_with(
+    g: &Graph,
+    grid: &[usize],
+    backend: SolverBackend,
+) -> Result<Vec<ExtensionEvaluation>, CoreError> {
     let mut out = Vec::with_capacity(grid.len());
     let mut running_max = 0.0f64;
     for &delta in grid {
-        let mut eval = LipschitzExtension::new(delta).evaluate_detailed(g)?;
+        let mut eval = LipschitzExtension::new(delta)
+            .with_backend(backend)
+            .evaluate_detailed(g)?;
         running_max = running_max.max(eval.value);
         eval.value = running_max;
         out.push(eval);
@@ -266,5 +296,27 @@ mod tests {
     #[should_panic]
     fn zero_delta_is_rejected() {
         LipschitzExtension::new(0);
+    }
+
+    #[test]
+    fn backends_agree_through_the_extension() {
+        // The solver backends are interchangeable behind the extension: same
+        // values on the LP path (the fast path never consults the solver).
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..4 {
+            let g = generators::erdos_renyi(10, 0.35, &mut rng);
+            for delta in 1..=3usize {
+                let comb = LipschitzExtension::new(delta)
+                    .without_fast_path()
+                    .evaluate(&g)
+                    .unwrap();
+                let simp = LipschitzExtension::new(delta)
+                    .without_fast_path()
+                    .with_backend(SolverBackend::Simplex)
+                    .evaluate(&g)
+                    .unwrap();
+                assert!(approx(comb, simp), "Δ={delta}: {comb} vs {simp}");
+            }
+        }
     }
 }

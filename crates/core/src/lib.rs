@@ -51,10 +51,14 @@
 //!   [`ConfigError`] validation.
 //! * [`error`] — [`CoreError`] (algorithm internals) and the unified
 //!   [`CcdpError`] returned by every estimator.
-//! * [`polytope`] — the Δ-bounded forest polytope LP with its min-cut separation
-//!   oracle (Definition 3.1, Padberg–Wolsey separation).
+//! * [`polytope`] — the Δ-bounded forest polytope (Definition 3.1) behind the
+//!   pluggable [`PolytopeSolver`] trait: a combinatorial backend (default) and
+//!   a warm-started cutting-plane simplex backend, selected by
+//!   [`SolverBackend`].
 //! * [`extension`] — the Lipschitz extension family `{f_Δ}` (Lemma 3.3) with the
 //!   spanning-forest fast path.
+//! * [`cache`] — the graph-keyed [`ExtensionCache`] that makes repeated
+//!   `estimate()` calls on the same graph ~20× cheaper.
 //! * [`algorithm`] — Algorithm 1 (private spanning-forest size) and the derived
 //!   connected-components estimator, threading one
 //!   [`PrivacyBudget`](ccdp_dp::PrivacyBudget) accountant through both stages.
@@ -69,6 +73,7 @@ pub mod accuracy;
 pub mod algorithm;
 pub mod anchor;
 pub mod baselines;
+pub mod cache;
 pub mod config;
 pub mod downsens_extension;
 pub mod error;
@@ -81,10 +86,17 @@ pub use accuracy::{measure_errors, ErrorStats};
 pub use algorithm::{PrivateCcEstimator, PrivateSpanningForestEstimator};
 pub use anchor::{in_anchor_set, in_optimal_monotone_anchor_set, smallest_anchor_delta};
 pub use baselines::{EdgeDpBaseline, FixedDeltaBaseline, NaiveNodeDpBaseline, NonPrivateBaseline};
+pub use cache::{CacheStats, ExtensionCache};
 pub use config::{ConfigError, EstimatorConfig};
-pub use downsens_extension::{downsens_extension, downsens_extension_fsf};
+pub use downsens_extension::{
+    downsens_extension, downsens_extension_fdelta, downsens_extension_fsf,
+};
 pub use error::{CcdpError, CoreError};
 pub use estimator::Estimator;
-pub use extension::{evaluate_family, EvaluationPath, ExtensionEvaluation, LipschitzExtension};
-pub use polytope::{forest_polytope_max, PolytopeSolution};
+pub use extension::{
+    evaluate_family, evaluate_family_with, EvaluationPath, ExtensionEvaluation, LipschitzExtension,
+};
+pub use polytope::{
+    forest_polytope_max, forest_polytope_max_with, PolytopeSolution, PolytopeSolver, SolverBackend,
+};
 pub use release::{Diagnostics, DiagnosticsAccess, Privacy, Release};

@@ -1,5 +1,5 @@
-//! The Δ-bounded forest polytope (Definition 3.1) and its optimization by
-//! constraint generation.
+//! The Δ-bounded forest polytope (Definition 3.1) — core-layer facade over
+//! the pluggable solver stack in `ccdp_lp`.
 //!
 //! For a graph `G = (V, E)` and a bound `Δ > 0`, the polytope `P_Δ(G) ⊆ R^E`
 //! consists of all `x ≥ 0` with
@@ -9,250 +9,48 @@
 //!
 //! and the Lipschitz extension is `f_Δ(G) = max_{x ∈ P_Δ(G)} x(E)`.
 //!
-//! The forest constraints are exponentially many, so we solve the LP by cutting
-//! planes: start with the degree constraints, the per-edge bounds `x_e ≤ 1`
-//! (the `|S| = 2` forest constraints) and the full-vertex-set constraint, then
-//! repeatedly call a separation oracle that finds a violated forest constraint and
-//! re-solve. The separation problem — maximize `x(E[S]) − (|S| − 1)` over sets `S`
-//! containing a fixed root — is a maximum-weight-closure (project-selection)
-//! problem and is solved exactly with one min-cut per root (Padberg–Wolsey's
-//! observation that this family of constraints admits a polynomial separation
-//! oracle).
+//! The maximization itself lives behind the [`PolytopeSolver`] trait in
+//! `ccdp_lp` with two exact backends, selected by [`SolverBackend`]:
+//!
+//! * [`SolverBackend::Combinatorial`] (default) — certified combinatorial
+//!   reductions (fractional leaf peeling, capped Kruskal greedy, Lemma 1.8
+//!   local repair) with a warm-started cutting-plane fallback for the
+//!   irreducible fractional core;
+//! * [`SolverBackend::Simplex`] — pure cutting planes over the incremental
+//!   simplex with the min-cut separation oracle (Padberg–Wolsey).
 //!
 //! Everything is per-connected-component: the objective and all constraints
-//! decompose, which keeps the LPs small.
+//! decompose, which keeps the subproblems small.
 
 use crate::error::CoreError;
-use ccdp_flow::{max_weight_closure, ClosureInstance};
-use ccdp_graph::components::components;
-use ccdp_graph::subgraph::induced_subgraph;
 use ccdp_graph::Graph;
-use ccdp_lp::LinearProgram;
+pub use ccdp_lp::{PolytopeSolution, PolytopeSolver, SolverBackend};
 
-/// Tolerance for constraint violation in the separation oracle.
-const VIOLATION_TOL: f64 = 1e-6;
-/// Safety bound on cutting-plane rounds per component.
-const MAX_ROUNDS: usize = 400;
-/// Most-violated cuts admitted per round. Empirically (supercritical
-/// Erdős–Rényi, Δ just below Δ*) larger budgets inflate the dense tableau and
-/// slow every subsequent from-scratch re-solve more than they save in rounds;
-/// 5 is the measured sweet spot for the current simplex.
-const MAX_CUTS_PER_ROUND: usize = 5;
-
-/// Result of maximizing `x(E)` over the Δ-bounded forest polytope.
-#[derive(Clone, Debug)]
-pub struct PolytopeSolution {
-    /// The optimum `f_Δ(G)`.
-    pub value: f64,
-    /// Optimal edge weights, indexed like [`Graph::edge_vec`].
-    pub edge_weights: Vec<f64>,
-    /// Number of violated forest constraints that had to be generated.
-    pub generated_cuts: usize,
-    /// Total simplex pivots across all LP re-solves.
-    pub lp_iterations: usize,
-    /// Number of LP solves (including re-solves after adding cuts).
-    pub lp_solves: usize,
-}
-
-/// Maximizes `x(E)` over the Δ-bounded forest polytope of `g`.
+/// Maximizes `x(E)` over the Δ-bounded forest polytope of `g` with the
+/// default (combinatorial) backend.
 ///
-/// `delta` may be fractional (the polytope is defined for any `Δ > 0`), although
-/// the paper's algorithm only uses integer values.
+/// `delta` may be fractional (the polytope is defined for any `Δ > 0`),
+/// although the paper's algorithm only uses integer values.
 pub fn forest_polytope_max(g: &Graph, delta: f64) -> Result<PolytopeSolution, CoreError> {
-    if delta <= 0.0 || !delta.is_finite() {
-        return Err(CoreError::InvalidParameter(format!(
-            "delta must be positive, got {delta}"
-        )));
-    }
-    let all_edges = g.edge_vec();
-    let edge_index: std::collections::HashMap<(usize, usize), usize> = all_edges
-        .iter()
-        .copied()
-        .enumerate()
-        .map(|(i, e)| (e, i))
-        .collect();
-
-    let mut total_value = 0.0;
-    let mut edge_weights = vec![0.0; all_edges.len()];
-    let mut generated_cuts = 0;
-    let mut lp_iterations = 0;
-    let mut lp_solves = 0;
-
-    for comp in components(g) {
-        if comp.len() < 2 {
-            continue;
-        }
-        let (local, map) = induced_subgraph(g, &comp);
-        if local.has_no_edges() {
-            continue;
-        }
-        let sol = solve_component(&local, delta)?;
-        total_value += sol.value;
-        generated_cuts += sol.generated_cuts;
-        lp_iterations += sol.lp_iterations;
-        lp_solves += sol.lp_solves;
-        for ((lu, lv), w) in local.edge_vec().into_iter().zip(sol.edge_weights) {
-            let (gu, gv) = (map[lu], map[lv]);
-            let key = if gu < gv { (gu, gv) } else { (gv, gu) };
-            edge_weights[edge_index[&key]] = w;
-        }
-    }
-
-    Ok(PolytopeSolution {
-        value: total_value,
-        edge_weights,
-        generated_cuts,
-        lp_iterations,
-        lp_solves,
-    })
+    forest_polytope_max_with(g, delta, SolverBackend::default())
 }
 
-/// Solves one connected component (must have at least one edge).
-fn solve_component(g: &Graph, delta: f64) -> Result<PolytopeSolution, CoreError> {
-    let n = g.num_vertices();
-    let edges = g.edge_vec();
-    let m = edges.len();
-
-    let mut lp = LinearProgram::new(m, vec![1.0; m]);
-    // Degree constraints x(δ(v)) ≤ Δ.
-    for v in 0..n {
-        let terms: Vec<(usize, f64)> = edges
-            .iter()
-            .enumerate()
-            .filter(|(_, &(a, b))| a == v || b == v)
-            .map(|(i, _)| (i, 1.0))
-            .collect();
-        if !terms.is_empty() {
-            lp.add_constraint_sparse(&terms, delta);
-        }
-    }
-    // Per-edge bounds (the |S| = 2 forest constraints).
-    for i in 0..m {
-        lp.add_constraint_sparse(&[(i, 1.0)], 1.0);
-    }
-    // Whole-component constraint x(E) ≤ n − 1.
-    lp.add_constraint_sparse(
-        &(0..m).map(|i| (i, 1.0)).collect::<Vec<_>>(),
-        (n - 1) as f64,
-    );
-
-    let mut generated_cuts = 0;
-    let mut lp_iterations = 0;
-    let mut seen_cuts: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
-
-    for round in 0..MAX_ROUNDS {
-        let sol = lp.solve()?;
-        lp_iterations += sol.iterations;
-        let violated = find_violated_forest_constraints(g, &edges, &sol.values);
-        let mut added = false;
-        for set in violated {
-            if seen_cuts.insert(set.clone()) {
-                let terms: Vec<(usize, f64)> = edges
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &(a, b))| {
-                        set.binary_search(&a).is_ok() && set.binary_search(&b).is_ok()
-                    })
-                    .map(|(i, _)| (i, 1.0))
-                    .collect();
-                lp.add_constraint_sparse(&terms, (set.len() - 1) as f64);
-                generated_cuts += 1;
-                added = true;
-            }
-        }
-        if !added {
-            return Ok(PolytopeSolution {
-                value: sol.objective_value,
-                edge_weights: sol.values,
-                generated_cuts,
-                lp_iterations,
-                lp_solves: round + 1,
-            });
-        }
-    }
-    Err(CoreError::SeparationDidNotConverge { rounds: MAX_ROUNDS })
-}
-
-/// Separation oracle: returns vertex sets `S` (sorted) whose forest constraint
-/// `x(E[S]) ≤ |S| − 1` is violated by `x`, or an empty vector if none is.
-///
-/// For each root `r` it solves a maximum-weight-closure instance whose optimum is
-/// `max_{S ∋ r} [x(E[S]) − |S| + 1]`; a positive optimum certifies a violation and
-/// the optimal closure yields the violating set.
-fn find_violated_forest_constraints(
+/// Maximizes `x(E)` over the Δ-bounded forest polytope of `g` with an
+/// explicitly selected backend.
+pub fn forest_polytope_max_with(
     g: &Graph,
-    edges: &[(usize, usize)],
-    x: &[f64],
-) -> Vec<Vec<usize>> {
-    let n = g.num_vertices();
-    let mut results: Vec<Vec<usize>> = Vec::new();
-    let mut best_per_root: Vec<(f64, Vec<usize>)> = Vec::new();
-
-    for root in 0..n {
-        if g.degree(root) == 0 {
-            continue;
-        }
-        let mut inst = ClosureInstance::new();
-        // One item per non-root vertex, cost 1.
-        let mut vertex_item = vec![usize::MAX; n];
-        for (v, item) in vertex_item.iter_mut().enumerate() {
-            if v != root {
-                *item = inst.add_item(-1.0);
-            }
-        }
-        // One item per edge with positive weight; edges incident to the root only
-        // require their non-root endpoint.
-        let mut useful = false;
-        for (i, &(a, b)) in edges.iter().enumerate() {
-            if x[i] <= VIOLATION_TOL {
-                continue;
-            }
-            let e = inst.add_item(x[i]);
-            if a != root {
-                inst.add_requirement(e, vertex_item[a]);
-            }
-            if b != root {
-                inst.add_requirement(e, vertex_item[b]);
-            }
-            useful = true;
-        }
-        if !useful {
-            continue;
-        }
-        let closure = max_weight_closure(&inst);
-        // closure.weight = max_{S ∋ root} x(E[S]) − (|S| − 1).
-        if closure.weight > VIOLATION_TOL {
-            let mut set: Vec<usize> = vec![root];
-            for (v, &item) in vertex_item.iter().enumerate() {
-                if v != root && closure.selected[item] {
-                    set.push(v);
-                }
-            }
-            set.sort_unstable();
-            if set.len() >= 2 {
-                best_per_root.push((closure.weight, set));
-            }
-        }
-    }
-
-    // Keep the most violated few cuts (adding every root's cut is wasteful since
-    // many coincide).
-    best_per_root.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-    for (_, set) in best_per_root.into_iter() {
-        if !results.contains(&set) {
-            results.push(set);
-        }
-        if results.len() >= MAX_CUTS_PER_ROUND {
-            break;
-        }
-    }
-    results
+    delta: f64,
+    backend: SolverBackend,
+) -> Result<PolytopeSolution, CoreError> {
+    backend.solver().solve(g, delta).map_err(CoreError::from)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ccdp_graph::generators;
+
+    const BACKENDS: [SolverBackend; 2] = [SolverBackend::Combinatorial, SolverBackend::Simplex];
 
     fn approx(a: f64, b: f64) -> bool {
         (a - b).abs() < 1e-5
@@ -261,39 +59,62 @@ mod tests {
     #[test]
     fn empty_graph_has_value_zero() {
         let g = Graph::new(5);
-        let sol = forest_polytope_max(&g, 3.0).unwrap();
-        assert!(approx(sol.value, 0.0));
+        for backend in BACKENDS {
+            let sol = forest_polytope_max_with(&g, 3.0, backend).unwrap();
+            assert!(approx(sol.value, 0.0));
+        }
     }
 
     #[test]
     fn single_edge_value_is_min_of_one_and_delta() {
         let g = Graph::from_edges(2, &[(0, 1)]);
-        assert!(approx(forest_polytope_max(&g, 1.0).unwrap().value, 1.0));
-        assert!(approx(forest_polytope_max(&g, 0.5).unwrap().value, 0.5));
-        assert!(approx(forest_polytope_max(&g, 4.0).unwrap().value, 1.0));
+        for backend in BACKENDS {
+            assert!(approx(
+                forest_polytope_max_with(&g, 1.0, backend).unwrap().value,
+                1.0
+            ));
+            assert!(approx(
+                forest_polytope_max_with(&g, 0.5, backend).unwrap().value,
+                0.5
+            ));
+            assert!(approx(
+                forest_polytope_max_with(&g, 4.0, backend).unwrap().value,
+                1.0
+            ));
+        }
     }
 
     #[test]
     fn triangle_with_large_delta_gives_spanning_tree_size() {
         let g = generators::cycle(3);
-        let sol = forest_polytope_max(&g, 2.0).unwrap();
-        assert!(approx(sol.value, 2.0));
+        for backend in BACKENDS {
+            let sol = forest_polytope_max_with(&g, 2.0, backend).unwrap();
+            assert!(approx(sol.value, 2.0));
+        }
     }
 
     #[test]
     fn star_value_is_capped_by_delta() {
         // K_{1,5}: the center's degree constraint caps the objective at Δ.
         let g = generators::star(5);
-        for delta in [1.0, 2.0, 3.0, 4.0] {
-            let sol = forest_polytope_max(&g, delta).unwrap();
-            assert!(
-                approx(sol.value, delta),
-                "star value {} != delta {delta}",
-                sol.value
-            );
+        for backend in BACKENDS {
+            for delta in [1.0, 2.0, 3.0, 4.0] {
+                let sol = forest_polytope_max_with(&g, delta, backend).unwrap();
+                assert!(
+                    approx(sol.value, delta),
+                    "star value {} != delta {delta} ({backend:?})",
+                    sol.value
+                );
+            }
+            assert!(approx(
+                forest_polytope_max_with(&g, 5.0, backend).unwrap().value,
+                5.0
+            ));
+            assert!(approx(
+                forest_polytope_max_with(&g, 7.0, backend).unwrap().value,
+                5.0
+            ));
         }
-        assert!(approx(forest_polytope_max(&g, 5.0).unwrap().value, 5.0));
-        assert!(approx(forest_polytope_max(&g, 7.0).unwrap().value, 5.0));
     }
 
     #[test]
@@ -301,58 +122,66 @@ mod tests {
         // K_4 with Δ = 3: without forest constraints the degree bound would allow
         // x(E) = 6, but the spanning-tree bound caps it at 3.
         let g = generators::complete(4);
-        let sol = forest_polytope_max(&g, 3.0).unwrap();
-        assert!(approx(sol.value, 3.0), "K4 value was {}", sol.value);
-        // With Δ = 1 the answer is the fractional matching bound: each vertex has
-        // degree weight ≤ 1, so x(E) ≤ 4/2 = 2.
-        let sol1 = forest_polytope_max(&g, 1.0).unwrap();
-        assert!(
-            approx(sol1.value, 2.0),
-            "K4 with delta=1 was {}",
-            sol1.value
-        );
+        for backend in BACKENDS {
+            let sol = forest_polytope_max_with(&g, 3.0, backend).unwrap();
+            assert!(approx(sol.value, 3.0), "K4 value was {}", sol.value);
+            // With Δ = 1 the answer is the fractional matching bound: each vertex
+            // has degree weight ≤ 1, so x(E) ≤ 4/2 = 2.
+            let sol1 = forest_polytope_max_with(&g, 1.0, backend).unwrap();
+            assert!(
+                approx(sol1.value, 2.0),
+                "K4 with delta=1 was {}",
+                sol1.value
+            );
+        }
     }
 
     #[test]
     fn two_components_decompose() {
         let g = generators::disjoint_union(&generators::cycle(3), &generators::star(3));
-        let sol = forest_polytope_max(&g, 2.0).unwrap();
-        // Cycle contributes 2 (spanning tree), star contributes min(2, 3) = 2.
-        assert!(approx(sol.value, 4.0));
+        for backend in BACKENDS {
+            let sol = forest_polytope_max_with(&g, 2.0, backend).unwrap();
+            // Cycle contributes 2 (spanning tree), star contributes min(2, 3) = 2.
+            assert!(approx(sol.value, 4.0));
+        }
     }
 
     #[test]
     fn edge_weights_are_a_feasible_point() {
         let g = generators::complete(5);
         let delta = 2.0;
-        let sol = forest_polytope_max(&g, delta).unwrap();
-        let edges = g.edge_vec();
-        // Degree constraints.
-        for v in g.vertices() {
-            let total: f64 = edges
-                .iter()
-                .zip(&sol.edge_weights)
-                .filter(|(&(a, b), _)| a == v || b == v)
-                .map(|(_, &w)| w)
-                .sum();
-            assert!(total <= delta + 1e-6);
-        }
-        // Value consistency.
-        assert!(approx(sol.edge_weights.iter().sum::<f64>(), sol.value));
-        // All weights within [0, 1].
-        for &w in &sol.edge_weights {
-            assert!((-1e-9..=1.0 + 1e-9).contains(&w));
+        for backend in BACKENDS {
+            let sol = forest_polytope_max_with(&g, delta, backend).unwrap();
+            let edges = g.edge_vec();
+            // Degree constraints.
+            for v in g.vertices() {
+                let total: f64 = edges
+                    .iter()
+                    .zip(&sol.edge_weights)
+                    .filter(|(&(a, b), _)| a == v || b == v)
+                    .map(|(_, &w)| w)
+                    .sum();
+                assert!(total <= delta + 1e-6);
+            }
+            // Value consistency.
+            assert!(approx(sol.edge_weights.iter().sum::<f64>(), sol.value));
+            // All weights within [0, 1].
+            for &w in &sol.edge_weights {
+                assert!((-1e-9..=1.0 + 1e-9).contains(&w));
+            }
         }
     }
 
     #[test]
     fn value_is_monotone_in_delta() {
         let g = generators::caveman(3, 4);
-        let mut prev = 0.0;
-        for delta in [1.0, 2.0, 3.0, 4.0, 5.0] {
-            let v = forest_polytope_max(&g, delta).unwrap().value;
-            assert!(v + 1e-9 >= prev, "not monotone at delta {delta}");
-            prev = v;
+        for backend in BACKENDS {
+            let mut prev = 0.0;
+            for delta in [1.0, 2.0, 3.0, 4.0, 5.0] {
+                let v = forest_polytope_max_with(&g, delta, backend).unwrap().value;
+                assert!(v + 1e-9 >= prev, "not monotone at delta {delta}");
+                prev = v;
+            }
         }
     }
 
@@ -375,7 +204,7 @@ mod tests {
         // K_4 with a pendant path: the whole-vertex-set constraint is loose
         // (|V| - 1 = 7), so the degree bounds alone would allow up to 6 units of
         // weight inside the clique; the returned point must nevertheless satisfy
-        // x(E[S]) ≤ |S| - 1 for every subset S.
+        // x(E[S]) ≤ |S| - 1 for every subset S — for both backends.
         let mut g = generators::complete(4);
         for _ in 0..4 {
             g.add_vertex();
@@ -384,73 +213,59 @@ mod tests {
         g.add_edge(4, 5);
         g.add_edge(5, 6);
         g.add_edge(6, 7);
-        let sol = forest_polytope_max(&g, 3.0).unwrap();
-        assert!(
-            approx(sol.value, g.spanning_forest_size() as f64),
-            "value {}",
-            sol.value
-        );
-        let edges = g.edge_vec();
-        let n = g.num_vertices();
-        for mask in 0u32..(1 << n) {
-            let set: Vec<usize> = (0..n).filter(|&v| mask >> v & 1 == 1).collect();
-            if set.len() < 2 {
-                continue;
-            }
-            let inside: f64 = edges
-                .iter()
-                .zip(&sol.edge_weights)
-                .filter(|(&(a, b), _)| set.contains(&a) && set.contains(&b))
-                .map(|(_, &w)| w)
-                .sum();
+        for backend in BACKENDS {
+            let sol = forest_polytope_max_with(&g, 3.0, backend).unwrap();
             assert!(
-                inside <= (set.len() - 1) as f64 + 1e-6,
-                "forest constraint violated for S = {set:?}: {inside}"
+                approx(sol.value, g.spanning_forest_size() as f64),
+                "value {}",
+                sol.value
             );
+            let edges = g.edge_vec();
+            let n = g.num_vertices();
+            for mask in 0u32..(1 << n) {
+                let set: Vec<usize> = (0..n).filter(|&v| mask >> v & 1 == 1).collect();
+                if set.len() < 2 {
+                    continue;
+                }
+                let inside: f64 = edges
+                    .iter()
+                    .zip(&sol.edge_weights)
+                    .filter(|(&(a, b), _)| set.contains(&a) && set.contains(&b))
+                    .map(|(_, &w)| w)
+                    .sum();
+                assert!(
+                    inside <= (set.len() - 1) as f64 + 1e-6,
+                    "forest constraint violated for S = {set:?}: {inside}"
+                );
+            }
         }
-    }
-
-    #[test]
-    fn separation_oracle_finds_a_violated_clique_constraint() {
-        // Hand-craft an infeasible point: every edge of K_4 at weight 1 violates
-        // x(E[V]) ≤ 3. The oracle must report a violating set.
-        let g = generators::complete(4);
-        let edges = g.edge_vec();
-        let x = vec![1.0; edges.len()];
-        let violated = find_violated_forest_constraints(&g, &edges, &x);
-        assert!(!violated.is_empty());
-        let set = &violated[0];
-        let inside: f64 = edges
-            .iter()
-            .zip(&x)
-            .filter(|(&(a, b), _)| set.contains(&a) && set.contains(&b))
-            .map(|(_, &w)| w)
-            .sum();
-        assert!(inside > (set.len() - 1) as f64 + 1e-6);
-    }
-
-    #[test]
-    fn separation_oracle_accepts_a_feasible_point() {
-        let g = generators::complete(4);
-        let edges = g.edge_vec();
-        // A spanning star (indicator vector) is in the forest polytope.
-        let x: Vec<f64> = edges
-            .iter()
-            .map(|&(a, _)| if a == 0 { 1.0 } else { 0.0 })
-            .collect();
-        assert!(find_violated_forest_constraints(&g, &edges, &x).is_empty());
     }
 
     #[test]
     fn invalid_delta_is_rejected() {
         let g = generators::path(3);
-        assert!(matches!(
-            forest_polytope_max(&g, 0.0),
-            Err(CoreError::InvalidParameter(_))
-        ));
-        assert!(matches!(
-            forest_polytope_max(&g, -1.0),
-            Err(CoreError::InvalidParameter(_))
-        ));
+        for backend in BACKENDS {
+            assert!(matches!(
+                forest_polytope_max_with(&g, 0.0, backend),
+                Err(CoreError::InvalidParameter(_))
+            ));
+            assert!(matches!(
+                forest_polytope_max_with(&g, -1.0, backend),
+                Err(CoreError::InvalidParameter(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn backend_selector_resolves_named_solvers() {
+        assert_eq!(
+            SolverBackend::Combinatorial.solver().name(),
+            "combinatorial-forest"
+        );
+        assert_eq!(
+            SolverBackend::Simplex.solver().name(),
+            "simplex-cutting-planes"
+        );
+        assert_eq!(SolverBackend::default(), SolverBackend::Combinatorial);
     }
 }

@@ -239,9 +239,34 @@ fn elimination_order(g: &Graph) -> Vec<(usize, bool)> {
 /// Panics if `delta == 0`.
 pub fn bounded_degree_spanning_forest(g: &Graph, delta: usize) -> Option<SpanningForest> {
     assert!(delta >= 1, "delta must be at least 1");
+    capacity_bounded_spanning_forest(g, &vec![delta; g.num_vertices()])
+}
+
+/// Heterogeneous-capacity generalization of [`bounded_degree_spanning_forest`]:
+/// looks for a spanning forest in which every vertex `v` has degree at most
+/// `caps[v]`, by the same insertion-with-local-repairs procedure.
+///
+/// With uniform capacities this is exactly the constructive proof of
+/// Lemma 1.8 (guaranteed to succeed when `G` has no induced Δ-star). With
+/// non-uniform capacities no such guarantee exists, so this is a *certifying
+/// heuristic*: a returned forest always satisfies the capacities (callers get
+/// a genuine certificate), while `None` means the procedure got stuck, not
+/// that no such forest exists. The combinatorial polytope solver uses it to
+/// certify rank-bound optimality on peeled cores whose residual capacities
+/// are no longer uniform.
+///
+/// # Panics
+/// Panics if `caps.len() != g.num_vertices()`.
+pub fn capacity_bounded_spanning_forest(g: &Graph, caps: &[usize]) -> Option<SpanningForest> {
     let n = g.num_vertices();
+    assert_eq!(caps.len(), n, "capacity vector length mismatch");
     if n == 0 {
         return Some(SpanningForest::new(0, Vec::new()));
+    }
+    // A vertex with capacity 0 cannot take any forest edge; bail out early
+    // unless it is isolated.
+    if (0..n).any(|v| caps[v] == 0 && g.degree(v) > 0) {
+        return None;
     }
 
     let order = elimination_order(g);
@@ -265,38 +290,49 @@ pub fn bounded_degree_spanning_forest(g: &Graph, delta: usize) -> Option<Spannin
         forest.add_edge(v0, v1);
 
         // Local repair loop (Algorithm 3): only the most recently touched vertex can
-        // exceed the bound, and the repaired vertices form a path, so at most n
+        // exceed its bound, and the repaired vertices form a path, so at most n
         // repairs can happen per insertion.
         let mut prev = v0;
         let mut cur = v1;
         let mut repairs = 0usize;
-        while forest.degree(cur) > delta {
+        while forest.degree(cur) > caps[cur] {
             repairs += 1;
             if repairs > n {
                 return None;
             }
-            // N = Δ forest-neighbors of `cur`, excluding `prev`.
+            // The forest-neighbors of `cur`, excluding `prev`.
             let candidates: Vec<usize> = forest.adj[cur]
                 .iter()
                 .copied()
                 .filter(|&w| w != prev)
                 .collect();
-            debug_assert!(candidates.len() >= delta);
-            // Find a pair (a, b) of candidates adjacent in G. If none exists among
-            // the first Δ candidates, G has an induced Δ-star centered at `cur`,
-            // so the caller asked for an infeasible Δ.
-            let mut found = None;
+            debug_assert!(candidates.len() >= caps[cur]);
+            // Find a pair (a, b) of candidates adjacent in G, preferring a
+            // replacement endpoint `a` with slack capacity so the repair
+            // path terminates sooner. With uniform capacities, failure here
+            // means G has an induced Δ-star centered at `cur` and the caller
+            // asked for an infeasible Δ.
+            let mut found: Option<(usize, usize)> = None;
             'outer: for (i, &a) in candidates.iter().enumerate() {
                 for &b in candidates.iter().skip(i + 1) {
                     if g.has_edge(a, b) {
-                        found = Some((a, b));
-                        break 'outer;
+                        let (a, b) = if forest.degree(b) < forest.degree(a) || caps[b] > caps[a] {
+                            (b, a)
+                        } else {
+                            (a, b)
+                        };
+                        if found.is_none() || forest.degree(a) < caps[a] {
+                            found = Some((a, b));
+                        }
+                        if forest.degree(a) < caps[a] {
+                            break 'outer;
+                        }
                     }
                 }
             }
             let (a, b) = found?;
-            // Replace (cur, b) by (a, b); the degree of `cur` drops to Δ and only
-            // `a` may now exceed the bound.
+            // Replace (cur, b) by (a, b); the degree of `cur` drops below its
+            // capacity and only `a` may now exceed its own.
             forest.remove_edge(cur, b);
             forest.add_edge(a, b);
             prev = cur;
@@ -309,7 +345,8 @@ pub fn bounded_degree_spanning_forest(g: &Graph, delta: usize) -> Option<Spannin
         result.is_spanning_forest_of(g),
         "local repair must preserve the spanning forest"
     );
-    if result.max_degree() <= delta {
+    let degrees = result.degrees();
+    if (0..n).all(|v| degrees[v] <= caps[v]) {
         Some(result)
     } else {
         None

@@ -1,21 +1,29 @@
-//! Linear-programming substrate.
+//! Linear-programming and polytope-solving substrate.
 //!
 //! The paper evaluates its Lipschitz extensions by maximizing `x(E)` over the
-//! Δ-bounded forest polytope (Definition 3.1). The polytope has exponentially many
-//! constraints, so the core crate solves it by constraint generation: repeatedly
-//! solve a relaxation with the currently known constraints, then ask a separation
-//! oracle for a violated forest constraint. This crate provides the relaxation
-//! solver: a dense primal simplex for problems of the form
+//! Δ-bounded forest polytope (Definition 3.1). This crate owns the whole
+//! solver stack for that problem, organized in three layers:
 //!
-//! ```text
-//! maximize cᵀx   subject to   Ax ≤ b,  x ≥ 0,  b ≥ 0
-//! ```
-//!
-//! which is exactly the shape of every relaxation we generate (all right-hand
-//! sides are positive), so a basic feasible solution is always available and no
-//! two-phase method is needed. Rows can be added incrementally between solves.
+//! * [`solver`] — the pluggable [`PolytopeSolver`] trait with two exact
+//!   backends: the default [`CombinatorialSolver`] (certified graph-algorithm
+//!   reductions, LP only for the irreducible fractional core) and the
+//!   reference [`SimplexSolver`] (pure cutting planes).
+//! * [`cutting_plane`] — constraint generation with the min-cut separation
+//!   oracle, per-vertex degree capacities and warm-started re-solves.
+//! * [`simplex`] / [`problem`] — the LP substrate: an incremental tableau
+//!   simplex ([`IncrementalSimplex`]) whose basis survives across added cuts
+//!   (dual-simplex repair), with Bland's anti-cycling rule, plus the
+//!   container type [`LinearProgram`] for one-shot solves.
 
+pub mod column_generation;
+pub mod combinatorial;
+pub mod cutting_plane;
 pub mod problem;
 pub mod simplex;
+pub mod solver;
 
+pub use combinatorial::CombinatorialSolver;
+pub use cutting_plane::violated_forest_constraints;
 pub use problem::{LinearProgram, LpError, LpSolution};
+pub use simplex::IncrementalSimplex;
+pub use solver::{PolytopeError, PolytopeSolution, PolytopeSolver, SimplexSolver, SolverBackend};

@@ -1,37 +1,37 @@
 //! Problem container for `max cᵀx, Ax ≤ b, x ≥ 0` linear programs.
 
-use crate::simplex;
+use crate::simplex::IncrementalSimplex;
 
 /// Errors reported by the solver.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LpError {
     /// The objective is unbounded above over the feasible region.
     Unbounded,
-    /// The pivot limit was exceeded (numerical trouble or a pathological instance).
-    IterationLimit,
+    /// The constraint system admits no feasible point (reported by the dual
+    /// simplex when a negative-rhs row has no negative coefficient).
+    Infeasible,
+    /// The solver made no progress within its pivot budget. Bland's
+    /// anti-cycling rule rules out true cycling, so this signals numerical
+    /// trouble (a stalled, drifting tableau) rather than a pathological but
+    /// valid pivot sequence.
+    Stalled {
+        /// Lifetime pivot count of the tableau when it stalled.
+        pivots: usize,
+    },
     /// A right-hand side was negative; this solver requires `b ≥ 0`.
     NegativeRhs { row: usize },
-    /// A constraint row has the wrong number of coefficients.
-    DimensionMismatch {
-        row: usize,
-        expected: usize,
-        got: usize,
-    },
 }
 
 impl std::fmt::Display for LpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LpError::Unbounded => write!(f, "objective is unbounded"),
-            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::Infeasible => write!(f, "constraint system is infeasible"),
+            LpError::Stalled { pivots } => {
+                write!(f, "simplex stalled numerically after {pivots} pivots")
+            }
             LpError::NegativeRhs { row } => {
                 write!(f, "constraint {row} has a negative right-hand side")
-            }
-            LpError::DimensionMismatch { row, expected, got } => {
-                write!(
-                    f,
-                    "constraint {row} has {got} coefficients, expected {expected}"
-                )
             }
         }
     }
@@ -52,14 +52,15 @@ pub struct LpSolution {
 
 /// A linear program `max cᵀx` subject to `Ax ≤ b`, `x ≥ 0`, with `b ≥ 0`.
 ///
-/// Constraints can be added incrementally (cutting planes); every call to
-/// [`LinearProgram::solve`] re-optimizes from scratch, which is simple and robust
-/// and entirely sufficient for the instance sizes used by the experiments.
+/// Constraints are stored sparsely (index/coefficient pairs); every call to
+/// [`LinearProgram::solve`] builds a fresh [`IncrementalSimplex`] tableau.
+/// Cutting-plane loops that want warm-started re-solves should drive an
+/// [`IncrementalSimplex`] directly instead.
 #[derive(Clone, Debug)]
 pub struct LinearProgram {
     num_vars: usize,
     objective: Vec<f64>,
-    rows: Vec<Vec<f64>>,
+    rows: Vec<Vec<(usize, f64)>>,
     rhs: Vec<f64>,
 }
 
@@ -88,41 +89,39 @@ impl LinearProgram {
         self.rows.len()
     }
 
-    /// Adds a dense constraint `coeffs · x ≤ rhs`.
+    /// Adds a dense constraint `coeffs · x ≤ rhs` (stored sparsely).
     pub fn add_constraint_dense(&mut self, coeffs: Vec<f64>, rhs: f64) {
         assert_eq!(coeffs.len(), self.num_vars, "constraint length mismatch");
-        self.rows.push(coeffs);
+        let terms: Vec<(usize, f64)> = coeffs
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, v)| v != 0.0)
+            .collect();
+        self.rows.push(terms);
         self.rhs.push(rhs);
     }
 
     /// Adds a sparse constraint `Σ coeff·x_idx ≤ rhs`. Repeated indices accumulate.
     pub fn add_constraint_sparse(&mut self, terms: &[(usize, f64)], rhs: f64) {
-        let mut row = vec![0.0; self.num_vars];
-        for &(idx, coeff) in terms {
+        for &(idx, _) in terms {
             assert!(idx < self.num_vars, "variable index out of range");
-            row[idx] += coeff;
         }
-        self.rows.push(row);
+        self.rows.push(terms.to_vec());
         self.rhs.push(rhs);
     }
 
-    /// Solves the program with the primal simplex method.
+    /// Solves the program with the (incremental tableau) simplex method.
     pub fn solve(&self) -> Result<LpSolution, LpError> {
         for (i, &b) in self.rhs.iter().enumerate() {
             if b < 0.0 {
                 return Err(LpError::NegativeRhs { row: i });
             }
         }
-        for (i, row) in self.rows.iter().enumerate() {
-            if row.len() != self.num_vars {
-                return Err(LpError::DimensionMismatch {
-                    row: i,
-                    expected: self.num_vars,
-                    got: row.len(),
-                });
-            }
+        let mut simplex = IncrementalSimplex::new(&self.objective);
+        for (terms, &rhs) in self.rows.iter().zip(&self.rhs) {
+            simplex.add_constraint(terms, rhs)?;
         }
-        simplex::solve(&self.objective, &self.rows, &self.rhs)
+        simplex.solve()
     }
 
     /// Evaluates `coeffs · x` for a candidate solution (helper for oracles/tests).

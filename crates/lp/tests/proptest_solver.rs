@@ -1,0 +1,100 @@
+//! Cross-backend equivalence: the combinatorial solver and the pure
+//! cutting-plane simplex backend are both exact, so on any graph and any
+//! `Δ > 0` they must agree on `max x(E)` over the Δ-bounded forest polytope
+//! (within LP tolerance), and both must return feasible optimal points.
+
+use ccdp_graph::Graph;
+use ccdp_lp::{violated_forest_constraints, CombinatorialSolver, PolytopeSolver, SimplexSolver};
+use proptest::prelude::*;
+
+/// A random graph encoded as (n, edge picks) so proptest can shrink it.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        2usize..12,
+        proptest::collection::vec(0.0f64..1.0, 0..70),
+        0.05f64..0.6,
+    )
+        .prop_map(|(n, picks, p)| {
+            let mut g = Graph::new(n);
+            let mut k = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if let Some(&pick) = picks.get(k) {
+                        if pick < p {
+                            g.add_edge(u, v);
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+}
+
+/// Asserts that `weights` is a feasible point of `P_Δ(g)` attaining `value`.
+fn assert_feasible_and_attains(g: &Graph, delta: f64, weights: &[f64], value: f64) {
+    let edges = g.edge_vec();
+    assert_eq!(weights.len(), edges.len());
+    for &w in weights {
+        assert!((-1e-6..=1.0 + 1e-6).contains(&w), "weight {w} out of box");
+    }
+    for v in g.vertices() {
+        let load: f64 = edges
+            .iter()
+            .zip(weights)
+            .filter(|(&(a, b), _)| a == v || b == v)
+            .map(|(_, &w)| w)
+            .sum();
+        assert!(load <= delta + 1e-5, "degree cap violated at {v}: {load}");
+    }
+    assert!(
+        violated_forest_constraints(g, &edges, weights).is_empty(),
+        "returned point violates a forest constraint"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(
+        (total - value).abs() < 1e-5,
+        "value {value} vs point {total}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn backends_agree_on_integer_delta(g in arb_graph(), delta in 1usize..6) {
+        let delta = delta as f64;
+        let comb = CombinatorialSolver::new().solve(&g, delta).unwrap();
+        let simp = SimplexSolver::new().solve(&g, delta).unwrap();
+        prop_assert!(
+            (comb.value - simp.value).abs() < 1e-5,
+            "combinatorial {} vs simplex {} on {:?} edges, delta {delta}",
+            comb.value, simp.value, g.num_edges()
+        );
+        assert_feasible_and_attains(&g, delta, &comb.edge_weights, comb.value);
+        assert_feasible_and_attains(&g, delta, &simp.edge_weights, simp.value);
+    }
+
+    #[test]
+    fn backends_agree_on_fractional_delta(g in arb_graph(), delta in 0.3f64..5.5) {
+        let comb = CombinatorialSolver::new().solve(&g, delta).unwrap();
+        let simp = SimplexSolver::new().solve(&g, delta).unwrap();
+        prop_assert!(
+            (comb.value - simp.value).abs() < 1e-5,
+            "combinatorial {} vs simplex {} at fractional delta {delta}",
+            comb.value, simp.value
+        );
+        assert_feasible_and_attains(&g, delta, &comb.edge_weights, comb.value);
+    }
+
+    #[test]
+    fn combinatorial_value_is_monotone_in_delta(g in arb_graph()) {
+        let solver = CombinatorialSolver::new();
+        let mut prev = 0.0;
+        for delta in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0] {
+            let v = solver.solve(&g, delta).unwrap().value;
+            prop_assert!(v + 1e-6 >= prev, "f_Δ not monotone at {delta}");
+            prev = v;
+        }
+    }
+}

@@ -55,10 +55,11 @@ pub use ccdp_graph as graph;
 
 // The curated public API at the crate root.
 pub use ccdp_core::{
-    measure_errors, CcdpError, ConfigError, CoreError, Diagnostics, DiagnosticsAccess,
-    EdgeDpBaseline, ErrorStats, Estimator, EstimatorConfig, EvaluationPath, ExtensionEvaluation,
-    FixedDeltaBaseline, LipschitzExtension, NaiveNodeDpBaseline, NonPrivateBaseline, Privacy,
-    PrivateCcEstimator, PrivateSpanningForestEstimator, Release,
+    measure_errors, CacheStats, CcdpError, ConfigError, CoreError, Diagnostics, DiagnosticsAccess,
+    EdgeDpBaseline, ErrorStats, Estimator, EstimatorConfig, EvaluationPath, ExtensionCache,
+    ExtensionEvaluation, FixedDeltaBaseline, LipschitzExtension, NaiveNodeDpBaseline,
+    NonPrivateBaseline, Privacy, PrivateCcEstimator, PrivateSpanningForestEstimator, Release,
+    SolverBackend,
 };
 pub use ccdp_dp::{BudgetExceeded, PrivacyBudget};
 pub use ccdp_graph::Graph;
@@ -72,10 +73,12 @@ pub mod prelude {
         smallest_anchor_delta,
     };
     pub use ccdp_core::{
-        evaluate_family, measure_errors, CcdpError, ConfigError, CoreError, Diagnostics,
+        evaluate_family, evaluate_family_with, forest_polytope_max, forest_polytope_max_with,
+        measure_errors, CacheStats, CcdpError, ConfigError, CoreError, Diagnostics,
         DiagnosticsAccess, EdgeDpBaseline, ErrorStats, Estimator, EstimatorConfig, EvaluationPath,
-        FixedDeltaBaseline, LipschitzExtension, NaiveNodeDpBaseline, NonPrivateBaseline, Privacy,
-        PrivateCcEstimator, PrivateSpanningForestEstimator, Release,
+        ExtensionCache, FixedDeltaBaseline, LipschitzExtension, NaiveNodeDpBaseline,
+        NonPrivateBaseline, Privacy, PrivateCcEstimator, PrivateSpanningForestEstimator, Release,
+        SolverBackend,
     };
     pub use ccdp_dp::{BudgetExceeded, PrivacyBudget};
     pub use ccdp_graph::{components, forest, generators, io, sensitivity, stars, subgraph, Graph};

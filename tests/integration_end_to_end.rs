@@ -112,17 +112,45 @@ fn io_round_trip_preserves_private_pipeline_inputs() {
 fn estimates_are_finite_and_selected_delta_in_grid() {
     let mut rng = StdRng::seed_from_u64(4);
     let token = DiagnosticsAccess::acknowledge_non_private();
-    // Subcritical mean degree keeps components (and thus the LP fallback's
-    // instances) small; supercritical draws send the cutting-plane solver into
-    // minutes-long territory, which is a solver-performance story (tracked in
-    // ROADMAP), not an API one.
-    for n in [10usize, 50, 200] {
-        let g = generators::erdos_renyi(n, 0.9 / n as f64, &mut rng);
-        let est = PrivateSpanningForestEstimator::new(0.5).unwrap();
-        let r = est.estimate(&g, &mut rng).unwrap();
-        assert!(r.value().is_finite());
-        let selected = r.diagnostics(token).selected_delta.unwrap();
-        assert!(selected >= 1 && selected <= n.max(1));
-        assert!(selected.is_power_of_two());
+    // The full selection grid (Δmax = n) over both regimes, including
+    // supercritical draws (mean degree 3) whose giant component used to send
+    // the dense from-scratch cutting-plane solver into minutes-long territory.
+    // With the combinatorial backend the whole loop — eight full-grid
+    // estimates up to n = 300 — runs in ~0.2 s in release mode.
+    for n in [10usize, 50, 200, 300] {
+        for mean_degree in [0.9, 3.0] {
+            let g = generators::erdos_renyi(n, mean_degree / n as f64, &mut rng);
+            let est = PrivateSpanningForestEstimator::new(0.5).unwrap();
+            let r = est.estimate(&g, &mut rng).unwrap();
+            assert!(r.value().is_finite());
+            let selected = r.diagnostics(token).selected_delta.unwrap();
+            assert!(selected >= 1 && selected <= n.max(1));
+            assert!(selected.is_power_of_two());
+        }
     }
+}
+
+#[test]
+fn supercritical_giant_component_end_to_end() {
+    // The workload the LP-performance ROADMAP item was about: a supercritical
+    // Erdős–Rényi draw at n = 300 (mean degree 3 ⇒ one giant component
+    // holding most vertices), estimated end to end with the default
+    // (combinatorial) backend. Release-mode runtime: ~0.1 s for all 5 trials
+    // (first trial evaluates the family, the rest replay it from the cache;
+    // this used to take minutes per trial with the dense from-scratch
+    // simplex).
+    let mut rng = StdRng::seed_from_u64(8);
+    let n = 300;
+    let g = generators::erdos_renyi(n, 3.0 / n as f64, &mut rng);
+    let giant = components::component_sizes(&g).into_iter().max().unwrap();
+    assert!(
+        giant > n / 3,
+        "expected a giant component, largest was {giant}"
+    );
+    let err = mean_abs_error_cc(&g, 1.0, 5, 18);
+    let truth = g.num_connected_components() as f64;
+    assert!(
+        err < truth + 60.0,
+        "error {err} too large relative to {truth}"
+    );
 }

@@ -11,15 +11,20 @@
 //! from this cache afterwards (~20× cheaper repeated estimates).
 //!
 //! The cache is keyed by the exact edge list (plus grid and backend), bounded
-//! in size with FIFO eviction, and safe to share across estimators and
-//! threads. Hit/miss counters are exposed for tests and capacity planning.
+//! in size with LRU eviction (hits refresh an entry's recency), and safe to
+//! share across estimators and threads. Concurrent misses on the same key are
+//! **single-flighted**: the first caller evaluates while the others wait on an
+//! in-flight table and receive the same shared result, so a thundering herd of
+//! identical requests costs one family evaluation instead of one per thread.
+//! Hit/miss/coalesce/eviction counters are exposed for tests and capacity
+//! planning.
 
 use crate::error::CoreError;
 use crate::extension::{evaluate_family_with, ExtensionEvaluation};
 use ccdp_lp::SolverBackend;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Default number of (graph, grid, backend) entries kept per cache.
 pub const DEFAULT_FAMILY_CACHE_CAPACITY: usize = 64;
@@ -33,29 +38,111 @@ struct CacheKey {
     backend: SolverBackend,
 }
 
+/// One in-flight family evaluation that followers can wait on.
+struct Flight {
+    /// `None` while the leader is evaluating; the leader's result afterwards.
+    outcome: Mutex<Option<Result<Arc<Vec<ExtensionEvaluation>>, CoreError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Publishes the leader's result and wakes every waiting follower.
+    fn publish(&self, result: Result<Arc<Vec<ExtensionEvaluation>>, CoreError>) {
+        let mut slot = self
+            .outcome
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the leader publishes, then returns a clone of its result.
+    fn wait(&self) -> Result<Arc<Vec<ExtensionEvaluation>>, CoreError> {
+        let mut slot = self
+            .outcome
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while slot.is_none() {
+            slot = self
+                .done
+                .wait(slot)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        slot.as_ref().expect("published outcome").clone()
+    }
+}
+
+/// One stored evaluation with its recency stamp.
+struct CacheEntry {
+    evals: Arc<Vec<ExtensionEvaluation>>,
+    /// Monotonic tick of the last hit (or the insert); the eviction victim
+    /// is the minimum. Hits are O(1); the scan cost lives on the rare
+    /// over-capacity insert instead.
+    last_used: u64,
+}
+
 #[derive(Default)]
 struct CacheInner {
-    map: HashMap<CacheKey, Arc<Vec<ExtensionEvaluation>>>,
-    order: VecDeque<CacheKey>,
+    map: HashMap<CacheKey, CacheEntry>,
+    /// Monotonic recency clock, bumped per lookup/insert.
+    tick: u64,
+    /// Single-flight table of evaluations currently being computed.
+    in_flight: HashMap<CacheKey, Arc<Flight>>,
+}
+
+impl CacheInner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
 }
 
 /// Point-in-time cache counters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that had to evaluate the family.
+    /// Lookups that had to evaluate the family (one per in-flight leader).
     pub misses: u64,
+    /// Lookups that joined another caller's in-flight evaluation instead of
+    /// racing it (single-flight coalescing).
+    pub coalesced: u64,
+    /// Entries dropped to enforce the capacity bound.
+    pub evictions: u64,
     /// Entries currently stored.
     pub entries: usize,
 }
 
-/// A bounded, thread-safe, graph-keyed cache of family evaluations.
+impl CacheStats {
+    /// Fraction of lookups that avoided a fresh family evaluation (hits plus
+    /// coalesced joins over all lookups); 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let avoided = self.hits + self.coalesced;
+        let total = avoided + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            avoided as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded, thread-safe, graph-keyed cache of family evaluations with
+/// LRU eviction and single-flight coalescing of concurrent misses.
 pub struct ExtensionCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ExtensionCache {
@@ -66,6 +153,8 @@ impl ExtensionCache {
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -79,19 +168,21 @@ impl ExtensionCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.lock().map.len(),
         }
     }
 
-    /// Drops every entry (counters are kept).
+    /// Drops every stored entry (counters and in-flight evaluations are kept).
     pub fn clear(&self) {
-        let mut inner = self.lock();
-        inner.map.clear();
-        inner.order.clear();
+        self.lock().map.clear();
     }
 
     /// Evaluates the family `{f_Δ}` of `g` on `grid` with `backend`, answering
-    /// from the cache when this exact evaluation has been done before.
+    /// from the cache when this exact evaluation has been done before, and
+    /// joining an in-flight evaluation when another thread is already
+    /// computing this exact key.
     pub fn evaluate_family(
         &self,
         g: &ccdp_graph::Graph,
@@ -104,33 +195,124 @@ impl ExtensionCache {
             grid: grid.to_vec(),
             backend,
         };
-        if let Some(hit) = self.lock().map.get(&key).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
-        }
-        // Evaluate outside the lock: family evaluation can take a while and
-        // concurrent estimates on other graphs should not serialize on it.
-        let evals = Arc::new(evaluate_family_with(g, grid, backend)?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.lock();
-        if !inner.map.contains_key(&key) {
-            while inner.map.len() >= self.capacity {
-                if let Some(oldest) = inner.order.pop_front() {
-                    inner.map.remove(&oldest);
-                } else {
-                    break;
+
+        let flight = {
+            let mut inner = self.lock();
+            let tick = inner.next_tick();
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.evals));
+            }
+            match inner.in_flight.get(&key) {
+                Some(flight) => {
+                    // Someone else is already evaluating this exact key: join
+                    // their flight instead of racing a duplicate evaluation.
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    Some(Arc::clone(flight))
+                }
+                None => {
+                    inner.in_flight.insert(key.clone(), Arc::new(Flight::new()));
+                    None
                 }
             }
-            inner.order.push_back(key.clone());
-            inner.map.insert(key, Arc::clone(&evals));
+        };
+        if let Some(flight) = flight {
+            return flight.wait();
         }
-        Ok(evals)
+
+        // We are the flight leader: evaluate outside the lock (family
+        // evaluation can take a while and lookups of other graphs must not
+        // serialize on it), then store, publish and wake the followers. The
+        // guard publishes an error if evaluation panics, so followers are
+        // never left waiting on a flight whose leader died.
+        let guard = FlightGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
+        let result = evaluate_family_with(g, grid, backend).map(Arc::new);
+        guard.finish(result.clone());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Removes the flight for `key` (returning it so the caller can publish),
+    /// and on success stores the result with LRU eviction.
+    fn complete_flight(
+        &self,
+        key: &CacheKey,
+        result: &Result<Arc<Vec<ExtensionEvaluation>>, CoreError>,
+    ) -> Option<Arc<Flight>> {
+        let mut inner = self.lock();
+        let flight = inner.in_flight.remove(key);
+        if let Ok(evals) = result {
+            if !inner.map.contains_key(key) {
+                while inner.map.len() >= self.capacity {
+                    // Evict the least recently used entry. The scan is
+                    // O(entries) but runs only on over-capacity inserts —
+                    // the hit path stays O(1).
+                    let victim = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone());
+                    match victim {
+                        Some(v) => {
+                            inner.map.remove(&v);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => break,
+                    }
+                }
+                let tick = inner.next_tick();
+                inner.map.insert(
+                    key.clone(),
+                    CacheEntry {
+                        evals: Arc::clone(evals),
+                        last_used: tick,
+                    },
+                );
+            }
+        }
+        flight
     }
 
     fn lock(&self) -> MutexGuard<'_, CacheInner> {
         self.inner
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Cleans up a leader's flight even on unwind: followers receive an error
+/// instead of blocking forever if the evaluation panicked.
+struct FlightGuard<'a> {
+    cache: &'a ExtensionCache,
+    key: CacheKey,
+    armed: bool,
+}
+
+impl FlightGuard<'_> {
+    fn finish(mut self, result: Result<Arc<Vec<ExtensionEvaluation>>, CoreError>) {
+        self.armed = false;
+        if let Some(flight) = self.cache.complete_flight(&self.key, &result) {
+            flight.publish(result);
+        }
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let result = Err(CoreError::InvalidParameter(
+            "family evaluation panicked in another thread".to_string(),
+        ));
+        if let Some(flight) = self.cache.complete_flight(&self.key, &result) {
+            flight.publish(result);
+        }
     }
 }
 
@@ -148,6 +330,8 @@ impl std::fmt::Debug for ExtensionCache {
             .field("entries", &stats.entries)
             .field("hits", &stats.hits)
             .field("misses", &stats.misses)
+            .field("coalesced", &stats.coalesced)
+            .field("evictions", &stats.evictions)
             .finish()
     }
 }
@@ -171,6 +355,8 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!((stats.coalesced, stats.evictions), (0, 0));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -196,7 +382,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_enforced_fifo() {
+    fn capacity_is_enforced_lru() {
         let cache = ExtensionCache::new(2);
         let grid = [1usize, 2];
         let graphs: Vec<Graph> = (3..6).map(generators::path).collect();
@@ -206,11 +392,69 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(cache.stats().entries, 2);
-        // The oldest entry (path(3)) was evicted: re-evaluating it misses.
+        assert_eq!(cache.stats().evictions, 1);
+        // The least recently used entry (path(3)) was evicted: re-evaluating
+        // it misses.
         cache
             .evaluate_family(&graphs[0], &grid, SolverBackend::Combinatorial)
             .unwrap();
         assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn hits_refresh_recency_so_eviction_is_lru_not_fifo() {
+        let cache = ExtensionCache::new(2);
+        let grid = [1usize, 2];
+        let a = generators::path(3);
+        let b = generators::path(4);
+        let c = generators::path(5);
+        cache
+            .evaluate_family(&a, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        cache
+            .evaluate_family(&b, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        // Touch `a`: under FIFO it would still be evicted next; under LRU the
+        // victim becomes `b`.
+        cache
+            .evaluate_family(&a, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        cache
+            .evaluate_family(&c, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        let before = cache.stats();
+        assert_eq!((before.evictions, before.entries), (1, 2));
+        // `a` must still be resident (hit), `b` must have been evicted (miss).
+        cache
+            .evaluate_family(&a, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        assert_eq!(cache.stats().hits, before.hits + 1);
+        cache
+            .evaluate_family(&b, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        assert_eq!(cache.stats().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = ExtensionCache::new(8);
+        let grid = [1usize, 2];
+        let g = generators::path(4);
+        cache
+            .evaluate_family(&g, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        cache
+            .evaluate_family(&g, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A cleared cache re-evaluates.
+        cache
+            .evaluate_family(&g, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]
@@ -228,5 +472,38 @@ mod tests {
             assert_eq!(c.delta, d.delta);
             assert_eq!(c.path, d.path);
         }
+    }
+
+    #[test]
+    fn racing_threads_coalesce_to_one_evaluation() {
+        let cache = Arc::new(ExtensionCache::new(8));
+        let g = generators::caveman(4, 5);
+        let grid = [1usize, 2, 4, 8, 16];
+        let threads = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let g = g.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache
+                        .evaluate_family(&g, &grid, SolverBackend::Combinatorial)
+                        .unwrap()
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert!((r[0].value - results[0][0].value).abs() < 1e-12);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one leader must have evaluated");
+        assert_eq!(
+            stats.hits + stats.coalesced + stats.misses,
+            threads as u64,
+            "every lookup is a hit, a coalesced join or the one miss: {stats:?}"
+        );
     }
 }

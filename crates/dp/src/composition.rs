@@ -10,6 +10,10 @@
 pub struct PrivacyBudget {
     total_epsilon: f64,
     spent: Vec<(String, f64)>,
+    /// Running sum of `spent`, so the hot check-and-spend path is O(1)
+    /// instead of re-summing the ledger (a long-lived serving tenant records
+    /// one ledger entry per release).
+    spent_total: f64,
 }
 
 impl PrivacyBudget {
@@ -25,6 +29,7 @@ impl PrivacyBudget {
         PrivacyBudget {
             total_epsilon,
             spent: Vec::new(),
+            spent_total: 0.0,
         }
     }
 
@@ -35,7 +40,7 @@ impl PrivacyBudget {
 
     /// ε consumed so far.
     pub fn spent_epsilon(&self) -> f64 {
-        self.spent.iter().map(|(_, e)| e).sum()
+        self.spent_total
     }
 
     /// ε still available.
@@ -57,6 +62,7 @@ impl PrivacyBudget {
             });
         }
         self.spent.push((stage.to_string(), epsilon));
+        self.spent_total += epsilon;
         Ok(epsilon)
     }
 
@@ -72,6 +78,31 @@ impl PrivacyBudget {
     /// The per-stage ledger (stage name, ε).
     pub fn ledger(&self) -> &[(String, f64)] {
         &self.spent
+    }
+
+    /// Number of stages recorded in the ledger.
+    pub fn num_stages(&self) -> usize {
+        self.spent.len()
+    }
+
+    /// Whether a spend of `epsilon` would be admitted right now (same
+    /// numerical slack as [`PrivacyBudget::spend`]).
+    pub fn can_spend(&self, epsilon: f64) -> bool {
+        epsilon > 0.0 && epsilon <= self.remaining_epsilon() + 1e-12
+    }
+
+    /// Total ε recorded for stages with the given name (0 if absent).
+    pub fn spent_for_stage(&self, stage: &str) -> f64 {
+        self.spent
+            .iter()
+            .filter(|(name, _)| name == stage)
+            .map(|(_, e)| e)
+            .sum()
+    }
+
+    /// Fraction of the total budget consumed so far, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        (self.spent_epsilon() / self.total_epsilon).clamp(0.0, 1.0)
     }
 }
 
@@ -139,5 +170,23 @@ mod tests {
     #[should_panic]
     fn non_positive_total_rejected() {
         PrivacyBudget::new(0.0);
+    }
+
+    #[test]
+    fn accessors_report_the_ledger_state() {
+        let mut b = PrivacyBudget::new(2.0);
+        assert!(b.can_spend(2.0));
+        assert!(!b.can_spend(2.1));
+        assert!(!b.can_spend(0.0));
+        b.spend("gem", 0.5).unwrap();
+        b.spend("laplace", 0.5).unwrap();
+        b.spend("gem", 0.25).unwrap();
+        assert_eq!(b.num_stages(), 3);
+        assert!((b.spent_for_stage("gem") - 0.75).abs() < 1e-12);
+        assert!((b.spent_for_stage("laplace") - 0.5).abs() < 1e-12);
+        assert_eq!(b.spent_for_stage("unknown"), 0.0);
+        assert!((b.utilization() - 0.625).abs() < 1e-12);
+        assert!(b.can_spend(0.75));
+        assert!(!b.can_spend(0.76));
     }
 }

@@ -7,7 +7,8 @@
 //! * [`solver`] — the pluggable [`PolytopeSolver`] trait with two exact
 //!   backends: the default [`CombinatorialSolver`] (certified graph-algorithm
 //!   reductions, LP only for the irreducible fractional core) and the
-//!   reference [`SimplexSolver`] (pure cutting planes).
+//!   reference [`SimplexSolver`] (no reductions; cutting planes paired with
+//!   the column-generation bound).
 //! * [`cutting_plane`] — constraint generation with the min-cut separation
 //!   oracle, per-vertex degree capacities and warm-started re-solves.
 //! * [`simplex`] / [`problem`] — the LP substrate: an incremental tableau

@@ -15,8 +15,10 @@
 //!   matching upper-bound certificate, so the backend is exact; only the
 //!   irreducible fractional core of a component — typically a small remnant of
 //!   its 2-core — falls back to the cutting-plane engine.
-//! * [`SimplexSolver`] — the reference backend: pure cutting planes over the
-//!   warm-started incremental simplex, one LP per connected component.
+//! * [`SimplexSolver`] — the reference backend: one LP per connected
+//!   component with no combinatorial reductions, cutting planes paired with
+//!   the column-generation lower bound (pure cutting planes available via
+//!   [`SimplexSolver::pure_cutting_planes`]).
 //!
 //! Both backends decompose per connected component (the objective and every
 //! constraint of `P_Δ(G)` do) and return the same [`PolytopeSolution`].
@@ -212,19 +214,45 @@ where
 
 /// The reference backend: cutting planes over the warm-started incremental
 /// simplex, one LP per connected component (no combinatorial reductions).
+///
+/// By default each component LP pairs the cutting-plane upper bound with the
+/// column-generation lower bound — the same combined engine the combinatorial
+/// backend uses on its irreducible cores — so the backend no longer stalls on
+/// the rank-bound face of large supercritical cores. The historical
+/// pure-cutting-plane behavior remains available through
+/// [`SimplexSolver::pure_cutting_planes`] for cross-validating the cut engine
+/// in isolation.
 #[derive(Clone, Debug)]
 pub struct SimplexSolver {
     max_rounds: usize,
     max_cuts_per_round: usize,
+    bound_pairing: bool,
 }
 
 impl SimplexSolver {
-    /// The backend with default cutting-plane limits.
+    /// The backend with default limits and column-generation bound pairing.
     pub const fn new() -> Self {
         SimplexSolver {
             max_rounds: cutting_plane::MAX_ROUNDS,
             max_cuts_per_round: cutting_plane::MAX_CUTS_PER_ROUND,
+            bound_pairing: true,
         }
+    }
+
+    /// The historical reference behavior: cutting planes only, no
+    /// column-generation lower bound. Viable on small and medium instances;
+    /// can stall on the rank-bound face of large supercritical cores.
+    pub const fn pure_cutting_planes() -> Self {
+        SimplexSolver {
+            max_rounds: cutting_plane::MAX_ROUNDS,
+            max_cuts_per_round: cutting_plane::MAX_CUTS_PER_ROUND,
+            bound_pairing: false,
+        }
+    }
+
+    /// Whether this instance pairs cuts with column-generation bounds.
+    pub fn bound_pairing(&self) -> bool {
+        self.bound_pairing
     }
 }
 
@@ -236,18 +264,26 @@ impl Default for SimplexSolver {
 
 impl PolytopeSolver for SimplexSolver {
     fn name(&self) -> &'static str {
-        "simplex-cutting-planes"
+        if self.bound_pairing {
+            "simplex-cutting-planes"
+        } else {
+            "simplex-pure-cutting-planes"
+        }
     }
 
     fn solve(&self, g: &Graph, delta: f64) -> Result<PolytopeSolution, PolytopeError> {
         solve_per_component(g, delta, |local| {
             let caps = vec![delta; local.num_vertices()];
-            cutting_plane::solve_component_with_caps(
-                local,
-                &caps,
-                self.max_rounds,
-                self.max_cuts_per_round,
-            )
+            if self.bound_pairing {
+                crate::column_generation::solve_component_with_caps(local, &caps)
+            } else {
+                cutting_plane::solve_component_with_caps(
+                    local,
+                    &caps,
+                    self.max_rounds,
+                    self.max_cuts_per_round,
+                )
+            }
         })
     }
 }

@@ -97,4 +97,54 @@ proptest! {
             prev = v;
         }
     }
+
+    #[test]
+    fn bound_paired_simplex_matches_pure_cutting_planes(g in arb_graph(), delta in 1usize..5) {
+        // The reference backend's new default (cuts + column-generation
+        // bounds) and its historical pure-cutting-plane mode are both exact,
+        // so they must agree wherever the pure mode converges at all.
+        let delta = delta as f64;
+        let paired = SimplexSolver::new().solve(&g, delta).unwrap();
+        let pure = SimplexSolver::pure_cutting_planes().solve(&g, delta).unwrap();
+        prop_assert!(
+            (paired.value - pure.value).abs() < 1e-5,
+            "paired {} vs pure {} at delta {delta}",
+            paired.value, pure.value
+        );
+        assert_feasible_and_attains(&g, delta, &paired.edge_weights, paired.value);
+    }
+}
+
+/// The workload class pure cutting planes stall on: a dense supercritical
+/// core whose optimum sits on the massively symmetric rank-bound face. With
+/// bound pairing the reference backend must terminate (quickly) at the rank
+/// bound `n − 1` and agree with the combinatorial backend.
+#[test]
+fn bound_paired_simplex_handles_supercritical_cores() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let n = 120;
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut g = Graph::new(n);
+    // ER with expected average degree 8: far supercritical, one giant core.
+    let p = 8.0 / n as f64;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    for delta in [4.0, 8.0] {
+        let simp = SimplexSolver::new().solve(&g, delta).unwrap();
+        let comb = CombinatorialSolver::new().solve(&g, delta).unwrap();
+        assert!(
+            (simp.value - comb.value).abs() < 1e-5,
+            "paired simplex {} vs combinatorial {} at delta {delta}",
+            simp.value,
+            comb.value
+        );
+        assert_feasible_and_attains(&g, delta, &simp.edge_weights, simp.value);
+    }
 }

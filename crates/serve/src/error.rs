@@ -1,0 +1,130 @@
+//! The typed failure surface of the serving tier.
+//!
+//! Every refusal a caller can hit — a full queue, an unknown graph or tenant,
+//! an exhausted privacy budget, a failed estimate — is a [`ServeError`]
+//! variant, so clients program against an enum instead of parsing messages,
+//! and backpressure (`QueueFull`) is distinguishable from hard failures.
+
+use crate::ledger::TenantId;
+use crate::registry::GraphId;
+use ccdp_core::CcdpError;
+use ccdp_dp::BudgetExceeded;
+use ccdp_graph::io::ParseError;
+
+/// Errors surfaced by the serving tier.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The bounded request queue is full: typed backpressure. Retry later or
+    /// shed load; nothing was enqueued.
+    QueueFull {
+        /// The queue's capacity at the time of the refusal.
+        capacity: usize,
+    },
+    /// The server has begun shutting down and accepts no new requests.
+    ShuttingDown,
+    /// The request names a graph the registry does not hold.
+    UnknownGraph {
+        /// The graph id that failed to resolve.
+        graph: GraphId,
+    },
+    /// The request names a tenant the ledger does not know.
+    UnknownTenant {
+        /// The tenant id that failed to resolve.
+        tenant: TenantId,
+    },
+    /// The tenant is registered but its ε quota cannot fund this request.
+    BudgetExhausted {
+        /// The refused tenant.
+        tenant: TenantId,
+        /// The underlying accountant refusal (requested vs remaining ε).
+        exceeded: BudgetExceeded,
+    },
+    /// A tenant was registered twice.
+    TenantAlreadyRegistered {
+        /// The duplicate tenant id.
+        tenant: TenantId,
+    },
+    /// The request ε is not strictly positive and finite.
+    InvalidEpsilon {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Graph ingestion failed to parse the edge list.
+    Ingest(ParseError),
+    /// The estimator itself failed (configuration, LP, …).
+    Estimator(CcdpError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::UnknownGraph { graph } => write!(f, "unknown graph `{graph}`"),
+            ServeError::UnknownTenant { tenant } => write!(f, "unknown tenant `{tenant}`"),
+            ServeError::BudgetExhausted { tenant, exceeded } => {
+                write!(f, "tenant `{tenant}`: {exceeded}")
+            }
+            ServeError::TenantAlreadyRegistered { tenant } => {
+                write!(f, "tenant `{tenant}` is already registered")
+            }
+            ServeError::InvalidEpsilon { value } => {
+                write!(
+                    f,
+                    "request epsilon must be positive and finite, got {value}"
+                )
+            }
+            ServeError::Ingest(e) => write!(f, "graph ingestion failed: {e}"),
+            ServeError::Estimator(e) => write!(f, "estimator failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Ingest(e) => Some(e),
+            ServeError::Estimator(e) => Some(e),
+            ServeError::BudgetExhausted { exceeded, .. } => Some(exceeded),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for ServeError {
+    fn from(e: ParseError) -> Self {
+        ServeError::Ingest(e)
+    }
+}
+
+impl From<CcdpError> for ServeError {
+    fn from(e: CcdpError) -> Self {
+        ServeError::Estimator(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = ServeError::UnknownGraph {
+            graph: GraphId::new("fleet/g3"),
+        };
+        assert!(e.to_string().contains("fleet/g3"));
+        let e = ServeError::BudgetExhausted {
+            tenant: TenantId::new("acme"),
+            exceeded: BudgetExceeded {
+                requested: 1.0,
+                remaining: 0.25,
+            },
+        };
+        assert!(e.to_string().contains("acme"));
+        assert!(e.to_string().contains("0.25"));
+        let e = ServeError::QueueFull { capacity: 8 };
+        assert!(e.to_string().contains('8'));
+    }
+}

@@ -1,0 +1,240 @@
+//! Per-tenant privacy-budget accounting for the serving tier.
+//!
+//! Differential privacy composes: every ε-release a tenant receives adds to
+//! the total ε spent on their behalf, so a server answering many requests
+//! must meter each tenant against a quota *centrally* — per-request checks in
+//! client code cannot see each other. [`BudgetLedger`] wraps one
+//! [`PrivacyBudget`] accountant per tenant behind a per-tenant mutex:
+//! admission is an atomic check-and-spend, so no interleaving of concurrent
+//! requests can push a tenant past its quota (overspending is a typed
+//! [`ServeError::BudgetExhausted`] refusal, never a silent grant).
+
+use crate::error::ServeError;
+use ccdp_dp::PrivacyBudget;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+pub use crate::ids::TenantId;
+
+/// Point-in-time view of one tenant's account.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantAccount {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// The tenant's total ε quota.
+    pub quota_epsilon: f64,
+    /// ε spent so far.
+    pub spent_epsilon: f64,
+    /// ε still available.
+    pub remaining_epsilon: f64,
+    /// Number of granted spends.
+    pub grants: usize,
+}
+
+/// A thread-safe map from tenant to privacy-budget accountant.
+///
+/// The tenant map is guarded by an `RwLock` (registration is rare, spending
+/// is hot), and each tenant's [`PrivacyBudget`] sits behind its own `Mutex`,
+/// so tenants never contend with each other on the spend path.
+#[derive(Debug, Default)]
+pub struct BudgetLedger {
+    tenants: RwLock<HashMap<TenantId, Arc<Mutex<PrivacyBudget>>>>,
+}
+
+impl BudgetLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `tenant` with a total ε quota.
+    ///
+    /// # Errors
+    /// [`ServeError::TenantAlreadyRegistered`] if the tenant exists (quotas
+    /// are immutable once granted — re-registering cannot launder a spent
+    /// budget).
+    ///
+    /// # Panics
+    /// Panics if `quota_epsilon` is not strictly positive and finite (same
+    /// contract as [`PrivacyBudget::new`]).
+    pub fn register(
+        &self,
+        tenant: impl Into<TenantId>,
+        quota_epsilon: f64,
+    ) -> Result<(), ServeError> {
+        let tenant = tenant.into();
+        let budget = Arc::new(Mutex::new(PrivacyBudget::new(quota_epsilon)));
+        let mut map = self.write();
+        if map.contains_key(&tenant) {
+            return Err(ServeError::TenantAlreadyRegistered { tenant });
+        }
+        map.insert(tenant, budget);
+        Ok(())
+    }
+
+    /// Atomically spends `epsilon` of `tenant`'s quota for `stage`.
+    ///
+    /// This is the single admission point of the serving tier: the check and
+    /// the spend happen under the tenant's lock, so concurrent requests can
+    /// never jointly overdraw the quota.
+    pub fn try_spend(
+        &self,
+        tenant: &TenantId,
+        stage: &str,
+        epsilon: f64,
+    ) -> Result<f64, ServeError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            // PrivacyBudget::spend would panic on this; a serving tier must
+            // refuse it as a typed error instead.
+            return Err(ServeError::InvalidEpsilon { value: epsilon });
+        }
+        let budget = self.account(tenant)?;
+        let mut budget = budget.lock().unwrap_or_else(|p| p.into_inner());
+        budget
+            .spend(stage, epsilon)
+            .map_err(|exceeded| ServeError::BudgetExhausted {
+                tenant: tenant.clone(),
+                exceeded,
+            })
+    }
+
+    /// Whether `tenant` could fund a spend of `epsilon` right now (advisory:
+    /// another request may win the budget between this check and a spend).
+    pub fn can_spend(&self, tenant: &TenantId, epsilon: f64) -> Result<bool, ServeError> {
+        let budget = self.account(tenant)?;
+        let budget = budget.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(budget.can_spend(epsilon))
+    }
+
+    /// Point-in-time account view for `tenant`.
+    pub fn account_view(&self, tenant: &TenantId) -> Result<TenantAccount, ServeError> {
+        let budget = self.account(tenant)?;
+        let budget = budget.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(TenantAccount {
+            tenant: tenant.clone(),
+            quota_epsilon: budget.total_epsilon(),
+            spent_epsilon: budget.spent_epsilon(),
+            remaining_epsilon: budget.remaining_epsilon(),
+            grants: budget.num_stages(),
+        })
+    }
+
+    /// All tenants, sorted.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut out: Vec<TenantId> = self.read().keys().cloned().collect();
+        out.sort();
+        out
+    }
+
+    /// Point-in-time snapshot of every account, sorted by tenant.
+    pub fn snapshot(&self) -> Vec<TenantAccount> {
+        self.tenants()
+            .into_iter()
+            .filter_map(|t| self.account_view(&t).ok())
+            .collect()
+    }
+
+    fn account(&self, tenant: &TenantId) -> Result<Arc<Mutex<PrivacyBudget>>, ServeError> {
+        self.read()
+            .get(tenant)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTenant {
+                tenant: tenant.clone(),
+            })
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<TenantId, Arc<Mutex<PrivacyBudget>>>> {
+        self.tenants.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, HashMap<TenantId, Arc<Mutex<PrivacyBudget>>>> {
+        self.tenants.write().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_once_only() {
+        let ledger = BudgetLedger::new();
+        ledger.register("acme", 2.0).unwrap();
+        let err = ledger.register("acme", 100.0).unwrap_err();
+        assert!(matches!(err, ServeError::TenantAlreadyRegistered { .. }));
+        // The original quota survives the failed re-registration.
+        let view = ledger.account_view(&TenantId::new("acme")).unwrap();
+        assert_eq!(view.quota_epsilon, 2.0);
+    }
+
+    #[test]
+    fn spending_is_metered_against_the_quota() {
+        let ledger = BudgetLedger::new();
+        ledger.register("acme", 1.0).unwrap();
+        let t = TenantId::new("acme");
+        assert!(ledger.can_spend(&t, 1.0).unwrap());
+        ledger.try_spend(&t, "release", 0.6).unwrap();
+        let err = ledger.try_spend(&t, "release", 0.6).unwrap_err();
+        match err {
+            ServeError::BudgetExhausted { tenant, exceeded } => {
+                assert_eq!(tenant, t);
+                assert!(exceeded.requested > exceeded.remaining);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // The refused spend consumed nothing.
+        let view = ledger.account_view(&t).unwrap();
+        assert!((view.spent_epsilon - 0.6).abs() < 1e-12);
+        assert_eq!(view.grants, 1);
+        // What remains is still spendable.
+        ledger.try_spend(&t, "release", 0.4).unwrap();
+        assert!(ledger.account_view(&t).unwrap().remaining_epsilon < 1e-9);
+    }
+
+    #[test]
+    fn malformed_epsilon_is_a_typed_refusal_not_a_panic() {
+        let ledger = BudgetLedger::new();
+        ledger.register("t", 1.0).unwrap();
+        let t = TenantId::new("t");
+        for bad in [-0.5, 0.0, f64::NAN, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    ledger.try_spend(&t, "x", bad),
+                    Err(ServeError::InvalidEpsilon { .. })
+                ),
+                "epsilon {bad} must be a typed refusal"
+            );
+        }
+        assert_eq!(ledger.account_view(&t).unwrap().grants, 0);
+    }
+
+    #[test]
+    fn unknown_tenants_are_typed_refusals() {
+        let ledger = BudgetLedger::new();
+        let t = TenantId::new("ghost");
+        assert!(matches!(
+            ledger.try_spend(&t, "x", 0.1).unwrap_err(),
+            ServeError::UnknownTenant { .. }
+        ));
+        assert!(matches!(
+            ledger.account_view(&t).unwrap_err(),
+            ServeError::UnknownTenant { .. }
+        ));
+    }
+
+    #[test]
+    fn snapshot_lists_every_tenant_sorted() {
+        let ledger = BudgetLedger::new();
+        ledger.register("b", 1.0).unwrap();
+        ledger.register("a", 2.0).unwrap();
+        ledger.try_spend(&TenantId::new("a"), "s", 0.5).unwrap();
+        let snap = ledger.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].tenant, TenantId::new("a"));
+        assert!((snap[0].spent_epsilon - 0.5).abs() < 1e-12);
+        assert_eq!(snap[1].tenant, TenantId::new("b"));
+        assert_eq!(snap[1].grants, 0);
+    }
+}

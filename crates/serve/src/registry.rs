@@ -1,0 +1,238 @@
+//! The sharded, lock-striped graph catalog behind a serving fleet.
+//!
+//! A serving tier answers releases over a *catalog* of graphs, so the graphs
+//! live in one shared [`GraphRegistry`] rather than being owned by any single
+//! estimator. The registry is striped across shards, each guarded by its own
+//! `RwLock`, so concurrent lookups of different graphs never contend on one
+//! lock, and graphs are handed out as `Arc<Graph>` so requests share storage
+//! with the registry instead of cloning edge lists.
+
+use crate::error::ServeError;
+use ccdp_graph::{io, Graph};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub use crate::ids::GraphId;
+
+/// Default number of lock stripes.
+pub const DEFAULT_SHARDS: usize = 16;
+
+type Shard = HashMap<GraphId, Arc<Graph>>;
+
+/// A sharded map from [`GraphId`] to `Arc<Graph>`.
+#[derive(Debug)]
+pub struct GraphRegistry {
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl GraphRegistry {
+    /// A registry with the default number of shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A registry striped across `shards` locks (≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
+        GraphRegistry {
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(Shard::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, id: &GraphId) -> usize {
+        let mut h = DefaultHasher::new();
+        id.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn read(&self, id: &GraphId) -> RwLockReadGuard<'_, Shard> {
+        self.shards[self.shard_of(id)]
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write(&self, id: &GraphId) -> RwLockWriteGuard<'_, Shard> {
+        self.shards[self.shard_of(id)]
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Stores `graph` under `id`, returning the previously stored graph if
+    /// this replaced one.
+    pub fn insert(&self, id: impl Into<GraphId>, graph: Graph) -> Option<Arc<Graph>> {
+        let id = id.into();
+        self.write(&id).insert(id.clone(), Arc::new(graph))
+    }
+
+    /// Parses `text` as a plain-text edge list (see [`ccdp_graph::io`]) and
+    /// stores the graph under `id`.
+    pub fn ingest_edge_list(
+        &self,
+        id: impl Into<GraphId>,
+        text: &str,
+    ) -> Result<Arc<Graph>, ServeError> {
+        let id = id.into();
+        let graph = Arc::new(io::from_edge_list(text)?);
+        self.write(&id).insert(id, Arc::clone(&graph));
+        Ok(graph)
+    }
+
+    /// The graph stored under `id`, if any.
+    pub fn get(&self, id: &GraphId) -> Option<Arc<Graph>> {
+        self.read(id).get(id).cloned()
+    }
+
+    /// Resolves `id` or reports the typed refusal a request would get.
+    pub fn resolve(&self, id: &GraphId) -> Result<Arc<Graph>, ServeError> {
+        self.get(id)
+            .ok_or_else(|| ServeError::UnknownGraph { graph: id.clone() })
+    }
+
+    /// Removes and returns the graph stored under `id`.
+    pub fn remove(&self, id: &GraphId) -> Option<Arc<Graph>> {
+        self.write(id).remove(id)
+    }
+
+    /// Number of graphs across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the registry holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All graph ids, sorted (stable across shard layouts).
+    pub fn ids(&self) -> Vec<GraphId> {
+        let mut ids: Vec<GraphId> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+impl Default for GraphRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdp_graph::generators;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let reg = GraphRegistry::new();
+        assert!(reg.is_empty());
+        let g = generators::path(5);
+        assert!(reg.insert("p5", g.clone()).is_none());
+        assert_eq!(reg.len(), 1);
+        let got = reg.get(&GraphId::new("p5")).unwrap();
+        assert_eq!(*got, g);
+        // Replacing returns the old graph.
+        let old = reg.insert("p5", generators::star(3)).unwrap();
+        assert_eq!(*old, g);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.remove(&GraphId::new("p5")).is_some());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn resolve_reports_typed_unknown_graph() {
+        let reg = GraphRegistry::new();
+        let err = reg.resolve(&GraphId::new("missing")).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::UnknownGraph {
+                graph: GraphId::new("missing")
+            }
+        );
+    }
+
+    #[test]
+    fn ingestion_parses_edge_lists_and_rejects_garbage() {
+        let reg = GraphRegistry::new();
+        let g = reg
+            .ingest_edge_list("tri", "# 3 3\n0 1\n1 2\n0 2\n")
+            .unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(reg.get(&GraphId::new("tri")).is_some());
+        let err = reg.ingest_edge_list("bad", "0 1\nnope\n").unwrap_err();
+        assert!(matches!(err, ServeError::Ingest(_)));
+        assert!(reg.get(&GraphId::new("bad")).is_none());
+    }
+
+    #[test]
+    fn ids_are_sorted_and_cover_all_shards() {
+        let reg = GraphRegistry::with_shards(4);
+        for i in 0..20 {
+            reg.insert(format!("g{i:02}"), generators::path(3));
+        }
+        let ids = reg.ids();
+        assert_eq!(ids.len(), 20);
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+        assert_eq!(reg.len(), 20);
+    }
+
+    #[test]
+    fn shard_striping_distributes_graphs() {
+        let reg = GraphRegistry::with_shards(8);
+        for i in 0..64 {
+            reg.insert(format!("graph-{i}"), generators::path(2));
+        }
+        // Not a distribution test, just that striping is actually in use: no
+        // single shard holds everything.
+        let max_shard = reg
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap().len())
+            .max()
+            .unwrap();
+        assert!(max_shard < 64);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_do_not_lose_graphs() {
+        let reg = Arc::new(GraphRegistry::new());
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        reg.insert(format!("t{t}-g{i}"), generators::star(3));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(reg.len(), 100);
+    }
+}

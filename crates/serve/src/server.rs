@@ -1,0 +1,662 @@
+//! The serving core: a fixed worker pool over a bounded request queue.
+//!
+//! [`Server::start`] spins up `workers` OS threads that pull
+//! [`ServeRequest`]s from one bounded `mpsc` channel. Submission is
+//! non-blocking: a full queue is a typed [`ServeError::QueueFull`] refusal
+//! (backpressure the caller can act on), never a silent block. Each request
+//! flows through the same pipeline:
+//!
+//! 1. resolve the graph in the shared [`GraphRegistry`],
+//! 2. atomically reserve the request's ε against the tenant's
+//!    [`BudgetLedger`] account (typed refusal if the quota can't fund it),
+//! 3. run the private estimator with the server's shared
+//!    [`ExtensionCache`] — concurrent requests for the same graph coalesce
+//!    into one family evaluation via the cache's single-flight table,
+//! 4. answer the caller through a per-request response channel.
+//!
+//! Shutdown is graceful: [`Server::shutdown`] closes the queue, lets the
+//! workers drain every accepted request, and joins them.
+//!
+//! Randomness is deterministic per request: worker threads derive a
+//! [`StdRng`] from the server seed and the request id, so a seeded server
+//! replays identical releases for an identical request schedule regardless
+//! of thread interleaving.
+
+use crate::error::ServeError;
+use crate::ledger::{BudgetLedger, TenantId};
+use crate::registry::{GraphId, GraphRegistry};
+use crate::stats::{RequestOutcome, ServeStats, StatsSnapshot};
+use ccdp_core::SolverBackend;
+use ccdp_core::{
+    CacheStats, Estimator, EstimatorConfig, ExtensionCache, PrivateCcEstimator, Release,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Server`] (non-panicking builder; values are clamped
+/// to sane minimums at start).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    workers: usize,
+    queue_capacity: usize,
+    cache_capacity: usize,
+    solver: SolverBackend,
+    seed: u64,
+    delta_max: Option<usize>,
+}
+
+impl ServeConfig {
+    /// Defaults: 4 workers, queue capacity 256, default cache capacity,
+    /// default solver backend, seed 0.
+    pub fn new() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: ccdp_core::cache::DEFAULT_FAMILY_CACHE_CAPACITY,
+            solver: SolverBackend::default(),
+            seed: 0,
+            delta_max: None,
+        }
+    }
+
+    /// Number of worker threads (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Bounded queue capacity (clamped to ≥ 1); beyond it submissions get
+    /// [`ServeError::QueueFull`].
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Capacity of the shared extension-family cache.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Forest-polytope solver backend used by every request.
+    pub fn with_solver(mut self, solver: SolverBackend) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Base seed of the per-request RNG derivation.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Δmax override forwarded to every estimator (see
+    /// [`EstimatorConfig::with_delta_max`]).
+    pub fn with_delta_max(mut self, delta_max: usize) -> Self {
+        self.delta_max = Some(delta_max);
+        self
+    }
+
+    /// The configured worker count (after clamping).
+    pub fn workers(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    /// The configured queue capacity (after clamping).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity.max(1)
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One request for a private connected-components release.
+#[derive(Clone, Debug)]
+pub struct ServeRequest {
+    /// The tenant whose budget funds the release.
+    pub tenant: TenantId,
+    /// The catalog graph to estimate on.
+    pub graph: GraphId,
+    /// The ε of this release (spent from the tenant's quota).
+    pub epsilon: f64,
+}
+
+impl ServeRequest {
+    /// Convenience constructor.
+    pub fn new(tenant: impl Into<TenantId>, graph: impl Into<GraphId>, epsilon: f64) -> Self {
+        ServeRequest {
+            tenant: tenant.into(),
+            graph: graph.into(),
+            epsilon,
+        }
+    }
+}
+
+/// The server's answer to one request.
+#[derive(Debug)]
+pub struct ServeResponse {
+    /// Server-assigned id (submission order).
+    pub request_id: u64,
+    /// The request this answers.
+    pub request: ServeRequest,
+    /// The release, or the typed refusal/failure.
+    pub result: Result<Release, ServeError>,
+    /// End-to-end latency (accepted → answered), including queue time.
+    pub latency: Duration,
+}
+
+/// A handle to a response that has not necessarily been produced yet.
+#[derive(Debug)]
+pub struct PendingResponse {
+    request_id: u64,
+    rx: Receiver<ServeResponse>,
+}
+
+impl PendingResponse {
+    /// The server-assigned request id.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> ServeResponse {
+        self.rx
+            .recv()
+            .expect("worker pool dropped a request without answering")
+    }
+
+    /// Blocks up to `timeout`; `Err(self)` if the response is still pending.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ServeResponse, PendingResponse> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resp) => Ok(resp),
+            Err(_) => Err(self),
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    request_id: u64,
+    request: ServeRequest,
+    accepted: Instant,
+    reply: SyncSender<ServeResponse>,
+}
+
+/// A multi-tenant serving instance: shared graph catalog, shared budget
+/// ledger, shared family cache, fixed worker pool.
+pub struct Server {
+    registry: Arc<GraphRegistry>,
+    ledger: Arc<BudgetLedger>,
+    cache: Arc<ExtensionCache>,
+    stats: Arc<ServeStats>,
+    config: ServeConfig,
+    queue: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    next_request_id: AtomicU64,
+}
+
+impl Server {
+    /// Starts the worker pool over the given catalog and ledger.
+    pub fn start(
+        config: ServeConfig,
+        registry: Arc<GraphRegistry>,
+        ledger: Arc<BudgetLedger>,
+    ) -> Self {
+        let cache = Arc::new(ExtensionCache::new(config.cache_capacity.max(1)));
+        let stats = Arc::new(ServeStats::new());
+        let (tx, rx) = sync_channel::<Job>(config.queue_capacity());
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers())
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let registry = Arc::clone(&registry);
+                let ledger = Arc::clone(&ledger);
+                let cache = Arc::clone(&cache);
+                let stats = Arc::clone(&stats);
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    worker_loop(&rx, &registry, &ledger, &cache, &stats, &config)
+                })
+            })
+            .collect();
+        Server {
+            registry,
+            ledger,
+            cache,
+            stats,
+            config,
+            queue: Some(tx),
+            workers,
+            next_request_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity
+    /// (typed backpressure — nothing was enqueued) and
+    /// [`ServeError::ShuttingDown`] after [`Server::shutdown`] began.
+    pub fn submit(&self, request: ServeRequest) -> Result<PendingResponse, ServeError> {
+        if !(request.epsilon.is_finite() && request.epsilon > 0.0) {
+            // Reject malformed requests before they consume queue space (and
+            // long before the budget accountant could panic on them).
+            return Err(ServeError::InvalidEpsilon {
+                value: request.epsilon,
+            });
+        }
+        let queue = self.queue.as_ref().ok_or(ServeError::ShuttingDown)?;
+        let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job {
+            request_id,
+            request,
+            accepted: Instant::now(),
+            reply: reply_tx,
+        };
+        match queue.try_send(job) {
+            Ok(()) => {
+                // Counted only after acceptance, so rejected submissions can
+                // never inflate the depth gauge or its peak; the gauge is
+                // signed because a worker may record the matching dequeue
+                // first.
+                self.stats.on_enqueue();
+                Ok(PendingResponse {
+                    request_id,
+                    rx: reply_rx,
+                })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.on_queue_full();
+                Err(ServeError::QueueFull {
+                    capacity: self.config.queue_capacity(),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// The shared graph catalog.
+    pub fn registry(&self) -> &Arc<GraphRegistry> {
+        &self.registry
+    }
+
+    /// The shared budget ledger.
+    pub fn ledger(&self) -> &Arc<BudgetLedger> {
+        &self.ledger
+    }
+
+    /// The shared extension-family cache (hit/miss/coalesce counters).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Live metrics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Closes the queue, drains every accepted request and joins the
+    /// workers. Returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_in_place();
+        self.stats.snapshot()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // Dropping the sender closes the channel; workers finish what was
+        // accepted, then their `recv` errors out and they exit.
+        self.queue = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.config)
+            .field("graphs", &self.registry.len())
+            .field("tenants", &self.ledger.tenants().len())
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+/// Pulls jobs until the queue closes. The mutex is held only for the `recv`
+/// itself, so workers hand off jobs one at a time but process in parallel.
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    registry: &GraphRegistry,
+    ledger: &BudgetLedger,
+    cache: &Arc<ExtensionCache>,
+    stats: &ServeStats,
+    config: &ServeConfig,
+) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv()
+        };
+        let job = match job {
+            Ok(job) => job,
+            Err(_) => return, // queue closed and drained: graceful exit
+        };
+        stats.on_dequeue();
+        // Contain panics: a pathological request must cost its caller a typed
+        // error, never a worker (a shrinking pool would be a silent brownout).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_request(&job, registry, ledger, cache, config)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            Err(ServeError::Estimator(ccdp_core::CcdpError::Algorithm(
+                ccdp_core::CoreError::InvalidParameter(msg),
+            )))
+        });
+        let outcome = match &result {
+            Ok(_) => RequestOutcome::Completed,
+            Err(ServeError::BudgetExhausted { .. }) => RequestOutcome::BudgetRefused,
+            Err(_) => RequestOutcome::Failed,
+        };
+        let latency = job.accepted.elapsed();
+        stats.on_done(latency, outcome);
+        // A dropped PendingResponse just means nobody is listening; the
+        // request was still served and accounted.
+        let _ = job.reply.try_send(ServeResponse {
+            request_id: job.request_id,
+            request: job.request,
+            result,
+            latency,
+        });
+    }
+}
+
+/// The per-request pipeline: resolve graph → reserve budget → estimate.
+fn handle_request(
+    job: &Job,
+    registry: &GraphRegistry,
+    ledger: &BudgetLedger,
+    cache: &Arc<ExtensionCache>,
+    config: &ServeConfig,
+) -> Result<Release, ServeError> {
+    let graph = registry.resolve(&job.request.graph)?;
+    // Reserve the whole request ε atomically *before* any computation: a
+    // refused request consumes neither budget nor solver time. Spent budget
+    // is never refunded on estimator failure — conservative accounting that
+    // can only over-count, never under-count, a tenant's exposure. The stage
+    // name is the graph id (borrowed, not formatted — this is the hot path),
+    // so the tenant ledger records which graph each grant funded.
+    ledger.try_spend(
+        &job.request.tenant,
+        job.request.graph.as_str(),
+        job.request.epsilon,
+    )?;
+    let mut est_config = EstimatorConfig::new(job.request.epsilon)
+        .with_solver(config.solver)
+        .with_shared_family_cache(Arc::clone(cache));
+    if let Some(delta_max) = config.delta_max {
+        est_config = est_config.with_delta_max(delta_max);
+    }
+    let estimator =
+        PrivateCcEstimator::from_config(est_config).map_err(|e| ServeError::Estimator(e.into()))?;
+    // Deterministic per-request stream: the same (seed, request id) pair
+    // draws the same noise whichever worker runs it.
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(job.request_id),
+    );
+    let release = Estimator::estimate(&estimator, &graph, &mut rng)?;
+    Ok(release)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdp_graph::generators;
+
+    fn fleet() -> (Arc<GraphRegistry>, Arc<BudgetLedger>) {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("stars", generators::planted_star_forest(10, 2, 3));
+        registry.insert("path", generators::path(12));
+        let ledger = Arc::new(BudgetLedger::new());
+        ledger.register("acme", 10.0).unwrap();
+        (registry, ledger)
+    }
+
+    #[test]
+    fn serves_a_release_end_to_end() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(ServeConfig::new().with_workers(2), registry, ledger);
+        let pending = server
+            .submit(ServeRequest::new("acme", "stars", 1.0))
+            .unwrap();
+        let response = pending.wait();
+        let release = response.result.unwrap();
+        assert!(release.value().is_finite());
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.failed, 0);
+    }
+
+    #[test]
+    fn unknown_graph_and_tenant_are_typed_failures() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(ServeConfig::new().with_workers(1), registry, ledger);
+        let r = server
+            .submit(ServeRequest::new("acme", "nope", 1.0))
+            .unwrap()
+            .wait();
+        assert!(matches!(r.result, Err(ServeError::UnknownGraph { .. })));
+        let r = server
+            .submit(ServeRequest::new("ghost", "stars", 1.0))
+            .unwrap()
+            .wait();
+        assert!(matches!(r.result, Err(ServeError::UnknownTenant { .. })));
+        let snap = server.shutdown();
+        assert_eq!(snap.failed, 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_refused_not_served() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(
+            ServeConfig::new().with_workers(1),
+            registry,
+            Arc::clone(&ledger),
+        );
+        let ok = server
+            .submit(ServeRequest::new("acme", "path", 8.0))
+            .unwrap()
+            .wait();
+        assert!(ok.result.is_ok());
+        let refused = server
+            .submit(ServeRequest::new("acme", "path", 8.0))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            refused.result,
+            Err(ServeError::BudgetExhausted { .. })
+        ));
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.budget_refusals, 1);
+        // The refused request spent nothing.
+        let view = ledger.account_view(&TenantId::new("acme")).unwrap();
+        assert!((view.spent_epsilon - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_queue_is_typed_backpressure() {
+        let registry = Arc::new(GraphRegistry::new());
+        // A big enough graph that one request occupies the lone worker for a
+        // moment, letting the queue fill behind it.
+        registry.insert("g", generators::caveman(6, 6));
+        let ledger = Arc::new(BudgetLedger::new());
+        ledger.register("acme", 1e6).unwrap();
+        let server = Server::start(
+            ServeConfig::new().with_workers(1).with_queue_capacity(1),
+            registry,
+            ledger,
+        );
+        let mut pending = Vec::new();
+        let mut saw_queue_full = false;
+        for _ in 0..50 {
+            match server.submit(ServeRequest::new("acme", "g", 0.1)) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    saw_queue_full = true;
+                }
+                Err(other) => panic!("unexpected submit error: {other:?}"),
+            }
+        }
+        assert!(saw_queue_full, "queue of capacity 1 never reported full");
+        for p in pending {
+            assert!(p.wait().result.is_ok());
+        }
+        let snap = server.shutdown();
+        assert!(snap.rejected_queue_full > 0);
+        assert_eq!(snap.failed, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(
+            ServeConfig::new().with_workers(2).with_queue_capacity(64),
+            registry,
+            ledger,
+        );
+        let pending: Vec<_> = (0..16)
+            .map(|_| {
+                server
+                    .submit(ServeRequest::new("acme", "path", 0.05))
+                    .unwrap()
+            })
+            .collect();
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 16, "graceful shutdown must drain the queue");
+        for p in pending {
+            assert!(p.wait().result.is_ok());
+        }
+    }
+
+    #[test]
+    fn malformed_epsilon_is_refused_at_submission() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(ServeConfig::new().with_workers(1), registry, ledger);
+        for bad in [-1.0, 0.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    server.submit(ServeRequest::new("acme", "path", bad)),
+                    Err(ServeError::InvalidEpsilon { .. })
+                ),
+                "epsilon {bad} must be refused"
+            );
+        }
+        // The refusals consumed no queue slots, workers or budget, and the
+        // pool still serves.
+        let ok = server
+            .submit(ServeRequest::new("acme", "path", 0.5))
+            .unwrap()
+            .wait();
+        assert!(ok.result.is_ok());
+        let snap = server.shutdown();
+        assert_eq!((snap.received, snap.completed, snap.failed), (1, 1, 0));
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let (registry, ledger) = fleet();
+        let mut server = Server::start(ServeConfig::new(), registry, ledger);
+        server.shutdown_in_place();
+        assert!(matches!(
+            server.submit(ServeRequest::new("acme", "path", 0.1)),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn identical_seeded_runs_release_identical_values() {
+        let run = || {
+            let (registry, ledger) = fleet();
+            let server = Server::start(
+                ServeConfig::new().with_workers(3).with_seed(7),
+                registry,
+                ledger,
+            );
+            let pending: Vec<_> = (0..8)
+                .map(|i| {
+                    let graph = if i % 2 == 0 { "stars" } else { "path" };
+                    server
+                        .submit(ServeRequest::new("acme", graph, 0.5))
+                        .unwrap()
+                })
+                .collect();
+            let mut values: Vec<(u64, f64)> = pending
+                .into_iter()
+                .map(|p| {
+                    let r = p.wait();
+                    (r.request_id, r.result.unwrap().value())
+                })
+                .collect();
+            values.sort_by_key(|&(id, _)| id);
+            values
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "per-request seeding must make runs replayable"
+        );
+    }
+
+    #[test]
+    fn repeated_requests_share_one_family_evaluation() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(
+            ServeConfig::new().with_workers(4).with_seed(3),
+            registry,
+            ledger,
+        );
+        let pending: Vec<_> = (0..12)
+            .map(|_| {
+                server
+                    .submit(ServeRequest::new("acme", "stars", 0.25))
+                    .unwrap()
+            })
+            .collect();
+        for p in pending {
+            assert!(p.wait().result.is_ok());
+        }
+        let cache = server.cache_stats();
+        assert_eq!(
+            cache.misses, 1,
+            "12 requests for one graph must evaluate the family once: {cache:?}"
+        );
+        assert_eq!(cache.hits + cache.coalesced, 11);
+        server.shutdown();
+    }
+}

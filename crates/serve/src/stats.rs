@@ -1,0 +1,226 @@
+//! Serving metrics: counters, queue depth and latency percentiles.
+//!
+//! [`ServeStats`] is the server's always-on instrument panel: lock-free
+//! counters on the hot path (one atomic bump per event), a queue-depth gauge
+//! with a high-water mark, and a mutex-guarded reservoir of per-request
+//! latencies from which [`StatsSnapshot`] computes p50/p99. Snapshots are
+//! point-in-time and cheap enough to take mid-run.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Cap on stored latency samples (a uniform-ish reservoir beyond this).
+const MAX_LATENCY_SAMPLES: usize = 65_536;
+
+/// Live counters of a running server.
+#[derive(Debug)]
+pub struct ServeStats {
+    started: Instant,
+    received: AtomicU64,
+    completed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    budget_refusals: AtomicU64,
+    failed: AtomicU64,
+    /// Signed: a worker may record its dequeue before the submitting thread
+    /// records the matching enqueue, so the gauge can transiently dip below
+    /// zero (snapshots clamp it).
+    queue_depth: AtomicI64,
+    peak_queue_depth: AtomicI64,
+    latencies_us: Mutex<Vec<u64>>,
+    /// Total samples ever offered (drives reservoir replacement).
+    latency_samples_seen: AtomicU64,
+}
+
+impl ServeStats {
+    /// Fresh counters with the clock started now.
+    pub fn new() -> Self {
+        ServeStats {
+            started: Instant::now(),
+            received: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            budget_refusals: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            queue_depth: AtomicI64::new(0),
+            peak_queue_depth: AtomicI64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+            latency_samples_seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Records an *accepted* enqueue (rejected submissions never touch the
+    /// depth gauge or the peak, so backpressure storms cannot inflate them);
+    /// returns the new queue depth.
+    pub(crate) fn on_enqueue(&self) -> i64 {
+        self.received.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        depth
+    }
+
+    /// Records a dequeue by a worker.
+    pub(crate) fn on_dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a queue-full rejection.
+    pub(crate) fn on_queue_full(&self) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a finished request and its latency.
+    pub(crate) fn on_done(&self, latency: Duration, outcome: RequestOutcome) {
+        match outcome {
+            RequestOutcome::Completed => self.completed.fetch_add(1, Ordering::Relaxed),
+            RequestOutcome::BudgetRefused => self.budget_refusals.fetch_add(1, Ordering::Relaxed),
+            RequestOutcome::Failed => self.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let seen = self.latency_samples_seen.fetch_add(1, Ordering::Relaxed) as usize;
+        let mut lat = self.latencies_us.lock().unwrap_or_else(|p| p.into_inner());
+        if lat.len() < MAX_LATENCY_SAMPLES {
+            lat.push(us);
+        } else {
+            // Cheap deterministic reservoir: overwrite a rolling slot so a
+            // long run keeps a bounded, recency-mixed sample.
+            lat[seen % MAX_LATENCY_SAMPLES] = us;
+        }
+    }
+
+    /// Current queue depth (requests accepted but not yet picked up).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Point-in-time snapshot (percentiles computed over the sample
+    /// reservoir).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut lat = self
+            .latencies_us
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        lat.sort_unstable();
+        let elapsed = self.started.elapsed();
+        let completed = self.completed.load(Ordering::Relaxed);
+        StatsSnapshot {
+            elapsed,
+            received: self.received.load(Ordering::Relaxed),
+            completed,
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            budget_refusals: self.budget_refusals.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+                completed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            p50_latency: percentile(&lat, 0.50),
+            p99_latency: percentile(&lat, 0.99),
+        }
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How one request ended (for counter purposes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RequestOutcome {
+    /// A release was produced.
+    Completed,
+    /// The tenant's budget refused the spend.
+    BudgetRefused,
+    /// Any other failure (unknown graph/tenant, estimator error).
+    Failed,
+}
+
+/// Point-in-time metrics of a server.
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Time since the stats were created (≈ server start).
+    pub elapsed: Duration,
+    /// Requests accepted into the queue.
+    pub received: u64,
+    /// Requests that produced a release.
+    pub completed: u64,
+    /// Submissions refused with [`QueueFull`](crate::ServeError::QueueFull).
+    pub rejected_queue_full: u64,
+    /// Requests refused by a tenant's budget ledger.
+    pub budget_refusals: u64,
+    /// Requests that failed for any other reason.
+    pub failed: u64,
+    /// Requests accepted but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Highest queue depth observed.
+    pub peak_queue_depth: u64,
+    /// Completed requests per second of elapsed time.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency (submit → response).
+    pub p50_latency: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: Duration,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample of microseconds.
+fn percentile(sorted_us: &[u64], q: f64) -> Duration {
+    if sorted_us.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted_us.len() as f64 * q).ceil() as usize).clamp(1, sorted_us.len());
+    Duration::from_micros(sorted_us[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_the_request_lifecycle() {
+        let stats = ServeStats::new();
+        assert_eq!(stats.on_enqueue(), 1);
+        assert_eq!(stats.on_enqueue(), 2);
+        stats.on_dequeue();
+        stats.on_done(Duration::from_millis(3), RequestOutcome::Completed);
+        stats.on_dequeue();
+        stats.on_done(Duration::from_millis(5), RequestOutcome::BudgetRefused);
+        stats.on_queue_full();
+        let snap = stats.snapshot();
+        assert_eq!(snap.received, 2);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.budget_refusals, 1);
+        assert_eq!(snap.rejected_queue_full, 1);
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.peak_queue_depth, 2);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let us: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&us, 0.50), Duration::from_micros(50));
+        assert_eq!(percentile(&us, 0.99), Duration::from_micros(99));
+        assert_eq!(percentile(&us, 1.0), Duration::from_micros(100));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(percentile(&[7], 0.99), Duration::from_micros(7));
+    }
+
+    #[test]
+    fn snapshot_percentiles_reflect_recorded_latencies() {
+        let stats = ServeStats::new();
+        for ms in [1u64, 2, 3, 4, 100] {
+            stats.on_enqueue();
+            stats.on_dequeue();
+            stats.on_done(Duration::from_millis(ms), RequestOutcome::Completed);
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.p50_latency, Duration::from_millis(3));
+        assert_eq!(snap.p99_latency, Duration::from_millis(100));
+        assert!(snap.throughput_rps > 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Drive the serving tier with the deterministic CI load spec.
+//!
+//! Runs 64 closed-loop clients against a 4-worker server holding an 8-graph
+//! fleet, with 4 tenants metering their ε quotas through the shared budget
+//! ledger (one of them, `burst`, is deliberately under-provisioned so typed
+//! budget refusals show up in the mix). Prints the throughput / latency /
+//! cache summary and, with `--json PATH`, writes the metrics JSON the CI
+//! smoke job archives as `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release --example serve_fleet
+//! cargo run --release --example serve_fleet -- --requests 512 --clients 32
+//! cargo run --release --example serve_fleet -- --json BENCH_serve.json
+//! ```
+
+use ccdp::prelude::*;
+
+fn main() {
+    let mut spec = LoadSpec::ci_smoke();
+    let mut json_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("flag {} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--requests" => {
+                spec.requests = value(i).parse().expect("--requests takes a count");
+                i += 2;
+            }
+            "--clients" => {
+                spec.clients = value(i).parse().expect("--clients takes a count");
+                i += 2;
+            }
+            "--workers" => {
+                let workers = value(i).parse().expect("--workers takes a count");
+                spec.server = spec.server.clone().with_workers(workers);
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(value(i).to_string());
+                i += 2;
+            }
+            other => panic!("unknown flag `{other}` (try --requests/--clients/--workers/--json)"),
+        }
+    }
+
+    println!(
+        "serve_fleet: {} requests from {} clients over {} graphs, {} tenants",
+        spec.requests,
+        spec.clients,
+        spec.graphs.len(),
+        spec.tenants.len()
+    );
+    let report = spec.run();
+
+    println!();
+    println!("  completed            {:>8}", report.completed);
+    println!("  budget refusals      {:>8}", report.budget_refusals);
+    println!("  failed               {:>8}", report.failed);
+    println!("  backpressure retries {:>8}", report.backpressure_retries);
+    println!(
+        "  wall clock           {:>8.3} s",
+        report.wall_clock.as_secs_f64()
+    );
+    println!(
+        "  throughput           {:>8.1} req/s",
+        report.throughput_rps
+    );
+    println!(
+        "  latency p50 / p99    {:>8.2} / {:.2} ms",
+        report.snapshot.p50_latency.as_secs_f64() * 1e3,
+        report.snapshot.p99_latency.as_secs_f64() * 1e3
+    );
+    println!(
+        "  peak queue depth     {:>8}",
+        report.snapshot.peak_queue_depth
+    );
+    println!(
+        "  cache                {:>8} hits, {} coalesced, {} misses, {} evictions",
+        report.cache.hits, report.cache.coalesced, report.cache.misses, report.cache.evictions
+    );
+    println!(
+        "  cache hit rate       {:>8.1} %",
+        report.cache_hit_rate() * 100.0
+    );
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).expect("writing the JSON report");
+        println!("\nwrote {path}");
+    }
+
+    assert!(report.is_complete(), "some requests were never answered");
+    assert_eq!(report.failed, 0, "no request may fail outright");
+    assert!(
+        report.cache_hit_rate() > 0.5,
+        "repeated-graph mix must be served mostly from cache (got {:.1} %)",
+        report.cache_hit_rate() * 100.0
+    );
+}

@@ -52,6 +52,7 @@
 pub use ccdp_core as core;
 pub use ccdp_dp as dp;
 pub use ccdp_graph as graph;
+pub use ccdp_serve as serve;
 
 // The curated public API at the crate root.
 pub use ccdp_core::{
@@ -82,6 +83,10 @@ pub mod prelude {
     };
     pub use ccdp_dp::{BudgetExceeded, PrivacyBudget};
     pub use ccdp_graph::{components, forest, generators, io, sensitivity, stars, subgraph, Graph};
+    pub use ccdp_serve::{
+        BudgetLedger, GraphId, GraphRegistry, LoadReport, LoadSpec, PendingResponse, ServeConfig,
+        ServeError, ServeRequest, ServeResponse, Server, StatsSnapshot, TenantId,
+    };
     pub use rand::rngs::StdRng;
     pub use rand::{Rng, RngCore, SeedableRng};
 }

@@ -1,0 +1,152 @@
+//! End-to-end serving-tier integration through the `ccdp` facade: catalog
+//! ingestion, multi-tenant metering, coalesced family evaluations and the
+//! deterministic load generator, all via `ccdp::prelude`.
+
+use ccdp::prelude::*;
+use ccdp::serve::{GraphSpec, TenantSpec};
+use std::sync::Arc;
+
+#[test]
+fn facade_serves_a_multi_tenant_fleet() {
+    let registry = Arc::new(GraphRegistry::new());
+    // Ingest one graph from the wire format, build one programmatically.
+    registry
+        .ingest_edge_list("wire", &io::to_edge_list(&generators::caveman(3, 4)))
+        .unwrap();
+    registry.insert("gen", generators::planted_star_forest(8, 2, 2));
+    assert_eq!(registry.len(), 2);
+
+    let ledger = Arc::new(BudgetLedger::new());
+    ledger.register("teamA", 5.0).unwrap();
+    ledger.register("teamB", 0.4).unwrap();
+
+    let server = Server::start(
+        ServeConfig::new().with_workers(3).with_seed(17),
+        Arc::clone(&registry),
+        Arc::clone(&ledger),
+    );
+
+    // teamA: several releases across both graphs.
+    let pending: Vec<_> = (0..6)
+        .map(|i| {
+            let graph = if i % 2 == 0 { "wire" } else { "gen" };
+            server
+                .submit(ServeRequest::new("teamA", graph, 0.5))
+                .unwrap()
+        })
+        .collect();
+    for p in pending {
+        let response = p.wait();
+        let release = response.result.expect("teamA is funded");
+        assert!(release.value().is_finite());
+    }
+
+    // teamB: first release fits the quota, the second is a typed refusal.
+    let ok = server
+        .submit(ServeRequest::new("teamB", "gen", 0.3))
+        .unwrap()
+        .wait();
+    assert!(ok.result.is_ok());
+    let refused = server
+        .submit(ServeRequest::new("teamB", "gen", 0.3))
+        .unwrap()
+        .wait();
+    assert!(matches!(
+        refused.result,
+        Err(ServeError::BudgetExhausted { .. })
+    ));
+
+    // The shared cache did one evaluation per unique graph.
+    let cache = server.cache_stats();
+    assert_eq!(cache.misses, 2, "{cache:?}");
+
+    let snap = server.shutdown();
+    assert_eq!(snap.completed, 7);
+    assert_eq!(snap.budget_refusals, 1);
+
+    // The ledger survives the server: accounts are inspectable afterwards.
+    let team_a = ledger.account_view(&TenantId::new("teamA")).unwrap();
+    assert!((team_a.spent_epsilon - 3.0).abs() < 1e-9);
+    assert_eq!(team_a.grants, 6);
+}
+
+#[test]
+fn load_generator_meets_the_ci_acceptance_bar() {
+    // A scaled-down cousin of the CI spec (fast under `cargo test -q`):
+    // repeated-graph mix must be served mostly from cache and nothing may
+    // fail outright.
+    let spec = LoadSpec {
+        graphs: vec![
+            GraphSpec::ErdosRenyi {
+                n: 40,
+                avg_degree: 2.5,
+                seed: 3,
+            },
+            GraphSpec::Star { leaves: 20 },
+            GraphSpec::Path { n: 30 },
+        ],
+        tenants: vec![
+            TenantSpec {
+                name: "a".into(),
+                quota_epsilon: 50.0,
+                weight: 2.0,
+            },
+            TenantSpec {
+                name: "b".into(),
+                quota_epsilon: 50.0,
+                weight: 1.0,
+            },
+        ],
+        clients: 16,
+        requests: 96,
+        epsilon_per_request: 0.2,
+        seed: 42,
+        server: ServeConfig::new().with_workers(4).with_queue_capacity(64),
+    };
+    let report = spec.run();
+    assert!(report.is_complete(), "{report:?}");
+    assert_eq!(report.completed, 96);
+    assert_eq!(report.failed, 0);
+    assert!(
+        report.cache_hit_rate() > 0.5,
+        "hit rate {:.2} below the acceptance bar",
+        report.cache_hit_rate()
+    );
+    assert_eq!(report.cache.misses, 3, "one evaluation per fleet graph");
+    // The JSON artifact carries the fields the CI job archives.
+    let json = report.to_json();
+    for field in [
+        "throughput_rps",
+        "p99_latency_ms",
+        "cache_hit_rate",
+        "budget_refusals",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+}
+
+#[test]
+fn seeded_load_runs_are_reproducible_in_their_accounting() {
+    let spec = LoadSpec {
+        graphs: vec![GraphSpec::Path { n: 16 }],
+        tenants: vec![TenantSpec {
+            name: "t".into(),
+            quota_epsilon: 3.0,
+            weight: 1.0,
+        }],
+        clients: 8,
+        requests: 24,
+        epsilon_per_request: 0.25,
+        seed: 7,
+        server: ServeConfig::new().with_workers(4).with_queue_capacity(16),
+    };
+    let (a, b) = (spec.run(), spec.run());
+    // Wall-clock and latency vary run to run; the *accounting* may not:
+    // same grants, same refusals, same cache miss count.
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.budget_refusals, b.budget_refusals);
+    assert_eq!(a.failed, b.failed);
+    assert_eq!(a.cache.misses, b.cache.misses);
+    assert_eq!(a.completed, 12, "3.0 ε funds exactly 12 spends of 0.25");
+    assert_eq!(a.budget_refusals, 12);
+}

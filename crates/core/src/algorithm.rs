@@ -86,7 +86,9 @@ impl PrivateSpanningForestEstimator {
     ) -> Result<std::sync::Arc<Vec<ExtensionEvaluation>>, CcdpError> {
         let backend = self.config.solver();
         match &self.family_cache {
-            Some(cache) => Ok(cache.evaluate_family(g, grid, backend)?),
+            Some(cache) => {
+                Ok(cache.evaluate_family_tagged(g, grid, backend, self.config.graph_tag())?)
+            }
             None => Ok(std::sync::Arc::new(evaluate_family_with(g, grid, backend)?)),
         }
     }

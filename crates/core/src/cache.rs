@@ -21,6 +21,7 @@
 
 use crate::error::CoreError;
 use crate::extension::{evaluate_family_with, ExtensionEvaluation};
+use ccdp_graph::GraphVersion;
 use ccdp_lp::SolverBackend;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +30,40 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 /// Default number of (graph, grid, backend) entries kept per cache.
 pub const DEFAULT_FAMILY_CACHE_CAPACITY: usize = 64;
 
+/// Catalog identity of a graph snapshot: which graph, at which version.
+///
+/// Untagged evaluations are keyed by the exact edge list alone. A serving or
+/// streaming tier that names its graphs tags each evaluation with the
+/// snapshot it came from, which buys two things the edge list cannot:
+/// entries of superseded versions can be [invalidated in
+/// bulk](ExtensionCache::invalidate_graph), and a release served for version
+/// `v` can never replay a family cached under any other version — even if
+/// two versions happen to share an edge list, their cache entries stay
+/// distinct.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub struct GraphTag {
+    /// Catalog id of the graph.
+    pub id: String,
+    /// Snapshot version the evaluation belongs to.
+    pub version: GraphVersion,
+}
+
+impl GraphTag {
+    /// A tag for `id` at `version`.
+    pub fn new(id: impl Into<String>, version: GraphVersion) -> Self {
+        GraphTag {
+            id: id.into(),
+            version,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.id, self.version)
+    }
+}
+
 /// Exact identity of one family evaluation.
 #[derive(Clone, Debug, Hash, PartialEq, Eq)]
 struct CacheKey {
@@ -36,6 +71,8 @@ struct CacheKey {
     edges: Vec<(usize, usize)>,
     grid: Vec<usize>,
     backend: SolverBackend,
+    /// Catalog identity, when the caller serves versioned snapshots.
+    tag: Option<GraphTag>,
 }
 
 /// One in-flight family evaluation that followers can wait on.
@@ -116,6 +153,10 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Entries dropped to enforce the capacity bound.
     pub evictions: u64,
+    /// Entries dropped by explicit invalidation
+    /// ([`invalidate_graph`](ExtensionCache::invalidate_graph) /
+    /// [`invalidate_versions_below`](ExtensionCache::invalidate_versions_below)).
+    pub invalidations: u64,
     /// Entries currently stored.
     pub entries: usize,
 }
@@ -143,6 +184,7 @@ pub struct ExtensionCache {
     misses: AtomicU64,
     coalesced: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl ExtensionCache {
@@ -155,6 +197,7 @@ impl ExtensionCache {
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -170,6 +213,7 @@ impl ExtensionCache {
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: self.lock().map.len(),
         }
     }
@@ -177,6 +221,38 @@ impl ExtensionCache {
     /// Drops every stored entry (counters and in-flight evaluations are kept).
     pub fn clear(&self) {
         self.lock().map.clear();
+    }
+
+    /// Evicts every entry tagged with catalog id `graph_id`, whatever its
+    /// version; returns how many entries were dropped (also added to the
+    /// `invalidations` counter). Untagged entries are never touched.
+    ///
+    /// An in-flight evaluation of the graph is not interrupted: its result is
+    /// still delivered to the callers already waiting on it and may be
+    /// inserted after this call returns. Callers that retire a graph should
+    /// therefore invalidate *after* the last request for it has drained, or
+    /// simply stop issuing its tag.
+    pub fn invalidate_graph(&self, graph_id: &str) -> usize {
+        self.invalidate_where(|tag| tag.id == graph_id)
+    }
+
+    /// Evicts every entry of `graph_id` with a version strictly below
+    /// `version` (bulk invalidation of superseded snapshots); returns how
+    /// many entries were dropped.
+    pub fn invalidate_versions_below(&self, graph_id: &str, version: GraphVersion) -> usize {
+        self.invalidate_where(|tag| tag.id == graph_id && tag.version < version)
+    }
+
+    fn invalidate_where(&self, victim: impl Fn(&GraphTag) -> bool) -> usize {
+        let mut inner = self.lock();
+        let before = inner.map.len();
+        inner
+            .map
+            .retain(|key, _| !key.tag.as_ref().is_some_and(&victim));
+        let dropped = before - inner.map.len();
+        self.invalidations
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
     }
 
     /// Evaluates the family `{f_Δ}` of `g` on `grid` with `backend`, answering
@@ -189,11 +265,27 @@ impl ExtensionCache {
         grid: &[usize],
         backend: SolverBackend,
     ) -> Result<Arc<Vec<ExtensionEvaluation>>, CoreError> {
+        self.evaluate_family_tagged(g, grid, backend, None)
+    }
+
+    /// [`evaluate_family`](Self::evaluate_family) with an optional catalog
+    /// [`GraphTag`]. Tagged entries are keyed by `(id, version)` *in addition
+    /// to* the edge list, so evaluations of different snapshot versions never
+    /// answer for each other and can be invalidated per graph or per version
+    /// range.
+    pub fn evaluate_family_tagged(
+        &self,
+        g: &ccdp_graph::Graph,
+        grid: &[usize],
+        backend: SolverBackend,
+        tag: Option<&GraphTag>,
+    ) -> Result<Arc<Vec<ExtensionEvaluation>>, CoreError> {
         let key = CacheKey {
             num_vertices: g.num_vertices(),
             edges: g.edge_vec(),
             grid: grid.to_vec(),
             backend,
+            tag: tag.cloned(),
         };
 
         let flight = {
@@ -332,6 +424,7 @@ impl std::fmt::Debug for ExtensionCache {
             .field("misses", &stats.misses)
             .field("coalesced", &stats.coalesced)
             .field("evictions", &stats.evictions)
+            .field("invalidations", &stats.invalidations)
             .finish()
     }
 }
@@ -472,6 +565,89 @@ mod tests {
             assert_eq!(c.delta, d.delta);
             assert_eq!(c.path, d.path);
         }
+    }
+
+    #[test]
+    fn tags_separate_versions_of_one_graph() {
+        let cache = ExtensionCache::new(8);
+        let g = generators::path(5);
+        let grid = [1usize, 2, 4];
+        let v0 = GraphTag::new("fleet/g0", GraphVersion::INITIAL);
+        let v1 = GraphTag::new("fleet/g0", GraphVersion::new(1));
+        // Same edge list, different versions: distinct entries, no replay.
+        cache
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&v0))
+            .unwrap();
+        cache
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&v1))
+            .unwrap();
+        // And distinct from the untagged entry of the same edge list.
+        cache
+            .evaluate_family(&g, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 3));
+        // Re-asking for a version is a hit.
+        cache
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&v0))
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn invalidate_graph_bulk_evicts_all_versions() {
+        let cache = ExtensionCache::new(16);
+        let g = generators::path(4);
+        let grid = [1usize, 2];
+        for v in 0..3 {
+            let tag = GraphTag::new("a", GraphVersion::new(v));
+            cache
+                .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag))
+                .unwrap();
+        }
+        let other = GraphTag::new("b", GraphVersion::INITIAL);
+        cache
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&other))
+            .unwrap();
+        cache
+            .evaluate_family(&g, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        assert_eq!(cache.invalidate_graph("a"), 3);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 3);
+        // `b` and the untagged entry survive; capacity evictions were not
+        // involved.
+        assert_eq!((stats.entries, stats.evictions), (2, 0));
+        // The invalidated versions re-evaluate from scratch.
+        let tag = GraphTag::new("a", GraphVersion::new(2));
+        cache
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag))
+            .unwrap();
+        assert_eq!(cache.stats().misses, 6);
+    }
+
+    #[test]
+    fn invalidate_versions_below_keeps_the_frontier() {
+        let cache = ExtensionCache::new(16);
+        let g = generators::star(4);
+        let grid = [1usize, 2];
+        for v in 0..4 {
+            let tag = GraphTag::new("g", GraphVersion::new(v));
+            cache
+                .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag))
+                .unwrap();
+        }
+        assert_eq!(
+            cache.invalidate_versions_below("g", GraphVersion::new(3)),
+            3
+        );
+        assert_eq!(cache.stats().entries, 1);
+        // The frontier version is still a hit.
+        let tag = GraphTag::new("g", GraphVersion::new(3));
+        cache
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag))
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! and reports typed [`ConfigError`]s so services can reject bad requests
 //! without catching panics.
 
-use crate::cache::ExtensionCache;
+use crate::cache::{ExtensionCache, GraphTag};
+use ccdp_graph::GraphVersion;
 use ccdp_lp::SolverBackend;
 use std::fmt;
 use std::sync::Arc;
@@ -95,6 +96,7 @@ pub struct EstimatorConfig {
     solver: SolverBackend,
     family_cache_enabled: bool,
     shared_family_cache: Option<Arc<ExtensionCache>>,
+    graph_tag: Option<GraphTag>,
 }
 
 impl PartialEq for EstimatorConfig {
@@ -111,6 +113,7 @@ impl PartialEq for EstimatorConfig {
             && self.solver == other.solver
             && self.family_cache_enabled == other.family_cache_enabled
             && same_cache
+            && self.graph_tag == other.graph_tag
     }
 }
 
@@ -129,6 +132,7 @@ impl EstimatorConfig {
             solver: SolverBackend::default(),
             family_cache_enabled: true,
             shared_family_cache: None,
+            graph_tag: None,
         }
     }
 
@@ -181,6 +185,17 @@ impl EstimatorConfig {
         self
     }
 
+    /// Tags the estimator's cache lookups with the catalog identity of the
+    /// graph snapshot it serves (`id` at `version`). Tagged entries never
+    /// answer for another version of the same graph and can be invalidated in
+    /// bulk (see [`ExtensionCache::invalidate_graph`]). A data-independent
+    /// serving annotation: it changes which cache slot is used, never what is
+    /// computed.
+    pub fn with_graph_tag(mut self, id: impl Into<String>, version: GraphVersion) -> Self {
+        self.graph_tag = Some(GraphTag::new(id, version));
+        self
+    }
+
     /// The total privacy parameter ε.
     pub fn epsilon(&self) -> f64 {
         self.epsilon
@@ -214,6 +229,11 @@ impl EstimatorConfig {
     /// The shared family cache, if one was supplied.
     pub fn shared_family_cache(&self) -> Option<&Arc<ExtensionCache>> {
         self.shared_family_cache.as_ref()
+    }
+
+    /// The catalog tag cache lookups carry, if one was set.
+    pub fn graph_tag(&self) -> Option<&GraphTag> {
+        self.graph_tag.as_ref()
     }
 
     /// Resolves the family cache this configuration asks for: the shared one
@@ -367,11 +387,26 @@ mod tests {
     }
 
     #[test]
+    fn graph_tag_round_trips() {
+        let config = EstimatorConfig::new(1.0);
+        assert!(config.graph_tag().is_none());
+        let config = config.with_graph_tag("fleet/g0", GraphVersion::new(3));
+        let tag = config.graph_tag().unwrap();
+        assert_eq!(tag.id, "fleet/g0");
+        assert_eq!(tag.version, GraphVersion::new(3));
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
     fn config_equality_accounts_for_the_new_fields() {
         assert_eq!(EstimatorConfig::new(1.0), EstimatorConfig::new(1.0));
         assert_ne!(
             EstimatorConfig::new(1.0),
             EstimatorConfig::new(1.0).with_solver(SolverBackend::Simplex)
+        );
+        assert_ne!(
+            EstimatorConfig::new(1.0).with_graph_tag("g", GraphVersion::INITIAL),
+            EstimatorConfig::new(1.0).with_graph_tag("g", GraphVersion::new(1))
         );
         let shared = Arc::new(ExtensionCache::default());
         assert_eq!(

@@ -86,7 +86,7 @@ pub use accuracy::{measure_errors, ErrorStats};
 pub use algorithm::{PrivateCcEstimator, PrivateSpanningForestEstimator};
 pub use anchor::{in_anchor_set, in_optimal_monotone_anchor_set, smallest_anchor_delta};
 pub use baselines::{EdgeDpBaseline, FixedDeltaBaseline, NaiveNodeDpBaseline, NonPrivateBaseline};
-pub use cache::{CacheStats, ExtensionCache};
+pub use cache::{CacheStats, ExtensionCache, GraphTag};
 pub use config::{ConfigError, EstimatorConfig};
 pub use downsens_extension::{
     downsens_extension, downsens_extension_fdelta, downsens_extension_fsf,

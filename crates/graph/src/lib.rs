@@ -26,6 +26,7 @@ pub mod stars;
 pub mod subgraph;
 pub mod traversal;
 pub mod unionfind;
+pub mod version;
 
 pub use components::{component_sizes, components, num_connected_components, spanning_forest_size};
 pub use forest::{bfs_spanning_forest, bounded_degree_spanning_forest, SpanningForest};
@@ -33,3 +34,4 @@ pub use graph::Graph;
 pub use sensitivity::{down_sensitivity_fcc, down_sensitivity_fsf};
 pub use stars::induced_star_number;
 pub use unionfind::UnionFind;
+pub use version::GraphVersion;

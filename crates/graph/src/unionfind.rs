@@ -33,6 +33,16 @@ impl UnionFind {
         self.num_sets
     }
 
+    /// Grows the universe to `n` elements, adding the new ones as singleton
+    /// sets. A no-op when `n` is not larger than the current length.
+    pub fn grow(&mut self, n: usize) {
+        while self.parent.len() < n {
+            self.parent.push(self.parent.len());
+            self.rank.push(0);
+            self.num_sets += 1;
+        }
+    }
+
     /// Representative of the set containing `x` (with path compression).
     pub fn find(&mut self, x: usize) -> usize {
         let mut root = x;
@@ -116,6 +126,22 @@ mod tests {
         let uf = UnionFind::new(0);
         assert!(uf.is_empty());
         assert_eq!(uf.num_sets(), 0);
+    }
+
+    #[test]
+    fn grow_adds_singletons() {
+        let mut uf = UnionFind::new(2);
+        uf.union(0, 1);
+        uf.grow(5);
+        assert_eq!(uf.len(), 5);
+        assert_eq!(uf.num_sets(), 4);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(1, 4));
+        uf.union(2, 4);
+        assert_eq!(uf.num_sets(), 3);
+        // Shrinking requests are no-ops.
+        uf.grow(3);
+        assert_eq!(uf.len(), 5);
     }
 
     #[test]

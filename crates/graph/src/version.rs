@@ -1,0 +1,67 @@
+//! Monotonic graph-snapshot versions.
+//!
+//! A mutating graph (see the `ccdp_stream` crate) publishes a sequence of
+//! immutable snapshots; [`GraphVersion`] is the ordinal that names one of
+//! them. Versions are totally ordered and only ever move forward — a
+//! registry entry, cache key or release record stamped with a version can
+//! therefore never be confused with an earlier or later state of the same
+//! graph.
+
+/// Monotonically increasing version of one graph's snapshot sequence.
+///
+/// Plain value type: `Copy`, ordered, hashable, starts at
+/// [`GraphVersion::INITIAL`] and advances with [`GraphVersion::next`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphVersion(u64);
+
+impl GraphVersion {
+    /// The version of a graph's first published snapshot.
+    pub const INITIAL: GraphVersion = GraphVersion(0);
+
+    /// A version with the given ordinal.
+    pub fn new(version: u64) -> Self {
+        GraphVersion(version)
+    }
+
+    /// The ordinal of this version.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The version immediately after this one.
+    ///
+    /// # Panics
+    /// Panics on overflow of the `u64` ordinal (2^64 snapshots).
+    pub fn next(self) -> Self {
+        GraphVersion(self.0.checked_add(1).expect("graph version overflow"))
+    }
+}
+
+impl std::fmt::Display for GraphVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for GraphVersion {
+    fn from(v: u64) -> Self {
+        GraphVersion(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_ordered_and_advance() {
+        let v0 = GraphVersion::INITIAL;
+        let v1 = v0.next();
+        assert!(v0 < v1);
+        assert_eq!(v1.value(), 1);
+        assert_eq!(v1, GraphVersion::new(1));
+        assert_eq!(GraphVersion::from(7).value(), 7);
+        assert_eq!(v1.to_string(), "v1");
+        assert_eq!(GraphVersion::default(), GraphVersion::INITIAL);
+    }
+}

@@ -10,6 +10,7 @@ use crate::registry::GraphId;
 use ccdp_core::CcdpError;
 use ccdp_dp::BudgetExceeded;
 use ccdp_graph::io::ParseError;
+use ccdp_graph::GraphVersion;
 
 /// Errors surfaced by the serving tier.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,6 +27,33 @@ pub enum ServeError {
     UnknownGraph {
         /// The graph id that failed to resolve.
         graph: GraphId,
+    },
+    /// The request pins a snapshot version the registry does not hold for
+    /// this graph (never published, or already expired).
+    UnknownVersion {
+        /// The graph id.
+        graph: GraphId,
+        /// The version that failed to resolve.
+        version: GraphVersion,
+    },
+    /// A snapshot was published twice under one `(graph, version)` pair.
+    /// Snapshots are immutable: re-publishing is refused, never overwritten.
+    VersionExists {
+        /// The graph id.
+        graph: GraphId,
+        /// The already-published version.
+        version: GraphVersion,
+    },
+    /// A backfill publish named a version older than the registry's
+    /// retention window can hold: accepting it would expire it on the spot,
+    /// so the publish is refused instead of silently dropped.
+    VersionExpired {
+        /// The graph id.
+        graph: GraphId,
+        /// The refused backfill version.
+        version: GraphVersion,
+        /// The oldest version the retention window still holds.
+        oldest_retained: GraphVersion,
     },
     /// The request names a tenant the ledger does not know.
     UnknownTenant {
@@ -63,6 +91,21 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::UnknownGraph { graph } => write!(f, "unknown graph `{graph}`"),
+            ServeError::UnknownVersion { graph, version } => {
+                write!(f, "graph `{graph}` has no snapshot at {version}")
+            }
+            ServeError::VersionExists { graph, version } => {
+                write!(f, "graph `{graph}` already has a snapshot at {version}")
+            }
+            ServeError::VersionExpired {
+                graph,
+                version,
+                oldest_retained,
+            } => write!(
+                f,
+                "graph `{graph}`: backfill at {version} is behind the retention window \
+                 (oldest retained: {oldest_retained})"
+            ),
             ServeError::UnknownTenant { tenant } => write!(f, "unknown tenant `{tenant}`"),
             ServeError::BudgetExhausted { tenant, exceeded } => {
                 write!(f, "tenant `{tenant}`: {exceeded}")
@@ -126,5 +169,16 @@ mod tests {
         assert!(e.to_string().contains("0.25"));
         let e = ServeError::QueueFull { capacity: 8 };
         assert!(e.to_string().contains('8'));
+        let e = ServeError::UnknownVersion {
+            graph: GraphId::new("g"),
+            version: GraphVersion::new(4),
+        };
+        assert!(e.to_string().contains("v4"));
+        let e = ServeError::VersionExists {
+            graph: GraphId::new("g"),
+            version: GraphVersion::new(2),
+        };
+        assert!(e.to_string().contains("already"));
+        assert!(e.to_string().contains("v2"));
     }
 }

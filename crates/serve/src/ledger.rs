@@ -8,6 +8,18 @@
 //! admission is an atomic check-and-spend, so no interleaving of concurrent
 //! requests can push a tenant past its quota (overspending is a typed
 //! [`ServeError::BudgetExhausted`] refusal, never a silent grant).
+//!
+//! # Continual releases (the streaming tier)
+//!
+//! The `ccdp_stream` release scheduler charges this same ledger: every fired
+//! re-estimation of an evolving graph spends its ε here *before* the
+//! estimator runs, under the identical check-and-spend, with the ledger
+//! stage named `graph-id@version` so a tenant's account reads as a versioned
+//! audit trail of which snapshot each grant funded. Releases about
+//! *different versions of one graph* still compose sequentially against the
+//! tenant's single quota — node-DP composition is per tenant, not per
+//! snapshot — and an exhausted quota stops that tenant's releases (typed
+//! refusal) while ingestion and other tenants continue untouched.
 
 use crate::error::ServeError;
 use ccdp_dp::PrivacyBudget;

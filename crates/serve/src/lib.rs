@@ -5,8 +5,10 @@
 //! *fleet* of them servable. It owns everything a caller would otherwise
 //! hand-roll around [`PrivateCcEstimator`](ccdp_core::PrivateCcEstimator):
 //!
-//! * [`registry`] — the sharded, lock-striped [`GraphRegistry`]: a shared
-//!   catalog of `Arc<Graph>`s with plain-text edge-list ingestion.
+//! * [`registry`] — the sharded, lock-striped, version-aware
+//!   [`GraphRegistry`]: a shared catalog of immutable `Arc<Graph>` snapshot
+//!   histories (insert/get by `(GraphId, GraphVersion)`, a latest pointer,
+//!   expiry of stale versions) with plain-text edge-list ingestion.
 //! * [`ledger`] — the per-tenant [`BudgetLedger`]: one
 //!   [`PrivacyBudget`](ccdp_dp::PrivacyBudget) accountant per tenant behind a
 //!   per-tenant lock, so no interleaving of concurrent requests can overdraw
@@ -18,7 +20,8 @@
 //!   table coalesces concurrent misses on the same (graph, grid, backend)
 //!   key into one family evaluation.
 //! * [`stats`] — [`ServeStats`] / [`StatsSnapshot`]: throughput, queue
-//!   depth, p50/p99 latency, refusal counters.
+//!   depth, refusal counters, and p50/p99 latency from a lock-free
+//!   log-spaced-bucket [`LatencyHistogram`].
 //! * [`loadgen`] — the deterministic [`LoadSpec`] load generator and its
 //!   [`LoadReport`] (the CI smoke artifact).
 //! * [`error`] — the typed [`ServeError`] failure surface.
@@ -58,9 +61,10 @@ pub mod registry;
 pub mod server;
 pub mod stats;
 
+pub use ccdp_graph::GraphVersion;
 pub use error::ServeError;
 pub use ledger::{BudgetLedger, TenantAccount, TenantId};
 pub use loadgen::{GraphSpec, LoadReport, LoadSpec, TenantSpec};
 pub use registry::{GraphId, GraphRegistry};
 pub use server::{PendingResponse, ServeConfig, ServeRequest, ServeResponse, Server};
-pub use stats::{ServeStats, StatsSnapshot};
+pub use stats::{LatencyHistogram, ServeStats, StatsSnapshot};

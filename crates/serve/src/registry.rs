@@ -1,4 +1,5 @@
-//! The sharded, lock-striped graph catalog behind a serving fleet.
+//! The sharded, lock-striped, version-aware graph catalog behind a serving
+//! fleet.
 //!
 //! A serving tier answers releases over a *catalog* of graphs, so the graphs
 //! live in one shared [`GraphRegistry`] rather than being owned by any single
@@ -6,11 +7,19 @@
 //! `RwLock`, so concurrent lookups of different graphs never contend on one
 //! lock, and graphs are handed out as `Arc<Graph>` so requests share storage
 //! with the registry instead of cloning edge lists.
+//!
+//! Each catalog id holds a *history* of immutable snapshot versions (see
+//! [`GraphVersion`]): a streaming layer publishes new versions as the graph
+//! mutates, requests resolve either a pinned `(id, version)` pair or the
+//! latest pointer, and stale versions can be expired without disturbing the
+//! frontier. Publishing the same `(id, version)` twice is a typed
+//! [`ServeError::VersionExists`] refusal — snapshots are immutable, so
+//! re-publishing could only mean two different graphs claiming one identity.
 
 use crate::error::ServeError;
-use ccdp_graph::{io, Graph};
+use ccdp_graph::{io, Graph, GraphVersion};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -19,27 +28,55 @@ pub use crate::ids::GraphId;
 /// Default number of lock stripes.
 pub const DEFAULT_SHARDS: usize = 16;
 
-type Shard = HashMap<GraphId, Arc<Graph>>;
+/// Default number of snapshot versions retained per graph id. Publishing
+/// beyond it silently expires the oldest versions, so an update-style caller
+/// that republishes one id forever holds bounded memory; pass `0` to
+/// [`GraphRegistry::with_retention`] for unlimited histories.
+pub const DEFAULT_VERSION_RETENTION: usize = 8;
 
-/// A sharded map from [`GraphId`] to `Arc<Graph>`.
+/// The version history of one catalog id. The `BTreeMap` keeps versions
+/// ordered, so the latest pointer is the last key and range expiry is a
+/// split.
+type History = BTreeMap<GraphVersion, Arc<Graph>>;
+
+type Shard = HashMap<GraphId, History>;
+
+/// A sharded map from [`GraphId`] to a version history of `Arc<Graph>`
+/// snapshots.
 #[derive(Debug)]
 pub struct GraphRegistry {
     shards: Vec<RwLock<Shard>>,
+    /// Per-id history bound enforced on publish (0 = unlimited).
+    retention: usize,
 }
 
 impl GraphRegistry {
-    /// A registry with the default number of shards.
+    /// A registry with the default number of shards and version retention.
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
     }
 
-    /// A registry striped across `shards` locks (≥ 1).
+    /// A registry striped across `shards` locks (≥ 1), with the default
+    /// version retention.
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_retention(shards, DEFAULT_VERSION_RETENTION)
+    }
+
+    /// A registry keeping at most `retention` snapshot versions per id
+    /// (0 = unlimited): publishing past the bound expires the oldest
+    /// versions, never the newly published frontier.
+    pub fn with_retention(shards: usize, retention: usize) -> Self {
         GraphRegistry {
             shards: (0..shards.max(1))
                 .map(|_| RwLock::new(Shard::new()))
                 .collect(),
+            retention,
         }
+    }
+
+    /// The per-id version retention bound (0 = unlimited).
+    pub fn retention(&self) -> usize {
+        self.retention
     }
 
     /// Number of lock stripes.
@@ -65,47 +102,229 @@ impl GraphRegistry {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Stores `graph` under `id`, returning the previously stored graph if
-    /// this replaced one.
-    pub fn insert(&self, id: impl Into<GraphId>, graph: Graph) -> Option<Arc<Graph>> {
+    /// Publishes `graph` under `id` as the next version after the current
+    /// latest ([`GraphVersion::INITIAL`] for a fresh id), returning the
+    /// previously latest snapshot if this superseded one.
+    ///
+    /// Prior versions are retained up to the registry's
+    /// [`retention`](GraphRegistry::retention) bound — republishing one id
+    /// forever holds bounded memory (see also
+    /// [`GraphRegistry::evict_versions_below`] and
+    /// [`GraphRegistry::retain_latest`] for explicit expiry).
+    pub fn insert(
+        &self,
+        id: impl Into<GraphId>,
+        graph: impl Into<Arc<Graph>>,
+    ) -> Option<Arc<Graph>> {
         let id = id.into();
-        self.write(&id).insert(id.clone(), Arc::new(graph))
+        let mut shard = self.write(&id);
+        let history = shard.entry(id).or_default();
+        let version = next_version(history);
+        let previous = history.last_key_value().map(|(_, g)| Arc::clone(g));
+        history.insert(version, graph.into());
+        enforce_retention(history, self.retention);
+        previous
+    }
+
+    /// Publishes `graph` under the exact `(id, version)` pair (takes a
+    /// `Graph` or an `Arc<Graph>` — an already-shared snapshot is published
+    /// without copying).
+    ///
+    /// # Errors
+    /// [`ServeError::VersionExists`] if that snapshot is already published
+    /// (snapshots are immutable; nothing is overwritten), and
+    /// [`ServeError::VersionExpired`] if the version is a backfill older
+    /// than the retention window can hold — accepting it would expire it on
+    /// the spot, so `Ok` always means the snapshot is actually resolvable.
+    pub fn insert_version(
+        &self,
+        id: impl Into<GraphId>,
+        version: GraphVersion,
+        graph: impl Into<Arc<Graph>>,
+    ) -> Result<Arc<Graph>, ServeError> {
+        let id = id.into();
+        let graph = graph.into();
+        let mut shard = self.write(&id);
+        let history = shard.entry(id.clone()).or_default();
+        if history.contains_key(&version) {
+            return Err(ServeError::VersionExists { graph: id, version });
+        }
+        if self.retention > 0 && history.len() >= self.retention {
+            if let Some((&oldest, _)) = history.first_key_value() {
+                if version < oldest {
+                    return Err(ServeError::VersionExpired {
+                        graph: id,
+                        version,
+                        oldest_retained: oldest,
+                    });
+                }
+            }
+        }
+        history.insert(version, Arc::clone(&graph));
+        enforce_retention(history, self.retention);
+        Ok(graph)
     }
 
     /// Parses `text` as a plain-text edge list (see [`ccdp_graph::io`]) and
-    /// stores the graph under `id`.
+    /// publishes the graph under `id` at [`GraphVersion::INITIAL`].
+    ///
+    /// # Errors
+    /// [`ServeError::Ingest`] on a malformed edge list, and
+    /// [`ServeError::VersionExists`] when `id` already holds an initial
+    /// snapshot — re-ingesting an existing id is a typed refusal, never a
+    /// silent overwrite.
     pub fn ingest_edge_list(
         &self,
         id: impl Into<GraphId>,
         text: &str,
     ) -> Result<Arc<Graph>, ServeError> {
-        let id = id.into();
-        let graph = Arc::new(io::from_edge_list(text)?);
-        self.write(&id).insert(id, Arc::clone(&graph));
-        Ok(graph)
+        self.ingest_edge_list_version(id, GraphVersion::INITIAL, text)
     }
 
-    /// The graph stored under `id`, if any.
+    /// [`ingest_edge_list`](Self::ingest_edge_list) at an explicit version.
+    pub fn ingest_edge_list_version(
+        &self,
+        id: impl Into<GraphId>,
+        version: GraphVersion,
+        text: &str,
+    ) -> Result<Arc<Graph>, ServeError> {
+        let graph = io::from_edge_list(text)?;
+        self.insert_version(id, version, graph)
+    }
+
+    /// The latest snapshot stored under `id`, if any.
     pub fn get(&self, id: &GraphId) -> Option<Arc<Graph>> {
-        self.read(id).get(id).cloned()
+        self.read(id)
+            .get(id)
+            .and_then(|h| h.last_key_value())
+            .map(|(_, g)| Arc::clone(g))
     }
 
-    /// Resolves `id` or reports the typed refusal a request would get.
+    /// The snapshot stored under `(id, version)`, if any.
+    pub fn get_version(&self, id: &GraphId, version: GraphVersion) -> Option<Arc<Graph>> {
+        self.read(id)
+            .get(id)
+            .and_then(|h| h.get(&version))
+            .map(Arc::clone)
+    }
+
+    /// The latest published version of `id`, if any.
+    pub fn latest_version(&self, id: &GraphId) -> Option<GraphVersion> {
+        self.read(id)
+            .get(id)
+            .and_then(|h| h.last_key_value())
+            .map(|(&v, _)| v)
+    }
+
+    /// All published versions of `id`, ascending.
+    pub fn versions(&self, id: &GraphId) -> Vec<GraphVersion> {
+        self.read(id)
+            .get(id)
+            .map(|h| h.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Resolves the latest snapshot of `id` or reports the typed refusal a
+    /// request would get.
     pub fn resolve(&self, id: &GraphId) -> Result<Arc<Graph>, ServeError> {
-        self.get(id)
+        Ok(self.resolve_latest(id)?.1)
+    }
+
+    /// Resolves the latest snapshot of `id` together with its version.
+    pub fn resolve_latest(&self, id: &GraphId) -> Result<(GraphVersion, Arc<Graph>), ServeError> {
+        self.read(id)
+            .get(id)
+            .and_then(|h| h.last_key_value())
+            .map(|(&v, g)| (v, Arc::clone(g)))
             .ok_or_else(|| ServeError::UnknownGraph { graph: id.clone() })
     }
 
-    /// Removes and returns the graph stored under `id`.
-    pub fn remove(&self, id: &GraphId) -> Option<Arc<Graph>> {
-        self.write(id).remove(id)
+    /// Resolves the exact `(id, version)` snapshot, distinguishing an unknown
+    /// id ([`ServeError::UnknownGraph`]) from a known id whose requested
+    /// version is unpublished or expired ([`ServeError::UnknownVersion`]).
+    pub fn resolve_version(
+        &self,
+        id: &GraphId,
+        version: GraphVersion,
+    ) -> Result<Arc<Graph>, ServeError> {
+        let shard = self.read(id);
+        let history = shard
+            .get(id)
+            .ok_or_else(|| ServeError::UnknownGraph { graph: id.clone() })?;
+        history
+            .get(&version)
+            .map(Arc::clone)
+            .ok_or_else(|| ServeError::UnknownVersion {
+                graph: id.clone(),
+                version,
+            })
     }
 
-    /// Number of graphs across all shards.
+    /// Expires every snapshot of `id` with a version strictly below
+    /// `version`, returning how many were evicted. The latest snapshot is
+    /// always kept, even if it falls below the cutoff — expiry prunes
+    /// history, it never unpublishes a graph.
+    pub fn evict_versions_below(&self, id: &GraphId, version: GraphVersion) -> usize {
+        let mut shard = self.write(id);
+        let Some(history) = shard.get_mut(id) else {
+            return 0;
+        };
+        let Some((&latest, _)) = history.last_key_value() else {
+            return 0;
+        };
+        let cutoff = version.min(latest);
+        let kept = history.split_off(&cutoff);
+        let evicted = history.len();
+        *history = kept;
+        evicted
+    }
+
+    /// Keeps only the `keep` most recent snapshots of `id` (≥ 1), returning
+    /// how many older ones were evicted.
+    pub fn retain_latest(&self, id: &GraphId, keep: usize) -> usize {
+        let keep = keep.max(1);
+        let mut shard = self.write(id);
+        let Some(history) = shard.get_mut(id) else {
+            return 0;
+        };
+        if history.len() <= keep {
+            return 0;
+        }
+        let cutoff = *history.keys().nth_back(keep - 1).expect("len > keep");
+        let kept = history.split_off(&cutoff);
+        let evicted = history.len();
+        *history = kept;
+        evicted
+    }
+
+    /// Removes and returns the latest snapshot stored under `id`, dropping
+    /// the whole version history.
+    pub fn remove(&self, id: &GraphId) -> Option<Arc<Graph>> {
+        self.write(id)
+            .remove(id)
+            .and_then(|h| h.into_values().next_back())
+    }
+
+    /// Number of catalog ids across all shards (not versions; see
+    /// [`GraphRegistry::num_versions`]).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
             .map(|s| s.read().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    /// Total number of stored snapshots across all ids and versions.
+    pub fn num_versions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .values()
+                    .map(BTreeMap::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -132,6 +351,28 @@ impl GraphRegistry {
     }
 }
 
+/// The version `insert` publishes next: one past the latest, or the initial
+/// version for a fresh history.
+fn next_version(history: &History) -> GraphVersion {
+    history
+        .last_key_value()
+        .map(|(&v, _)| v.next())
+        .unwrap_or(GraphVersion::INITIAL)
+}
+
+/// Expires the oldest versions beyond the registry's retention bound
+/// (0 = unlimited). Called on every publish, so histories can exceed the
+/// bound only between a publish and this sweep — never observably.
+fn enforce_retention(history: &mut History, retention: usize) {
+    if retention == 0 {
+        return;
+    }
+    while history.len() > retention {
+        let oldest = *history.keys().next().expect("len > retention > 0");
+        history.remove(&oldest);
+    }
+}
+
 impl Default for GraphRegistry {
     fn default() -> Self {
         Self::new()
@@ -152,7 +393,7 @@ mod tests {
         assert_eq!(reg.len(), 1);
         let got = reg.get(&GraphId::new("p5")).unwrap();
         assert_eq!(*got, g);
-        // Replacing returns the old graph.
+        // Superseding returns the previously latest snapshot.
         let old = reg.insert("p5", generators::star(3)).unwrap();
         assert_eq!(*old, g);
         assert_eq!(reg.len(), 1);
@@ -161,13 +402,85 @@ mod tests {
     }
 
     #[test]
-    fn resolve_reports_typed_unknown_graph() {
+    fn insert_advances_the_version_history() {
+        let reg = GraphRegistry::new();
+        let id = GraphId::new("g");
+        reg.insert(id.clone(), generators::path(2));
+        reg.insert(id.clone(), generators::path(3));
+        reg.insert(id.clone(), generators::path(4));
+        assert_eq!(reg.latest_version(&id), Some(GraphVersion::new(2)));
+        assert_eq!(
+            reg.versions(&id),
+            vec![
+                GraphVersion::INITIAL,
+                GraphVersion::new(1),
+                GraphVersion::new(2)
+            ]
+        );
+        assert_eq!(reg.num_versions(), 3);
+        assert_eq!(reg.len(), 1);
+        // Pinned resolution sees every retained version.
+        assert_eq!(
+            reg.get_version(&id, GraphVersion::INITIAL)
+                .unwrap()
+                .num_vertices(),
+            2
+        );
+        assert_eq!(reg.resolve(&id).unwrap().num_vertices(), 4);
+        let (v, g) = reg.resolve_latest(&id).unwrap();
+        assert_eq!(v, GraphVersion::new(2));
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    fn insert_version_refuses_republishing() {
+        let reg = GraphRegistry::new();
+        let id = GraphId::new("g");
+        reg.insert_version(id.clone(), GraphVersion::new(5), generators::path(3))
+            .unwrap();
+        let err = reg
+            .insert_version(id.clone(), GraphVersion::new(5), generators::star(4))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::VersionExists {
+                graph: id.clone(),
+                version: GraphVersion::new(5)
+            }
+        );
+        // The original snapshot survived the refused re-publish.
+        assert_eq!(
+            reg.get_version(&id, GraphVersion::new(5))
+                .unwrap()
+                .num_vertices(),
+            3
+        );
+    }
+
+    #[test]
+    fn resolve_reports_typed_unknown_graph_and_version() {
         let reg = GraphRegistry::new();
         let err = reg.resolve(&GraphId::new("missing")).unwrap_err();
         assert_eq!(
             err,
             ServeError::UnknownGraph {
                 graph: GraphId::new("missing")
+            }
+        );
+        // Unknown id vs known id at an unpublished version are distinct
+        // refusals.
+        let id = GraphId::new("g");
+        reg.insert(id.clone(), generators::path(3));
+        let err = reg
+            .resolve_version(&GraphId::new("missing"), GraphVersion::INITIAL)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownGraph { .. }));
+        let err = reg.resolve_version(&id, GraphVersion::new(9)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::UnknownVersion {
+                graph: id,
+                version: GraphVersion::new(9)
             }
         );
     }
@@ -184,6 +497,79 @@ mod tests {
         let err = reg.ingest_edge_list("bad", "0 1\nnope\n").unwrap_err();
         assert!(matches!(err, ServeError::Ingest(_)));
         assert!(reg.get(&GraphId::new("bad")).is_none());
+    }
+
+    #[test]
+    fn reingesting_an_existing_id_is_a_typed_refusal_not_an_overwrite() {
+        // Regression: this used to silently overwrite the stored graph.
+        let reg = GraphRegistry::new();
+        reg.ingest_edge_list("g", "# 3 2\n0 1\n1 2\n").unwrap();
+        let err = reg.ingest_edge_list("g", "# 2 1\n0 1\n").unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::VersionExists {
+                graph: GraphId::new("g"),
+                version: GraphVersion::INITIAL
+            }
+        );
+        // The original graph is untouched.
+        assert_eq!(reg.get(&GraphId::new("g")).unwrap().num_vertices(), 3);
+        assert_eq!(reg.num_versions(), 1);
+        // Publishing the same id at a *new* version is fine.
+        reg.ingest_edge_list_version("g", GraphVersion::new(1), "# 2 1\n0 1\n")
+            .unwrap();
+        assert_eq!(reg.get(&GraphId::new("g")).unwrap().num_vertices(), 2);
+    }
+
+    #[test]
+    fn stale_versions_can_be_expired_without_unpublishing() {
+        let reg = GraphRegistry::new();
+        let id = GraphId::new("g");
+        for n in 2..7 {
+            reg.insert(id.clone(), generators::path(n));
+        }
+        assert_eq!(reg.num_versions(), 5);
+        // Expire everything below v3.
+        assert_eq!(reg.evict_versions_below(&id, GraphVersion::new(3)), 3);
+        assert_eq!(
+            reg.versions(&id),
+            vec![GraphVersion::new(3), GraphVersion::new(4)]
+        );
+        // An expired version is a typed UnknownVersion, the frontier remains.
+        assert!(matches!(
+            reg.resolve_version(&id, GraphVersion::INITIAL),
+            Err(ServeError::UnknownVersion { .. })
+        ));
+        assert!(reg.resolve(&id).is_ok());
+        // A cutoff past the latest still keeps the latest snapshot.
+        assert_eq!(reg.evict_versions_below(&id, GraphVersion::new(100)), 1);
+        assert_eq!(reg.versions(&id), vec![GraphVersion::new(4)]);
+        assert_eq!(reg.latest_version(&id), Some(GraphVersion::new(4)));
+    }
+
+    #[test]
+    fn retain_latest_bounds_history_depth() {
+        let reg = GraphRegistry::new();
+        let id = GraphId::new("g");
+        for n in 2..10 {
+            reg.insert(id.clone(), generators::path(n));
+        }
+        assert_eq!(reg.retain_latest(&id, 3), 5);
+        assert_eq!(
+            reg.versions(&id),
+            vec![
+                GraphVersion::new(5),
+                GraphVersion::new(6),
+                GraphVersion::new(7)
+            ]
+        );
+        // Already within bound: nothing to do. keep=0 clamps to 1.
+        assert_eq!(reg.retain_latest(&id, 3), 0);
+        assert_eq!(reg.retain_latest(&id, 0), 2);
+        assert_eq!(reg.versions(&id), vec![GraphVersion::new(7)]);
+        // Version numbering continues after expiry — versions never recycle.
+        reg.insert(id.clone(), generators::path(20));
+        assert_eq!(reg.latest_version(&id), Some(GraphVersion::new(8)));
     }
 
     #[test]
@@ -234,5 +620,84 @@ mod tests {
             w.join().unwrap();
         }
         assert_eq!(reg.len(), 100);
+    }
+
+    #[test]
+    fn default_retention_bounds_update_style_callers() {
+        // Republishing one id forever must hold bounded memory: the history
+        // stays at the retention bound, always keeping the frontier.
+        let reg = GraphRegistry::new();
+        let id = GraphId::new("refreshed");
+        for n in 2..42 {
+            reg.insert(id.clone(), generators::path(n));
+        }
+        assert_eq!(reg.num_versions(), DEFAULT_VERSION_RETENTION);
+        assert_eq!(reg.latest_version(&id), Some(GraphVersion::new(39)));
+        assert_eq!(reg.resolve(&id).unwrap().num_vertices(), 41);
+        // Retention 0 = unlimited.
+        let reg = GraphRegistry::with_retention(4, 0);
+        for n in 2..42 {
+            reg.insert(id.clone(), generators::path(n));
+        }
+        assert_eq!(reg.num_versions(), 40);
+    }
+
+    #[test]
+    fn backfills_behind_the_retention_window_are_refused_not_dropped() {
+        // Regression: insert_version used to return Ok while enforce_retention
+        // immediately expired the just-inserted backfill.
+        let reg = GraphRegistry::with_retention(4, 3);
+        let id = GraphId::new("g");
+        for v in 1..=3u64 {
+            reg.insert_version(id.clone(), GraphVersion::new(v), generators::path(3))
+                .unwrap();
+        }
+        let err = reg
+            .insert_version(id.clone(), GraphVersion::new(0), generators::path(3))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::VersionExpired {
+                graph: id.clone(),
+                version: GraphVersion::new(0),
+                oldest_retained: GraphVersion::new(1),
+            }
+        );
+        assert_eq!(reg.num_versions(), 3);
+        // A backfill that fits inside the window (above the current oldest)
+        // is accepted and resolvable; the oldest is expired to make room.
+        for v in [10u64, 11] {
+            reg.insert_version(id.clone(), GraphVersion::new(v), generators::path(3))
+                .unwrap();
+        }
+        let ok = reg.insert_version(id.clone(), GraphVersion::new(9), generators::path(3));
+        assert!(ok.is_ok());
+        assert!(reg.get_version(&id, GraphVersion::new(9)).is_some());
+        assert_eq!(reg.num_versions(), 3);
+    }
+
+    #[test]
+    fn concurrent_version_publishers_never_collide() {
+        // Four writers each publish 25 versions of ONE graph via `insert`;
+        // the histories must interleave without ever losing a snapshot.
+        let reg = Arc::new(GraphRegistry::with_retention(DEFAULT_SHARDS, 0));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        reg.insert("shared", generators::path(3));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(reg.num_versions(), 100);
+        assert_eq!(
+            reg.latest_version(&GraphId::new("shared")),
+            Some(GraphVersion::new(99))
+        );
     }
 }

@@ -30,6 +30,7 @@ use ccdp_core::SolverBackend;
 use ccdp_core::{
     CacheStats, Estimator, EstimatorConfig, ExtensionCache, PrivateCcEstimator, Release,
 };
+use ccdp_graph::GraphVersion;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -126,18 +127,30 @@ pub struct ServeRequest {
     pub tenant: TenantId,
     /// The catalog graph to estimate on.
     pub graph: GraphId,
+    /// The snapshot version to serve from: a pinned version, or `None` for
+    /// the latest at execution time.
+    pub version: Option<GraphVersion>,
     /// The ε of this release (spent from the tenant's quota).
     pub epsilon: f64,
 }
 
 impl ServeRequest {
-    /// Convenience constructor.
+    /// Convenience constructor (serves the latest snapshot).
     pub fn new(tenant: impl Into<TenantId>, graph: impl Into<GraphId>, epsilon: f64) -> Self {
         ServeRequest {
             tenant: tenant.into(),
             graph: graph.into(),
+            version: None,
             epsilon,
         }
+    }
+
+    /// Pins the request to an exact snapshot version; resolution fails with
+    /// [`ServeError::UnknownVersion`] rather than silently serving another
+    /// version.
+    pub fn at_version(mut self, version: GraphVersion) -> Self {
+        self.version = Some(version);
+        self
     }
 }
 
@@ -148,6 +161,10 @@ pub struct ServeResponse {
     pub request_id: u64,
     /// The request this answers.
     pub request: ServeRequest,
+    /// The snapshot version the release was served from. `None` whenever no
+    /// release was produced — including failures (budget refusals, estimator
+    /// errors) that happened *after* a snapshot had been resolved.
+    pub version: Option<GraphVersion>,
     /// The release, or the typed refusal/failure.
     pub result: Result<Release, ServeError>,
     /// End-to-end latency (accepted → answered), including queue time.
@@ -381,26 +398,34 @@ fn worker_loop(
         };
         let latency = job.accepted.elapsed();
         stats.on_done(latency, outcome);
+        let version = result.as_ref().ok().map(|(_, v)| *v);
         // A dropped PendingResponse just means nobody is listening; the
         // request was still served and accounted.
         let _ = job.reply.try_send(ServeResponse {
             request_id: job.request_id,
             request: job.request,
-            result,
+            version,
+            result: result.map(|(release, _)| release),
             latency,
         });
     }
 }
 
-/// The per-request pipeline: resolve graph → reserve budget → estimate.
+/// The per-request pipeline: resolve snapshot → reserve budget → estimate.
 fn handle_request(
     job: &Job,
     registry: &GraphRegistry,
     ledger: &BudgetLedger,
     cache: &Arc<ExtensionCache>,
     config: &ServeConfig,
-) -> Result<Release, ServeError> {
-    let graph = registry.resolve(&job.request.graph)?;
+) -> Result<(Release, GraphVersion), ServeError> {
+    // A pinned version resolves exactly or fails typed; an unpinned request
+    // binds to the latest snapshot *now*, and the bound version is what the
+    // cache is tagged with and what the response reports.
+    let (version, graph) = match job.request.version {
+        Some(v) => (v, registry.resolve_version(&job.request.graph, v)?),
+        None => registry.resolve_latest(&job.request.graph)?,
+    };
     // Reserve the whole request ε atomically *before* any computation: a
     // refused request consumes neither budget nor solver time. Spent budget
     // is never refunded on estimator failure — conservative accounting that
@@ -414,7 +439,8 @@ fn handle_request(
     )?;
     let mut est_config = EstimatorConfig::new(job.request.epsilon)
         .with_solver(config.solver)
-        .with_shared_family_cache(Arc::clone(cache));
+        .with_shared_family_cache(Arc::clone(cache))
+        .with_graph_tag(job.request.graph.as_str(), version);
     if let Some(delta_max) = config.delta_max {
         est_config = est_config.with_delta_max(delta_max);
     }
@@ -429,7 +455,7 @@ fn handle_request(
             .wrapping_add(job.request_id),
     );
     let release = Estimator::estimate(&estimator, &graph, &mut rng)?;
-    Ok(release)
+    Ok((release, version))
 }
 
 #[cfg(test)]
@@ -597,6 +623,43 @@ mod tests {
             server.submit(ServeRequest::new("acme", "path", 0.1)),
             Err(ServeError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn version_pinned_requests_serve_the_pinned_snapshot() {
+        let (registry, ledger) = fleet();
+        // Publish a second version of "path" with a different vertex count.
+        registry.insert("path", generators::path(30));
+        let server = Server::start(ServeConfig::new().with_workers(2), registry, ledger);
+        // Unpinned binds to the latest; pinned resolves each exact version.
+        let latest = server
+            .submit(ServeRequest::new("acme", "path", 0.5))
+            .unwrap()
+            .wait();
+        assert_eq!(latest.version, Some(GraphVersion::new(1)));
+        assert!(latest.result.is_ok());
+        let pinned = server
+            .submit(ServeRequest::new("acme", "path", 0.5).at_version(GraphVersion::INITIAL))
+            .unwrap()
+            .wait();
+        assert_eq!(pinned.version, Some(GraphVersion::INITIAL));
+        assert!(pinned.result.is_ok());
+        // A pinned miss is a typed UnknownVersion, not a silent fallback, and
+        // resolution failures report no served version.
+        let missing = server
+            .submit(ServeRequest::new("acme", "path", 0.5).at_version(GraphVersion::new(9)))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            missing.result,
+            Err(ServeError::UnknownVersion { .. })
+        ));
+        assert_eq!(missing.version, None);
+        // The two served versions used distinct cache slots: two misses,
+        // never a cross-version replay.
+        let cache = server.cache_stats();
+        assert_eq!(cache.misses, 2, "{cache:?}");
+        server.shutdown();
     }
 
     #[test]

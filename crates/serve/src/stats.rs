@@ -2,16 +2,118 @@
 //!
 //! [`ServeStats`] is the server's always-on instrument panel: lock-free
 //! counters on the hot path (one atomic bump per event), a queue-depth gauge
-//! with a high-water mark, and a mutex-guarded reservoir of per-request
-//! latencies from which [`StatsSnapshot`] computes p50/p99. Snapshots are
+//! with a high-water mark, and a fixed-bucket [`LatencyHistogram`] of
+//! per-request latencies from which [`StatsSnapshot`] computes p50/p99.
+//! Recording a latency is one atomic increment into a log-spaced bucket — no
+//! lock, no allocation, no reservoir to contend on — so the instrument costs
+//! the same at the millionth request as at the first. Snapshots are
 //! point-in-time and cheap enough to take mid-run.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Cap on stored latency samples (a uniform-ish reservoir beyond this).
-const MAX_LATENCY_SAMPLES: usize = 65_536;
+/// Number of octaves (powers of two of microseconds) the histogram spans:
+/// 1 µs up to ~2^40 µs ≈ 12.7 days, far beyond any serving latency.
+const OCTAVES: usize = 40;
+
+/// Sub-buckets per octave: log-spaced resolution of one eighth of an octave,
+/// bounding the relative quantile error at 12.5%.
+const SUBS: usize = 8;
+
+const NUM_BUCKETS: usize = OCTAVES * SUBS;
+
+/// A fixed-size, lock-free histogram of microsecond latencies with
+/// log-spaced buckets.
+///
+/// Bucket `i = octave · 8 + sub` covers
+/// `[2^octave · (1 + sub/8), 2^octave · (1 + (sub+1)/8))` microseconds;
+/// quantiles report a bucket's upper edge, so they are conservative (never
+/// under-report) and within 12.5% of the exact sample quantile above ~8 µs.
+/// Below 8 µs the integer-microsecond bucket edges dominate: the error is
+/// bounded by 1 µs absolute instead (e.g. all-1 µs samples report 2 µs).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one latency (sub-microsecond values land in the first
+    /// bucket; values beyond the range land in the last). Lock-free: one
+    /// relaxed atomic increment.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[Self::index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) of everything recorded so far:
+    /// the upper edge of the bucket where the cumulative count crosses the
+    /// rank — conservative (never under-reports) and within 12.5% of the
+    /// exact sample quantile above ~8 µs (1 µs absolute below).
+    /// `Duration::ZERO` when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        bucket_percentile(&self.counts(), q)
+    }
+
+    fn index(us: u64) -> usize {
+        let us = us.max(1);
+        let octave = 63 - us.leading_zeros() as usize;
+        if octave >= OCTAVES {
+            return NUM_BUCKETS - 1;
+        }
+        let base = 1u64 << octave;
+        // (us - base) * SUBS / base, exact in u64: us - base < 2^40.
+        let sub = (((us - base) * SUBS as u64) >> octave) as usize;
+        octave * SUBS + sub.min(SUBS - 1)
+    }
+
+    /// Exclusive upper edge of bucket `idx` in microseconds. The division
+    /// rounds up so the edge stays exclusive even in the lowest octaves,
+    /// where an eighth of the octave is below one microsecond.
+    fn upper_edge_us(idx: usize) -> u64 {
+        let (octave, sub) = (idx / SUBS, idx % SUBS);
+        let base = 1u64 << octave;
+        base + ((sub as u64 + 1) * base).div_ceil(SUBS as u64)
+    }
+
+    /// Point-in-time copy of the bucket counts.
+    fn counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Nearest-rank percentile over a bucket-count vector: the upper edge of the
+/// bucket where the cumulative count crosses the rank.
+fn bucket_percentile(counts: &[u64], q: f64) -> Duration {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (idx, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Duration::from_micros(LatencyHistogram::upper_edge_us(idx));
+        }
+    }
+    Duration::from_micros(LatencyHistogram::upper_edge_us(NUM_BUCKETS - 1))
+}
 
 /// Live counters of a running server.
 #[derive(Debug)]
@@ -27,9 +129,7 @@ pub struct ServeStats {
     /// zero (snapshots clamp it).
     queue_depth: AtomicI64,
     peak_queue_depth: AtomicI64,
-    latencies_us: Mutex<Vec<u64>>,
-    /// Total samples ever offered (drives reservoir replacement).
-    latency_samples_seen: AtomicU64,
+    latencies: LatencyHistogram,
 }
 
 impl ServeStats {
@@ -44,8 +144,7 @@ impl ServeStats {
             failed: AtomicU64::new(0),
             queue_depth: AtomicI64::new(0),
             peak_queue_depth: AtomicI64::new(0),
-            latencies_us: Mutex::new(Vec::new()),
-            latency_samples_seen: AtomicU64::new(0),
+            latencies: LatencyHistogram::new(),
         }
     }
 
@@ -76,16 +175,7 @@ impl ServeStats {
             RequestOutcome::BudgetRefused => self.budget_refusals.fetch_add(1, Ordering::Relaxed),
             RequestOutcome::Failed => self.failed.fetch_add(1, Ordering::Relaxed),
         };
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let seen = self.latency_samples_seen.fetch_add(1, Ordering::Relaxed) as usize;
-        let mut lat = self.latencies_us.lock().unwrap_or_else(|p| p.into_inner());
-        if lat.len() < MAX_LATENCY_SAMPLES {
-            lat.push(us);
-        } else {
-            // Cheap deterministic reservoir: overwrite a rolling slot so a
-            // long run keeps a bounded, recency-mixed sample.
-            lat[seen % MAX_LATENCY_SAMPLES] = us;
-        }
+        self.latencies.record(latency);
     }
 
     /// Current queue depth (requests accepted but not yet picked up).
@@ -93,15 +183,10 @@ impl ServeStats {
         self.queue_depth.load(Ordering::Relaxed).max(0) as u64
     }
 
-    /// Point-in-time snapshot (percentiles computed over the sample
-    /// reservoir).
+    /// Point-in-time snapshot (percentiles computed from the latency
+    /// histogram buckets).
     pub fn snapshot(&self) -> StatsSnapshot {
-        let mut lat = self
-            .latencies_us
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .clone();
-        lat.sort_unstable();
+        let counts = self.latencies.counts();
         let elapsed = self.started.elapsed();
         let completed = self.completed.load(Ordering::Relaxed);
         StatsSnapshot {
@@ -118,8 +203,8 @@ impl ServeStats {
             } else {
                 0.0
             },
-            p50_latency: percentile(&lat, 0.50),
-            p99_latency: percentile(&lat, 0.99),
+            p50_latency: bucket_percentile(&counts, 0.50),
+            p99_latency: bucket_percentile(&counts, 0.99),
         }
     }
 }
@@ -137,7 +222,7 @@ pub(crate) enum RequestOutcome {
     Completed,
     /// The tenant's budget refused the spend.
     BudgetRefused,
-    /// Any other failure (unknown graph/tenant, estimator error).
+    /// Any other failure (unknown graph/tenant/version, estimator error).
     Failed,
 }
 
@@ -162,24 +247,29 @@ pub struct StatsSnapshot {
     pub peak_queue_depth: u64,
     /// Completed requests per second of elapsed time.
     pub throughput_rps: f64,
-    /// Median end-to-end latency (submit → response).
+    /// Median end-to-end latency (submit → response), reported at histogram
+    /// bucket resolution (within 12.5% above ~8 µs, never under-reported).
     pub p50_latency: Duration,
-    /// 99th-percentile end-to-end latency.
+    /// 99th-percentile end-to-end latency (same bucket resolution).
     pub p99_latency: Duration,
-}
-
-/// Nearest-rank percentile over an ascending-sorted sample of microseconds.
-fn percentile(sorted_us: &[u64], q: f64) -> Duration {
-    if sorted_us.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((sorted_us.len() as f64 * q).ceil() as usize).clamp(1, sorted_us.len());
-    Duration::from_micros(sorted_us[rank - 1])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The exact-sample tolerance of the histogram: quantiles land on a
+    /// bucket upper edge, at most 12.5% above the exact value.
+    fn assert_within_bucket(got: Duration, exact: Duration) {
+        assert!(
+            got >= exact,
+            "bucket quantile must never under-report: got {got:?} < exact {exact:?}"
+        );
+        assert!(
+            got.as_secs_f64() <= exact.as_secs_f64() * 1.125 + 1e-6,
+            "bucket quantile {got:?} too far above exact {exact:?}"
+        );
+    }
 
     #[test]
     fn counters_track_the_request_lifecycle() {
@@ -201,13 +291,40 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_use_nearest_rank() {
-        let us: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&us, 0.50), Duration::from_micros(50));
-        assert_eq!(percentile(&us, 0.99), Duration::from_micros(99));
-        assert_eq!(percentile(&us, 1.0), Duration::from_micros(100));
-        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
-        assert_eq!(percentile(&[7], 0.99), Duration::from_micros(7));
+    fn bucket_index_and_edges_are_consistent() {
+        // Every recordable value lands in a bucket whose range contains it.
+        for us in [0u64, 1, 2, 3, 7, 8, 100, 1000, 2048, 3000, 1 << 20, 1 << 45] {
+            let idx = LatencyHistogram::index(us);
+            let hi = LatencyHistogram::upper_edge_us(idx);
+            if (1..1 << OCTAVES).contains(&us) {
+                assert!(us < hi, "us {us} must fall below its bucket edge {hi}");
+                assert!(
+                    hi as f64 <= (us.max(1) as f64) * 1.125 + 1.0,
+                    "edge {hi} too far above {us}"
+                );
+            }
+            assert!(idx < NUM_BUCKETS);
+        }
+        // Buckets are monotone: larger latencies never map to earlier buckets.
+        let mut last = 0;
+        for us in 1..10_000u64 {
+            let idx = LatencyHistogram::index(us);
+            assert!(idx >= last, "bucket index regressed at {us}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn percentiles_come_from_log_spaced_buckets() {
+        let hist = LatencyHistogram::new();
+        for us in 1..=100u64 {
+            hist.record(Duration::from_micros(us));
+        }
+        assert_within_bucket(hist.quantile(0.50), Duration::from_micros(50));
+        assert_within_bucket(hist.quantile(0.99), Duration::from_micros(99));
+        assert_within_bucket(hist.quantile(1.0), Duration::from_micros(100));
+        assert_eq!(bucket_percentile(&[0; NUM_BUCKETS], 0.5), Duration::ZERO);
+        assert_eq!(LatencyHistogram::default().quantile(0.5), Duration::ZERO);
     }
 
     #[test]
@@ -219,8 +336,38 @@ mod tests {
             stats.on_done(Duration::from_millis(ms), RequestOutcome::Completed);
         }
         let snap = stats.snapshot();
-        assert_eq!(snap.p50_latency, Duration::from_millis(3));
-        assert_eq!(snap.p99_latency, Duration::from_millis(100));
+        assert_within_bucket(snap.p50_latency, Duration::from_millis(3));
+        assert_within_bucket(snap.p99_latency, Duration::from_millis(100));
         assert!(snap.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn histogram_recording_is_lock_free_under_contention() {
+        // 8 threads hammer one histogram; every sample must be accounted for.
+        let stats = std::sync::Arc::new(ServeStats::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let stats = std::sync::Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        stats.on_enqueue();
+                        stats.on_dequeue();
+                        stats.on_done(
+                            Duration::from_micros(1 + (t * 1000 + i) % 5000),
+                            RequestOutcome::Completed,
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.completed, 8000);
+        let total: u64 = stats.latencies.counts().iter().sum();
+        assert_eq!(total, 8000, "no sample may be dropped");
+        assert!(snap.p50_latency > Duration::ZERO);
+        assert!(snap.p99_latency >= snap.p50_latency);
     }
 }

@@ -1,0 +1,605 @@
+//! Policy-driven continual re-estimation of evolving graphs.
+//!
+//! A stream mutating forever is only useful to tenants if someone decides
+//! *when* a fresh differentially private release is worth its ε. The
+//! [`ReleaseScheduler`] is that decision point: it watches streams through
+//! [`observe`](ReleaseScheduler::observe), fires by [`ReleasePolicy`] (every
+//! k mutations, on component-count drift, or on demand), and when it fires it
+//! runs the full serving pipeline on an immutable snapshot:
+//!
+//! 1. atomically charge the release ε to the owning tenant's
+//!    [`BudgetLedger`] account (an exhausted quota is a typed refusal that
+//!    changes *nothing* — no version burned, no snapshot published, no
+//!    cache touched; the stream keeps mutating, the tenant just stops
+//!    getting releases),
+//! 2. freeze the stream into a versioned
+//!    [`GraphSnapshot`](crate::stream::GraphSnapshot) and publish it to
+//!    the shared version-aware [`GraphRegistry`] (a typed
+//!    [`VersionExists`](ccdp_serve::ServeError::VersionExists) refusal if the
+//!    version was somehow already taken — snapshots are never overwritten),
+//! 3. bulk-invalidate the superseded versions' extension families from the
+//!    shared [`ExtensionCache`] and expire stale registry snapshots beyond
+//!    the configured retention,
+//! 4. estimate on the *registry-resolved* snapshot — the graph served is
+//!    provably the one named by `(id, version)` — with cache lookups tagged
+//!    by that same pair, so no family computed for another version can ever
+//!    be replayed,
+//! 5. append a [`ReleaseRecord`] to the versioned release log.
+//!
+//! # Budget semantics
+//!
+//! Every fired release spends [`SchedulerConfig::epsilon_per_release`] from
+//! the tenant's quota *before* the snapshot is even frozen, under the
+//! ledger's atomic check-and-spend; the ledger stage name is `id@version`,
+//! so a tenant's account reads as a versioned audit trail. Spent ε is never
+//! refunded if estimation later fails — accounting only ever over-counts a
+//! tenant's exposure. Releases about *different snapshots of one graph*
+//! still compose sequentially against the same quota: node-DP composition
+//! is per tenant, not per version.
+
+use crate::error::StreamError;
+use crate::stream::GraphStream;
+use ccdp_core::{Estimator, EstimatorConfig, ExtensionCache, PrivateCcEstimator, SolverBackend};
+use ccdp_graph::GraphVersion;
+use ccdp_serve::{BudgetLedger, GraphId, GraphRegistry, ServeError, TenantId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// When the scheduler fires a fresh release for a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReleasePolicy {
+    /// After every `k` accepted mutations since the last release (`k ≥ 1`;
+    /// the first observation of a stream always fires a baseline release).
+    EveryKMutations(u64),
+    /// When the exact component count has drifted at least `threshold` away
+    /// from the count at the last release (the first observation fires).
+    /// The trigger reads only the stream's internal true count — the
+    /// *decision to release* is data-dependent, which is why the released
+    /// value itself still carries the full ε noise.
+    OnComponentDrift {
+        /// Minimum absolute drift that fires.
+        threshold: usize,
+    },
+    /// Only [`ReleaseScheduler::release_now`] fires.
+    OnDemand,
+}
+
+/// Configuration of a [`ReleaseScheduler`].
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// The firing policy.
+    pub policy: ReleasePolicy,
+    /// ε charged to the owning tenant per fired release.
+    pub epsilon_per_release: f64,
+    /// Forest-polytope solver backend for the estimates.
+    pub solver: SolverBackend,
+    /// Base seed of the per-release RNG derivation.
+    pub seed: u64,
+    /// Δmax override forwarded to the estimator, if any.
+    pub delta_max: Option<usize>,
+    /// How many registry snapshots the *scheduler* actively retains per
+    /// graph (0 = no scheduler-driven expiry). Older versions are expired
+    /// right after a new one is published. Note the registry enforces its
+    /// own bound on every publish
+    /// ([`DEFAULT_VERSION_RETENTION`](ccdp_serve::registry::DEFAULT_VERSION_RETENTION)
+    /// unless built with [`GraphRegistry::with_retention`]) — the *tighter*
+    /// of the two wins, so retaining more than the registry's bound requires
+    /// a registry configured to match.
+    pub retain_versions: usize,
+}
+
+impl SchedulerConfig {
+    /// A config with the given policy, ε = 0.5 per release, default solver,
+    /// seed 0 and a 4-version registry retention.
+    pub fn new(policy: ReleasePolicy) -> Self {
+        SchedulerConfig {
+            policy,
+            epsilon_per_release: 0.5,
+            solver: SolverBackend::default(),
+            seed: 0,
+            delta_max: None,
+            retain_versions: 4,
+        }
+    }
+
+    /// Sets the ε charged per release.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon_per_release = epsilon;
+        self
+    }
+
+    /// Sets the solver backend.
+    pub fn with_solver(mut self, solver: SolverBackend) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Sets the RNG base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the Δmax estimator override.
+    pub fn with_delta_max(mut self, delta_max: usize) -> Self {
+        self.delta_max = Some(delta_max);
+        self
+    }
+
+    /// Sets the per-graph registry retention (0 = keep all versions).
+    pub fn with_retain_versions(mut self, retain: usize) -> Self {
+        self.retain_versions = retain;
+        self
+    }
+}
+
+/// Why a release fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReleaseTrigger {
+    /// First observation of the stream (baseline).
+    Baseline,
+    /// The mutation budget of [`ReleasePolicy::EveryKMutations`] elapsed.
+    Mutations,
+    /// The drift threshold of [`ReleasePolicy::OnComponentDrift`] tripped.
+    Drift,
+    /// [`ReleaseScheduler::release_now`] was called.
+    Demand,
+}
+
+/// One entry of the versioned release log.
+#[derive(Clone, Debug)]
+pub struct ReleaseRecord {
+    /// The graph released.
+    pub graph: GraphId,
+    /// The exact snapshot version the release was served from.
+    pub version: GraphVersion,
+    /// The tenant whose quota funded it.
+    pub tenant: TenantId,
+    /// ε spent.
+    pub epsilon: f64,
+    /// The differentially private estimate of the component count.
+    pub value: f64,
+    /// The exact count at the snapshot (diagnostic; never tenant-visible).
+    pub true_components: usize,
+    /// Stream clock at the snapshot.
+    pub time: u64,
+    /// Mutations the stream had accepted at the snapshot.
+    pub mutations_applied: u64,
+    /// What fired the release.
+    pub trigger: ReleaseTrigger,
+}
+
+/// Per-stream trigger bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct TriggerState {
+    mutations_at_last: u64,
+    components_at_last: usize,
+}
+
+/// The continual-release engine over shared serving infrastructure.
+pub struct ReleaseScheduler {
+    config: SchedulerConfig,
+    registry: Arc<GraphRegistry>,
+    ledger: Arc<BudgetLedger>,
+    cache: Arc<ExtensionCache>,
+    state: Mutex<HashMap<GraphId, TriggerState>>,
+    log: Mutex<Vec<ReleaseRecord>>,
+}
+
+impl ReleaseScheduler {
+    /// A scheduler over the shared registry, ledger and family cache.
+    pub fn new(
+        config: SchedulerConfig,
+        registry: Arc<GraphRegistry>,
+        ledger: Arc<BudgetLedger>,
+        cache: Arc<ExtensionCache>,
+    ) -> Self {
+        ReleaseScheduler {
+            config,
+            registry,
+            ledger,
+            cache,
+            state: Mutex::new(HashMap::new()),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configuration the scheduler fires with.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The shared registry snapshots are published into.
+    pub fn registry(&self) -> &Arc<GraphRegistry> {
+        &self.registry
+    }
+
+    /// Checks the policy against `stream` and, if it fires, runs the full
+    /// release pipeline charged to `tenant`. `Ok(None)` means the policy did
+    /// not fire — the common case on the mutation hot path.
+    pub fn observe(
+        &self,
+        stream: &mut GraphStream,
+        tenant: &TenantId,
+    ) -> Result<Option<ReleaseRecord>, StreamError> {
+        // Copy the prior trigger state out before evaluating the policy:
+        // `num_components` can pay a post-deletion union-find rebuild, which
+        // must not run under the mutex shared by every stream's observe().
+        let prior = self.lock_state().get(stream.id()).copied();
+        let trigger = match (self.config.policy, prior) {
+            // On-demand streams only release through `release_now`.
+            (ReleasePolicy::OnDemand, _) => None,
+            // The automatic policies fire a baseline on first sight.
+            (_, None) => Some(ReleaseTrigger::Baseline),
+            (ReleasePolicy::EveryKMutations(k), Some(s)) => {
+                // Saturating: a stream rebuilt under a previously seen id can
+                // report fewer mutations than the recorded state — that must
+                // read as "nothing elapsed", not an underflow.
+                let elapsed = stream
+                    .stats()
+                    .mutations_applied
+                    .saturating_sub(s.mutations_at_last);
+                (elapsed >= k.max(1)).then_some(ReleaseTrigger::Mutations)
+            }
+            (ReleasePolicy::OnComponentDrift { threshold }, Some(s)) => {
+                let drift = stream.num_components().abs_diff(s.components_at_last);
+                (drift >= threshold.max(1)).then_some(ReleaseTrigger::Drift)
+            }
+        };
+        match trigger {
+            Some(trigger) => self.release(stream, tenant, trigger).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Fires a release unconditionally (the [`ReleasePolicy::OnDemand`]
+    /// path; also resets the policy counters of the other modes).
+    pub fn release_now(
+        &self,
+        stream: &mut GraphStream,
+        tenant: &TenantId,
+    ) -> Result<ReleaseRecord, StreamError> {
+        self.release(stream, tenant, ReleaseTrigger::Demand)
+    }
+
+    /// The versioned release log so far (clone; the log keeps growing).
+    pub fn log(&self) -> Vec<ReleaseRecord> {
+        self.lock_log().clone()
+    }
+
+    /// Number of releases fired so far.
+    pub fn releases(&self) -> usize {
+        self.lock_log().len()
+    }
+
+    /// The full pipeline: charge → snapshot → publish → invalidate/expire →
+    /// estimate → record. The charge comes first so a refused release
+    /// changes nothing (see the module docs and the
+    /// `refused_releases_leave_all_shared_state_untouched` regression test).
+    fn release(
+        &self,
+        stream: &mut GraphStream,
+        tenant: &TenantId,
+        trigger: ReleaseTrigger,
+    ) -> Result<ReleaseRecord, StreamError> {
+        // Charge the tenant *first*: a refused release must cost nothing and
+        // change nothing — no version burned, no snapshot published, no
+        // cache invalidated, no solver time. The version the snapshot will
+        // carry is known before freezing, so the ledger stage `id@version`
+        // still makes the account a versioned audit trail.
+        let id = stream.id().clone();
+        let version = stream.next_version();
+        let stage = format!("{id}@{version}");
+        self.ledger
+            .try_spend(tenant, &stage, self.config.epsilon_per_release)?;
+
+        let snapshot = stream.snapshot();
+        debug_assert_eq!(snapshot.version(), version);
+
+        // Publish the immutable snapshot (shared, not copied); a version
+        // collision is a typed refusal (two streams claiming one catalog id,
+        // or a replayed feed).
+        self.registry
+            .insert_version(id.clone(), version, Arc::clone(snapshot.graph()))?;
+        // Superseded versions can never be served again: drop their cached
+        // families in bulk and expire their registry snapshots beyond the
+        // retention window.
+        self.cache.invalidate_versions_below(id.as_str(), version);
+        if self.config.retain_versions > 0 {
+            self.registry
+                .retain_latest(&id, self.config.retain_versions);
+        }
+
+        // Record the trigger state *before* estimating: the charge already
+        // happened, so a failing estimator must not leave the policy primed
+        // to re-fire on the very next observe() and drain the tenant's quota
+        // on a pathological graph — the damage is bounded to one charge per
+        // policy period.
+        self.lock_state().insert(
+            id.clone(),
+            TriggerState {
+                mutations_at_last: snapshot.mutations_applied(),
+                components_at_last: snapshot.num_components(),
+            },
+        );
+
+        // Estimate on the registry-resolved snapshot (not the local copy):
+        // what we release is provably what `(id, version)` names.
+        let graph = self.registry.resolve_version(&id, version)?;
+        let mut est_config = EstimatorConfig::new(self.config.epsilon_per_release)
+            .with_solver(self.config.solver)
+            .with_shared_family_cache(Arc::clone(&self.cache))
+            .with_graph_tag(id.as_str(), version);
+        if let Some(delta_max) = self.config.delta_max {
+            est_config = est_config.with_delta_max(delta_max);
+        }
+        let estimator = PrivateCcEstimator::from_config(est_config)
+            .map_err(|e| StreamError::Serve(ServeError::Estimator(e.into())))?;
+        let mut rng = StdRng::seed_from_u64(self.release_seed(&id, version));
+        let release = Estimator::estimate(&estimator, &graph, &mut rng)
+            .map_err(|e| StreamError::Serve(ServeError::Estimator(e)))?;
+
+        let record = ReleaseRecord {
+            graph: id,
+            version,
+            tenant: tenant.clone(),
+            epsilon: self.config.epsilon_per_release,
+            value: release.value(),
+            true_components: snapshot.num_components(),
+            time: snapshot.time(),
+            mutations_applied: snapshot.mutations_applied(),
+            trigger,
+        };
+        self.lock_log().push(record.clone());
+        Ok(record)
+    }
+
+    /// Deterministic per-release noise stream: the same (seed, graph,
+    /// version) triple draws the same noise on any run.
+    fn release_seed(&self, id: &GraphId, version: GraphVersion) -> u64 {
+        let mut h = DefaultHasher::new();
+        id.hash(&mut h);
+        self.config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(h.finish())
+            .wrapping_add(version.value())
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, HashMap<GraphId, TriggerState>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn lock_log(&self) -> MutexGuard<'_, Vec<ReleaseRecord>> {
+        self.log.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl std::fmt::Debug for ReleaseScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReleaseScheduler")
+            .field("config", &self.config)
+            .field("releases", &self.releases())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::Mutation;
+
+    fn infra() -> (Arc<GraphRegistry>, Arc<BudgetLedger>, Arc<ExtensionCache>) {
+        let registry = Arc::new(GraphRegistry::new());
+        let ledger = Arc::new(BudgetLedger::new());
+        ledger.register("acme", 100.0).unwrap();
+        let cache = Arc::new(ExtensionCache::new(64));
+        (registry, ledger, cache)
+    }
+
+    fn grow_stream(id: &str, edges: usize) -> GraphStream {
+        let mut s = GraphStream::new(id);
+        for i in 0..edges {
+            s.apply(&Mutation::insert(i as u64 + 1, i, i + 1)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn every_k_mutations_fires_baseline_then_periodically() {
+        let (registry, ledger, cache) = infra();
+        let sched = ReleaseScheduler::new(
+            SchedulerConfig::new(ReleasePolicy::EveryKMutations(4)).with_epsilon(0.5),
+            Arc::clone(&registry),
+            ledger,
+            cache,
+        );
+        let tenant = TenantId::new("acme");
+        let mut s = grow_stream("g", 2);
+        // First observation: baseline release at v0.
+        let r = sched.observe(&mut s, &tenant).unwrap().unwrap();
+        assert_eq!(r.trigger, ReleaseTrigger::Baseline);
+        assert_eq!(r.version, GraphVersion::INITIAL);
+        // Two more mutations: not yet.
+        s.apply(&Mutation::insert(10, 3, 4)).unwrap();
+        s.apply(&Mutation::insert(11, 4, 5)).unwrap();
+        assert!(sched.observe(&mut s, &tenant).unwrap().is_none());
+        // Two more reach k = 4.
+        s.apply(&Mutation::insert(12, 5, 6)).unwrap();
+        s.apply(&Mutation::insert(13, 6, 7)).unwrap();
+        let r = sched.observe(&mut s, &tenant).unwrap().unwrap();
+        assert_eq!(r.trigger, ReleaseTrigger::Mutations);
+        assert_eq!(r.version, GraphVersion::new(1));
+        assert_eq!(sched.releases(), 2);
+        // The log is versioned and ordered.
+        let log = sched.log();
+        assert_eq!(log[0].version, GraphVersion::INITIAL);
+        assert_eq!(log[1].version, GraphVersion::new(1));
+        // Both snapshots live in the registry.
+        assert_eq!(registry.num_versions(), 2);
+    }
+
+    #[test]
+    fn drift_policy_fires_on_component_change() {
+        let (registry, ledger, cache) = infra();
+        let sched = ReleaseScheduler::new(
+            SchedulerConfig::new(ReleasePolicy::OnComponentDrift { threshold: 2 }),
+            registry,
+            ledger,
+            cache,
+        );
+        let tenant = TenantId::new("acme");
+        let mut s = grow_stream("g", 3); // path on 4 vertices, 1 component
+        let r = sched.observe(&mut s, &tenant).unwrap().unwrap();
+        assert_eq!(r.trigger, ReleaseTrigger::Baseline);
+        assert_eq!(r.true_components, 1);
+        // One extra component {4, 5} appears: drift 1 < 2.
+        s.apply(&Mutation::insert(10, 4, 5)).unwrap();
+        assert!(sched.observe(&mut s, &tenant).unwrap().is_none());
+        // Break the path twice: {0}, {1,2}, {3}, {4,5} — drift ≥ 2 fires.
+        s.apply(&Mutation::delete(11, 0, 1)).unwrap();
+        s.apply(&Mutation::delete(12, 2, 3)).unwrap();
+        let r = sched.observe(&mut s, &tenant).unwrap().unwrap();
+        assert_eq!(r.trigger, ReleaseTrigger::Drift);
+        assert_eq!(r.true_components, 4);
+    }
+
+    #[test]
+    fn on_demand_only_fires_when_asked() {
+        let (registry, ledger, cache) = infra();
+        let sched = ReleaseScheduler::new(
+            SchedulerConfig::new(ReleasePolicy::OnDemand),
+            registry,
+            ledger,
+            cache,
+        );
+        let tenant = TenantId::new("acme");
+        let mut s = grow_stream("g", 5);
+        assert!(sched.observe(&mut s, &tenant).unwrap().is_none());
+        let r = sched.release_now(&mut s, &tenant).unwrap();
+        assert_eq!(r.trigger, ReleaseTrigger::Demand);
+        assert_eq!(sched.releases(), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_typed_refusal_and_spends_nothing_more() {
+        let (registry, ledger, cache) = infra();
+        ledger.register("poor", 0.6).unwrap();
+        let sched = ReleaseScheduler::new(
+            SchedulerConfig::new(ReleasePolicy::OnDemand).with_epsilon(0.5),
+            registry,
+            ledger.clone(),
+            cache,
+        );
+        let tenant = TenantId::new("poor");
+        let mut s = grow_stream("g", 4);
+        sched.release_now(&mut s, &tenant).unwrap();
+        let err = sched.release_now(&mut s, &tenant).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::Serve(ServeError::BudgetExhausted { .. })
+        ));
+        // The refusal charged nothing and logged nothing.
+        assert_eq!(sched.releases(), 1);
+        let view = ledger.account_view(&tenant).unwrap();
+        assert!((view.spent_epsilon - 0.5).abs() < 1e-12);
+        // The ledger audit trail names the snapshot.
+        assert_eq!(view.grants, 1);
+    }
+
+    #[test]
+    fn refused_releases_leave_all_shared_state_untouched() {
+        // Regression: the budget check must come before any side effect. A
+        // refused release may not burn a stream version, publish an unfunded
+        // snapshot, invalidate cached families or expire registry history.
+        let (registry, ledger, cache) = infra();
+        ledger.register("poor", 0.5).unwrap();
+        let sched = ReleaseScheduler::new(
+            SchedulerConfig::new(ReleasePolicy::OnDemand)
+                .with_epsilon(0.5)
+                .with_retain_versions(2),
+            Arc::clone(&registry),
+            ledger,
+            Arc::clone(&cache),
+        );
+        let tenant = TenantId::new("poor");
+        let mut s = grow_stream("g", 4);
+        sched.release_now(&mut s, &tenant).unwrap();
+        let id = GraphId::new("g");
+        let versions_before = registry.versions(&id);
+        let cache_before = cache.stats();
+        let next_before = s.next_version();
+        for _ in 0..3 {
+            let err = sched.release_now(&mut s, &tenant).unwrap_err();
+            assert!(matches!(
+                err,
+                StreamError::Serve(ServeError::BudgetExhausted { .. })
+            ));
+        }
+        assert_eq!(s.next_version(), next_before, "no version may be burned");
+        assert_eq!(registry.versions(&id), versions_before);
+        assert_eq!(cache.stats(), cache_before);
+        assert_eq!(s.stats().snapshots, 1, "refusals never snapshot");
+    }
+
+    #[test]
+    fn superseded_versions_are_invalidated_and_expired() {
+        let (registry, ledger, cache) = infra();
+        let sched = ReleaseScheduler::new(
+            SchedulerConfig::new(ReleasePolicy::OnDemand)
+                .with_epsilon(0.25)
+                .with_retain_versions(2),
+            Arc::clone(&registry),
+            ledger,
+            Arc::clone(&cache),
+        );
+        let tenant = TenantId::new("acme");
+        let mut s = grow_stream("g", 3);
+        for i in 0..5 {
+            sched.release_now(&mut s, &tenant).unwrap();
+            s.apply(&Mutation::insert(100 + i, 10 + i as usize, 11 + i as usize))
+                .unwrap();
+        }
+        // Registry retains only the 2 newest versions.
+        let id = GraphId::new("g");
+        assert_eq!(registry.versions(&id).len(), 2);
+        assert_eq!(registry.latest_version(&id), Some(GraphVersion::new(4)));
+        // Every release evaluated its own version's family: 5 misses, no
+        // cross-version replay, and superseded entries were invalidated.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.hits, 0);
+        assert!(stats.invalidations >= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_release_values() {
+        let run = || {
+            let (registry, ledger, cache) = infra();
+            let sched = ReleaseScheduler::new(
+                SchedulerConfig::new(ReleasePolicy::EveryKMutations(3)).with_seed(42),
+                registry,
+                ledger,
+                cache,
+            );
+            let tenant = TenantId::new("acme");
+            let mut s = grow_stream("g", 2);
+            let mut values = Vec::new();
+            for i in 0..9u64 {
+                s.apply(&Mutation::insert(50 + i, 20 + i as usize, 21 + i as usize))
+                    .unwrap();
+                if let Some(r) = sched.observe(&mut s, &tenant).unwrap() {
+                    values.push((r.version, r.value.to_bits()));
+                }
+            }
+            values
+        };
+        let a = run();
+        assert!(!a.is_empty());
+        assert_eq!(a, run(), "seeded schedulers must replay exactly");
+    }
+}

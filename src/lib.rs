@@ -53,6 +53,7 @@ pub use ccdp_core as core;
 pub use ccdp_dp as dp;
 pub use ccdp_graph as graph;
 pub use ccdp_serve as serve;
+pub use ccdp_stream as stream;
 
 // The curated public API at the crate root.
 pub use ccdp_core::{
@@ -63,7 +64,7 @@ pub use ccdp_core::{
     SolverBackend,
 };
 pub use ccdp_dp::{BudgetExceeded, PrivacyBudget};
-pub use ccdp_graph::Graph;
+pub use ccdp_graph::{Graph, GraphVersion};
 
 /// Everything an application needs in one import: the estimator API, the graph
 /// layer (including its submodules for generators, I/O, sensitivities, …) and
@@ -82,10 +83,16 @@ pub mod prelude {
         SolverBackend,
     };
     pub use ccdp_dp::{BudgetExceeded, PrivacyBudget};
-    pub use ccdp_graph::{components, forest, generators, io, sensitivity, stars, subgraph, Graph};
+    pub use ccdp_graph::{
+        components, forest, generators, io, sensitivity, stars, subgraph, Graph, GraphVersion,
+    };
     pub use ccdp_serve::{
         BudgetLedger, GraphId, GraphRegistry, LoadReport, LoadSpec, PendingResponse, ServeConfig,
         ServeError, ServeRequest, ServeResponse, Server, StatsSnapshot, TenantId,
+    };
+    pub use ccdp_stream::{
+        EdgeOp, GraphSnapshot, GraphStream, Mutation, MutationSpec, ReleasePolicy, ReleaseRecord,
+        ReleaseScheduler, ReleaseTrigger, SchedulerConfig, StreamError, StreamStats,
     };
     pub use rand::rngs::StdRng;
     pub use rand::{Rng, RngCore, SeedableRng};

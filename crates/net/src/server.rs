@@ -1,0 +1,746 @@
+//! The wire front-end: a TCP listener feeding the [`Server`] worker pool.
+//!
+//! [`NetServer::start`] binds a [`std::net::TcpListener`] and runs a
+//! thread-per-connection accept loop with a hard connection cap: a peer
+//! beyond the cap is answered `503 connection_cap` and closed, never
+//! silently queued. Each connection thread speaks keep-alive HTTP/1.1
+//! ([`crate::http`]) and routes
+//!
+//! * `POST /estimate` — submit a [`ServeRequest`] to the worker pool and
+//!   block this connection (only) until the release arrives; queue
+//!   backpressure surfaces as `429`, budget exhaustion as `403`,
+//! * `POST /ingest`  — publish an edge-list snapshot into the catalog,
+//! * `GET /stats`    — the pool, cache, catalog and wire counters,
+//! * `GET /healthz`  — liveness always, plus a `ready` verdict (pool
+//!   accepting, catalog non-empty, not draining).
+//!
+//! Shutdown drains: [`NetServer::shutdown`] flips the draining flag, wakes
+//! the accept loop with a self-connection, answers new connections (and idle
+//! keep-alive peers) `503 draining`, waits for every in-flight connection to
+//! finish its current request, and only then joins the listener thread. No
+//! accepted request is ever dropped mid-flight.
+
+use crate::error::NetError;
+use crate::http::{self, ReadOutcome, Request, WireLimits};
+use ccdp_graph::GraphVersion;
+use ccdp_serve::json::{self, JsonValue, JsonWriter};
+use ccdp_serve::{ServeRequest, Server};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`NetServer`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    addr: String,
+    max_connections: usize,
+    limits: WireLimits,
+    read_timeout: Duration,
+}
+
+impl NetConfig {
+    /// Defaults: an OS-assigned loopback port, 64 concurrent connections,
+    /// default wire limits, 500 ms read timeout (the keep-alive poll
+    /// interval, which bounds how long an idle peer can delay a drain).
+    pub fn new() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            limits: WireLimits::default(),
+            read_timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// The bind address, e.g. `127.0.0.1:8787` (`:0` lets the OS pick).
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// The concurrent-connection cap (clamped to ≥ 1); connections beyond it
+    /// are answered `503 connection_cap`.
+    pub fn with_max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap.max(1);
+        self
+    }
+
+    /// Wire parsing limits (head bytes, header count, body bytes).
+    pub fn with_limits(mut self, limits: WireLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The socket read timeout (also the drain poll interval for idle
+    /// keep-alive connections); clamped to ≥ 10 ms.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout.max(Duration::from_millis(10));
+        self
+    }
+
+    /// The configured connection cap.
+    pub fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Wire-tier counters (all relaxed atomics; see [`NetStatsSnapshot`]).
+#[derive(Debug, Default)]
+struct NetCounters {
+    accepted: AtomicU64,
+    refused_cap: AtomicU64,
+    refused_draining: AtomicU64,
+    requests: AtomicU64,
+    responses_ok: AtomicU64,
+    responses_client_error: AtomicU64,
+    responses_server_error: AtomicU64,
+}
+
+/// Point-in-time wire-tier counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted and served.
+    pub accepted: u64,
+    /// Connections refused at the cap (`503 connection_cap`).
+    pub refused_cap: u64,
+    /// Connections refused while draining (`503 draining`).
+    pub refused_draining: u64,
+    /// Requests parsed off the wire (including ones answered with 4xx).
+    pub requests: u64,
+    /// `2xx` responses written.
+    pub responses_ok: u64,
+    /// `4xx` responses written.
+    pub responses_client_error: u64,
+    /// `5xx` responses written.
+    pub responses_server_error: u64,
+}
+
+struct Shared {
+    server: Arc<Server>,
+    config: NetConfig,
+    draining: AtomicBool,
+    /// Count of live connection threads, guarded for the drain rendezvous.
+    active: Mutex<usize>,
+    idle: Condvar,
+    counters: NetCounters,
+}
+
+impl Shared {
+    fn snapshot(&self) -> NetStatsSnapshot {
+        let c = &self.counters;
+        NetStatsSnapshot {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            refused_cap: c.refused_cap.load(Ordering::Relaxed),
+            refused_draining: c.refused_draining.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            responses_ok: c.responses_ok.load(Ordering::Relaxed),
+            responses_client_error: c.responses_client_error.load(Ordering::Relaxed),
+            responses_server_error: c.responses_server_error.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count_response(&self, status: u16) {
+        let c = &self.counters;
+        match status {
+            200..=299 => c.responses_ok.fetch_add(1, Ordering::Relaxed),
+            400..=499 => c.responses_client_error.fetch_add(1, Ordering::Relaxed),
+            _ => c.responses_server_error.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+/// Decrements the active-connection count (and wakes the drain rendezvous)
+/// however the connection thread exits, panics included.
+struct ActiveGuard(Arc<Shared>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        let mut active = self.0.active.lock().unwrap_or_else(|p| p.into_inner());
+        *active -= 1;
+        self.0.idle.notify_all();
+    }
+}
+
+/// A running wire front-end over one [`Server`].
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds the listener and starts the accept loop.
+    ///
+    /// # Errors
+    /// The bind error, if the address is unusable.
+    pub fn start(config: NetConfig, server: Arc<Server>) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            server,
+            config,
+            draining: AtomicBool::new(false),
+            active: Mutex::new(0),
+            idle: Condvar::new(),
+            counters: NetCounters::default(),
+        });
+        let loop_shared = Arc::clone(&shared);
+        let listener_thread = std::thread::spawn(move || accept_loop(&listener, &loop_shared));
+        Ok(NetServer {
+            local_addr,
+            shared,
+            listener_thread: Some(listener_thread),
+        })
+    }
+
+    /// The bound address (useful with `:0` bindings).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The backing worker pool.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.shared.server
+    }
+
+    /// Point-in-time wire counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drains and stops the listener: new connections are answered
+    /// `503 draining`, every in-flight request runs to completion, then the
+    /// accept loop joins. Returns the final wire counters. The backing
+    /// [`Server`] is *not* shut down — it belongs to the caller.
+    pub fn shutdown(mut self) -> NetStatsSnapshot {
+        self.shutdown_in_place();
+        self.shared.snapshot()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.shared.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop is blocked in accept(); a throwaway self-connection
+        // wakes it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.listener_thread.take() {
+            let _ = handle.join();
+        }
+        // Drain rendezvous: every connection thread finishes its in-flight
+        // request (idle keep-alive peers notice the flag within one read
+        // timeout) and the guard drops the count to zero.
+        let mut active = self.shared.active.lock().unwrap_or_else(|p| p.into_inner());
+        while *active > 0 {
+            let (guard, _) = self
+                .shared
+                .idle
+                .wait_timeout(active, Duration::from_millis(100))
+                .unwrap_or_else(|p| p.into_inner());
+            active = guard;
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("local_addr", &self.local_addr)
+            .field("draining", &self.is_draining())
+            .field("stats", &self.shared.snapshot())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // Transient accept failures (EMFILE, aborted handshakes) must
+                // not kill the listener; only a drain ends the loop.
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            refuse(stream, shared, NetError::Draining);
+            // Keep looping until the drain flag is the reason accept woke:
+            // the wake connection itself lands here and ends the loop.
+            return;
+        }
+        {
+            let mut active = shared.active.lock().unwrap_or_else(|p| p.into_inner());
+            if *active >= shared.config.max_connections {
+                drop(active);
+                refuse(
+                    stream,
+                    shared,
+                    NetError::ConnectionCap {
+                        limit: shared.config.max_connections,
+                    },
+                );
+                continue;
+            }
+            *active += 1;
+        }
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let _guard = ActiveGuard(Arc::clone(&conn_shared));
+            connection_loop(stream, &conn_shared);
+        });
+    }
+}
+
+/// Answers a connection we will not serve with one typed refusal and closes
+/// it. Best-effort: the peer may already be gone.
+fn refuse(mut stream: TcpStream, shared: &Shared, error: NetError) {
+    match &error {
+        NetError::Draining => &shared.counters.refused_draining,
+        _ => &shared.counters.refused_cap,
+    }
+    .fetch_add(1, Ordering::Relaxed);
+    let body = json::error_body(error.code(), &error.to_string());
+    let _ = http::write_response(&mut stream, error.http_status(), &body, true);
+}
+
+/// The per-connection keep-alive loop: parse, route, answer, repeat.
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    if stream
+        .set_read_timeout(Some(shared.config.read_timeout))
+        .is_err()
+    {
+        return;
+    }
+    // Responses are single buffered frames; Nagle would only add latency.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let draining = shared.draining.load(Ordering::SeqCst);
+        let request = match http::read_request(&mut reader, &shared.config.limits) {
+            Ok(ReadOutcome::Request(r)) => r,
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Idle) => {
+                if draining {
+                    // An idle keep-alive peer must not stall the drain: tell
+                    // it we are going away and close.
+                    let body = json::error_body("draining", &NetError::Draining.to_string());
+                    let _ = http::write_response(&mut writer, 503, &body, true);
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                // A malformed wire leaves the connection unframed: answer
+                // typed and close — never guess where the next request starts.
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let status = e.http_status();
+                shared.count_response(status);
+                let body = json::error_body(e.code(), &e.to_string());
+                let _ = http::write_response(&mut writer, status, &body, true);
+                return;
+            }
+        };
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        // A request already parsed is in-flight: draining lets it complete
+        // but closes the connection behind it.
+        let close = request.wants_close() || draining;
+        let (status, body) = match route(&request, shared) {
+            Ok(body) => (200, body),
+            Err(e) => (e.http_status(), json::error_body(e.code(), &e.to_string())),
+        };
+        shared.count_response(status);
+        if http::write_response(&mut writer, status, &body, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Dispatches one parsed request to its route.
+fn route(request: &Request, shared: &Shared) -> Result<String, NetError> {
+    match (request.method.as_str(), request.path()) {
+        ("POST", "/estimate") => route_estimate(request, shared),
+        ("POST", "/ingest") => route_ingest(request, shared),
+        ("GET", "/stats") => Ok(stats_body(shared)),
+        ("GET", "/healthz") => Ok(healthz_body(shared)),
+        (_, path @ ("/estimate" | "/ingest" | "/stats" | "/healthz")) => {
+            Err(NetError::MethodNotAllowed {
+                method: request.method.clone(),
+                path: path.to_string(),
+            })
+        }
+        (_, path) => Err(NetError::UnknownRoute {
+            path: path.to_string(),
+        }),
+    }
+}
+
+/// `POST /estimate` — `{"tenant", "graph", "epsilon", "version"?}` through
+/// the worker pool; blocks this connection until the release arrives.
+fn route_estimate(request: &Request, shared: &Shared) -> Result<String, NetError> {
+    let body = parse_body(request)?;
+    let tenant = require_str(&body, "tenant")?;
+    let graph = require_str(&body, "graph")?;
+    let epsilon = require_f64(&body, "epsilon")?;
+    let mut serve_request = ServeRequest::new(tenant, graph, epsilon);
+    if let Some(v) = body.get("version") {
+        let v = v.as_u64().ok_or(NetError::BadField {
+            field: "version",
+            detail: "must be a non-negative integer".into(),
+        })?;
+        serve_request = serve_request.at_version(GraphVersion::new(v));
+    }
+    // QueueFull / ShuttingDown surface here, before anything was enqueued.
+    let pending = shared.server.submit(serve_request)?;
+    let response = pending.wait();
+    let release = response.result?;
+    let mut w = JsonWriter::object();
+    w.field_u64("request_id", response.request_id)
+        .field_str("tenant", tenant)
+        .field_str("graph", graph)
+        .field_f64("value", release.value())
+        .field_str("estimator", release.estimator());
+    if let Some(eps) = release.privacy().epsilon() {
+        w.field_f64("epsilon", eps);
+    }
+    if let Some(version) = response.version {
+        w.field_u64("version", version.value());
+    }
+    w.field_f64_rounded("latency_ms", response.latency.as_secs_f64() * 1e3, 3);
+    Ok(w.finish())
+}
+
+/// `POST /ingest` — `{"graph", "edges", "version"?}` publishes an edge-list
+/// snapshot: at the explicit version when pinned, else as latest-plus-one.
+fn route_ingest(request: &Request, shared: &Shared) -> Result<String, NetError> {
+    let body = parse_body(request)?;
+    let id = require_str(&body, "graph")?;
+    let edges = require_str(&body, "edges")?;
+    let registry = shared.server.registry();
+    let (version, graph) = match body.get("version") {
+        Some(v) => {
+            let v = v.as_u64().ok_or(NetError::BadField {
+                field: "version",
+                detail: "must be a non-negative integer".into(),
+            })?;
+            let version = GraphVersion::new(v);
+            (
+                version,
+                registry.ingest_edge_list_version(id, version, edges)?,
+            )
+        }
+        None => {
+            let graph = Arc::new(
+                ccdp_graph::io::from_edge_list(edges).map_err(ccdp_serve::ServeError::Ingest)?,
+            );
+            let gid = ccdp_serve::GraphId::new(id);
+            // Publish as latest-plus-one at an *explicit* version so a lost
+            // publish race is visible (VersionExists) and simply rebased,
+            // instead of insert-then-read-back guessing which publish won.
+            loop {
+                let next = registry
+                    .latest_version(&gid)
+                    .map(GraphVersion::next)
+                    .unwrap_or(GraphVersion::INITIAL);
+                match registry.insert_version(gid.clone(), next, Arc::clone(&graph)) {
+                    Ok(published) => break (next, published),
+                    Err(ccdp_serve::ServeError::VersionExists { .. }) => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+    };
+    let mut w = JsonWriter::object();
+    w.field_str("graph", id)
+        .field_u64("version", version.value())
+        .field_u64("vertices", graph.num_vertices() as u64)
+        .field_u64("edges", graph.num_edges() as u64);
+    Ok(w.finish())
+}
+
+/// `GET /stats` — worker pool, cache, catalog, ledger and wire counters.
+fn stats_body(shared: &Shared) -> String {
+    let serve = shared.server.stats();
+    let cache = shared.server.cache_stats();
+    let net = shared.snapshot();
+    let registry = shared.server.registry();
+    let mut w = JsonWriter::object();
+    w.begin_object("serve")
+        .field_u64("received", serve.received)
+        .field_u64("completed", serve.completed)
+        .field_u64("rejected_queue_full", serve.rejected_queue_full)
+        .field_u64("budget_refusals", serve.budget_refusals)
+        .field_u64("failed", serve.failed)
+        .field_u64("queue_depth", serve.queue_depth)
+        .field_u64("peak_queue_depth", serve.peak_queue_depth)
+        .field_f64_rounded("throughput_rps", serve.throughput_rps, 3)
+        .field_f64_rounded("p50_latency_ms", serve.p50_latency.as_secs_f64() * 1e3, 3)
+        .field_f64_rounded("p99_latency_ms", serve.p99_latency.as_secs_f64() * 1e3, 3)
+        .end()
+        .begin_object("cache")
+        .field_u64("hits", cache.hits)
+        .field_u64("misses", cache.misses)
+        .field_u64("coalesced", cache.coalesced)
+        .field_u64("evictions", cache.evictions)
+        .end()
+        .begin_object("catalog")
+        .field_u64("graphs", registry.len() as u64)
+        .field_u64("versions", registry.num_versions() as u64)
+        .field_u64("tenants", shared.server.ledger().tenants().len() as u64)
+        .end()
+        .begin_object("net")
+        .field_u64("accepted", net.accepted)
+        .field_u64("refused_cap", net.refused_cap)
+        .field_u64("refused_draining", net.refused_draining)
+        .field_u64("requests", net.requests)
+        .field_u64("responses_ok", net.responses_ok)
+        .field_u64("responses_client_error", net.responses_client_error)
+        .field_u64("responses_server_error", net.responses_server_error)
+        .end();
+    w.finish()
+}
+
+/// `GET /healthz` — liveness is answering at all; readiness is the worker
+/// pool accepting, the catalog non-empty and the listener not draining.
+fn healthz_body(shared: &Shared) -> String {
+    let accepting = shared.server.is_accepting();
+    let draining = shared.draining.load(Ordering::SeqCst);
+    let graphs = shared.server.registry().len();
+    let ready = accepting && !draining && graphs > 0;
+    let mut w = JsonWriter::object();
+    w.field_str("status", if ready { "ok" } else { "degraded" })
+        .field_bool("ready", ready)
+        .field_bool("accepting", accepting)
+        .field_bool("draining", draining)
+        .field_u64("graphs", graphs as u64);
+    w.finish()
+}
+
+fn parse_body(request: &Request) -> Result<JsonValue, NetError> {
+    Ok(json::parse(request.body_str()?)?)
+}
+
+fn require_str<'a>(body: &'a JsonValue, field: &'static str) -> Result<&'a str, NetError> {
+    let value = body.get(field).ok_or(NetError::MissingField { field })?;
+    value.as_str().ok_or(NetError::BadField {
+        field,
+        detail: "must be a string".into(),
+    })
+}
+
+fn require_f64(body: &JsonValue, field: &'static str) -> Result<f64, NetError> {
+    let value = body.get(field).ok_or(NetError::MissingField { field })?;
+    value.as_f64().ok_or(NetError::BadField {
+        field,
+        detail: "must be a number".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::NetClient;
+    use ccdp_graph::generators;
+    use ccdp_serve::{BudgetLedger, GraphRegistry, ServeConfig};
+
+    fn start_fleet() -> NetServer {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("stars", generators::planted_star_forest(10, 2, 3));
+        registry.insert("path", generators::path(12));
+        let ledger = Arc::new(BudgetLedger::new());
+        ledger.register("acme", 100.0).unwrap();
+        let server = Arc::new(Server::start(
+            ServeConfig::new().with_workers(2).with_seed(7),
+            registry,
+            ledger,
+        ));
+        NetServer::start(NetConfig::new(), server).unwrap()
+    }
+
+    #[test]
+    fn serves_an_estimate_over_the_wire() {
+        let net = start_fleet();
+        let mut client = NetClient::connect(net.local_addr());
+        let est = client.estimate("acme", "stars", 0.5, None).unwrap();
+        assert!(est.value.is_finite());
+        assert_eq!(est.graph, "stars");
+        assert_eq!(est.version, Some(0));
+        let stats = net.shutdown();
+        assert_eq!(stats.responses_ok, 1);
+        assert_eq!(stats.requests, 1);
+    }
+
+    #[test]
+    fn ingest_health_and_stats_round_trip() {
+        let net = start_fleet();
+        let mut client = NetClient::connect(net.local_addr());
+        let health = client.health().unwrap();
+        assert!(health.ready && health.accepting && !health.draining);
+        assert_eq!(health.graphs, 2);
+
+        let ingested = client
+            .ingest("tri", "# 3 3\n0 1\n1 2\n0 2\n", None)
+            .unwrap();
+        assert_eq!((ingested.vertices, ingested.edges), (3, 3));
+        assert_eq!(ingested.version, 0);
+        // Unpinned re-ingest publishes latest-plus-one, pinned duplicates
+        // are a typed 409.
+        let again = client
+            .ingest("tri", "# 4 3\n0 1\n1 2\n2 3\n", None)
+            .unwrap();
+        assert_eq!(again.version, 1);
+        let err = client.ingest("tri", "# 2 1\n0 1\n", Some(1)).unwrap_err();
+        assert!(
+            matches!(&err, NetError::Api { status: 409, code, .. } if code == "version_exists"),
+            "{err:?}"
+        );
+
+        let est = client.estimate("acme", "tri", 0.5, Some(1)).unwrap();
+        assert_eq!(est.version, Some(1));
+
+        let stats = client.stats().unwrap();
+        assert_eq!(
+            stats
+                .get("catalog")
+                .and_then(|c| c.get("graphs"))
+                .and_then(JsonValue::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            stats
+                .get("serve")
+                .and_then(|s| s.get("completed"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn typed_refusals_cross_the_wire_with_their_status() {
+        let net = start_fleet();
+        let mut client = NetClient::connect(net.local_addr());
+        // Unknown tenant → 404 from the worker pool.
+        let err = client.estimate("ghost", "stars", 0.5, None).unwrap_err();
+        assert!(
+            matches!(&err, NetError::Api { status: 404, code, .. } if code == "unknown_tenant")
+        );
+        // Budget exhaustion → 403, and the refused spend changed nothing.
+        let err = client.estimate("acme", "stars", 1e9, None).unwrap_err();
+        assert!(
+            matches!(&err, NetError::Api { status: 403, code, .. } if code == "budget_exhausted")
+        );
+        // Invalid epsilon → 400 at submission.
+        let err = client.estimate("acme", "stars", -1.0, None).unwrap_err();
+        assert!(
+            matches!(&err, NetError::Api { status: 400, code, .. } if code == "invalid_epsilon")
+        );
+        // Unknown route → 404 with its own code.
+        let err = client.get_json("/nope").unwrap_err();
+        assert!(matches!(&err, NetError::Api { status: 404, code, .. } if code == "unknown_route"));
+        // Wrong method → 405.
+        let err = client.get_json("/estimate").unwrap_err();
+        assert!(
+            matches!(&err, NetError::Api { status: 405, code, .. } if code == "method_not_allowed")
+        );
+        let stats = net.shutdown();
+        assert_eq!(stats.responses_ok, 0);
+        assert!(stats.responses_client_error >= 5);
+    }
+
+    #[test]
+    fn malformed_wire_input_is_answered_typed() {
+        use std::io::Write as _;
+        let net = start_fleet();
+        for (raw, want) in [
+            // Unframed garbage: answered and closed.
+            (&b"GARBAGE\r\n\r\n"[..], 400),
+            // Well-framed request, bad JSON body: answered, framing intact.
+            (
+                b"POST /estimate HTTP/1.1\r\nContent-Length: 3\r\n\r\n{ni",
+                400,
+            ),
+            (b"GET / HTTP/5.0\r\n\r\n", 505),
+        ] {
+            let mut s = TcpStream::connect(net.local_addr()).unwrap();
+            s.write_all(raw).unwrap();
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            let reply = http::read_response(&mut reader, &WireLimits::default()).unwrap();
+            assert_eq!(reply.status, want, "{raw:?}");
+            assert!(reply.body_str().unwrap().contains("\"error\""), "{raw:?}");
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_is_a_typed_refusal() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("path", generators::path(8));
+        let ledger = Arc::new(BudgetLedger::new());
+        ledger.register("acme", 10.0).unwrap();
+        let server = Arc::new(Server::start(ServeConfig::new(), registry, ledger));
+        let net = NetServer::start(NetConfig::new().with_max_connections(1), server).unwrap();
+        // Hold one connection open (it counts against the cap once served).
+        let mut first = NetClient::connect(net.local_addr());
+        first.health().unwrap();
+        // A second concurrent connection must be refused, not queued.
+        let mut refused = None;
+        for _ in 0..50 {
+            let mut probe = NetClient::connect(net.local_addr());
+            match probe.health() {
+                Err(NetError::Api {
+                    status: 503, code, ..
+                }) if code == "connection_cap" => {
+                    refused = Some(code);
+                    break;
+                }
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        assert!(
+            refused.is_some(),
+            "cap of 1 never refused a second connection"
+        );
+        let stats = net.shutdown();
+        assert!(stats.refused_cap >= 1);
+    }
+
+    #[test]
+    fn shutdown_drains_and_refuses_new_connections() {
+        let net = start_fleet();
+        let addr = net.local_addr();
+        let stats = net.shutdown();
+        // The shutdown wake is a real connection and gets the same typed
+        // `503 draining` any client racing the drain would see.
+        assert_eq!(stats.refused_draining, 1);
+        // The port is released: a fresh bind either fails to connect or the
+        // old listener is gone. Either way no new server answers.
+        assert!(NetClient::connect(addr).health().is_err());
+    }
+}

@@ -24,6 +24,9 @@
 //!   log-spaced-bucket [`LatencyHistogram`].
 //! * [`loadgen`] — the deterministic [`LoadSpec`] load generator and its
 //!   [`LoadReport`] (the CI smoke artifact).
+//! * [`json`] — the one hand-rolled JSON codec every tier emits and parses
+//!   with ([`JsonWriter`] / [`json::parse`]); the wire format has a single
+//!   source of truth.
 //! * [`error`] — the typed [`ServeError`] failure surface.
 //!
 //! # Quick start
@@ -55,14 +58,17 @@
 
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod ledger;
 pub mod loadgen;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
+pub use ccdp_dp::BudgetExceeded;
 pub use ccdp_graph::GraphVersion;
 pub use error::ServeError;
+pub use json::{JsonParseError, JsonValue, JsonWriter};
 pub use ledger::{BudgetLedger, TenantAccount, TenantId};
 pub use loadgen::{GraphSpec, LoadReport, LoadSpec, TenantSpec};
 pub use registry::{GraphId, GraphRegistry};

@@ -164,31 +164,44 @@ impl LoadSpec {
         }
     }
 
-    /// Registers the fleet and tenants, starts a server, runs the schedule
-    /// with closed-loop clients and returns the summary report.
-    pub fn run(&self) -> LoadReport {
-        let registry = Arc::new(GraphRegistry::new());
-        let graph_ids: Vec<GraphId> = self
-            .graphs
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                let id = GraphId::new(format!("fleet/g{i}"));
-                registry.insert(id.clone(), spec.build());
-                id
-            })
-            .collect();
-        let ledger = Arc::new(BudgetLedger::new());
+    /// The catalog ids this spec's fleet registers under (`fleet/g0`,
+    /// `fleet/g1`, …) — the single naming scheme shared by
+    /// [`provision`](Self::provision) and anything that needs to address the
+    /// fleet later (e.g. the wire-level load generator building its schedule
+    /// against an already-provisioned remote server).
+    pub fn graph_ids(&self) -> Vec<GraphId> {
+        (0..self.graphs.len())
+            .map(|i| GraphId::new(format!("fleet/g{i}")))
+            .collect()
+    }
+
+    /// Builds the fleet into `registry` and registers the tenants in
+    /// `ledger`, returning the catalog ids (`fleet/g0`, `fleet/g1`, …).
+    /// Shared by the in-process run and the wire-level load generator, so
+    /// both drive the identical workload.
+    ///
+    /// # Panics
+    /// Panics on a duplicate tenant or graph id — a `LoadSpec` provisions a
+    /// fresh fleet, it never merges into one.
+    pub fn provision(&self, registry: &GraphRegistry, ledger: &BudgetLedger) -> Vec<GraphId> {
+        let graph_ids = self.graph_ids();
+        for (id, spec) in graph_ids.iter().zip(&self.graphs) {
+            registry.insert(id.clone(), spec.build());
+        }
         for t in &self.tenants {
             ledger
                 .register(t.name.as_str(), t.quota_epsilon)
                 .expect("duplicate tenant in LoadSpec");
         }
+        graph_ids
+    }
 
-        // Deterministic schedule: tenant by weight, graph uniform.
+    /// The deterministic request schedule over `graph_ids`: tenant drawn by
+    /// weight, graph uniform, fully derived from the spec seed.
+    pub fn schedule(&self, graph_ids: &[GraphId]) -> Vec<ServeRequest> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let total_weight: f64 = self.tenants.iter().map(|t| t.weight.max(0.0)).sum();
-        let schedule: Vec<ServeRequest> = (0..self.requests)
+        (0..self.requests)
             .map(|_| {
                 let mut pick = rng.gen_range(0.0..total_weight.max(f64::MIN_POSITIVE));
                 let mut tenant = &self.tenants[0];
@@ -206,7 +219,16 @@ impl LoadSpec {
                     self.epsilon_per_request,
                 )
             })
-            .collect();
+            .collect()
+    }
+
+    /// Registers the fleet and tenants, starts a server, runs the schedule
+    /// with closed-loop clients and returns the summary report.
+    pub fn run(&self) -> LoadReport {
+        let registry = Arc::new(GraphRegistry::new());
+        let ledger = Arc::new(BudgetLedger::new());
+        let graph_ids = self.provision(&registry, &ledger);
+        let schedule = self.schedule(&graph_ids);
 
         let server = Arc::new(Server::start(
             self.server.clone().with_seed(self.seed),
@@ -338,44 +360,35 @@ impl LoadReport {
             == self.spec_requests as u64
     }
 
-    /// Serializes the metrics the CI smoke job tracks (no external deps).
+    /// Serializes the metrics the CI smoke job tracks, through the shared
+    /// [`json`](crate::json) writer (the single source of truth for every
+    /// JSON byte the stack emits).
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\n",
-                "  \"requests\": {},\n",
-                "  \"completed\": {},\n",
-                "  \"budget_refusals\": {},\n",
-                "  \"failed\": {},\n",
-                "  \"backpressure_retries\": {},\n",
-                "  \"wall_clock_s\": {:.6},\n",
-                "  \"throughput_rps\": {:.3},\n",
-                "  \"p50_latency_ms\": {:.3},\n",
-                "  \"p99_latency_ms\": {:.3},\n",
-                "  \"peak_queue_depth\": {},\n",
-                "  \"cache_hits\": {},\n",
-                "  \"cache_misses\": {},\n",
-                "  \"cache_coalesced\": {},\n",
-                "  \"cache_evictions\": {},\n",
-                "  \"cache_hit_rate\": {:.4}\n",
-                "}}"
-            ),
-            self.spec_requests,
-            self.completed,
-            self.budget_refusals,
-            self.failed,
-            self.backpressure_retries,
-            self.wall_clock.as_secs_f64(),
-            self.throughput_rps,
+        let mut w = crate::json::JsonWriter::object();
+        w.field_u64("requests", self.spec_requests as u64);
+        w.field_u64("completed", self.completed);
+        w.field_u64("budget_refusals", self.budget_refusals);
+        w.field_u64("failed", self.failed);
+        w.field_u64("backpressure_retries", self.backpressure_retries);
+        w.field_f64_rounded("wall_clock_s", self.wall_clock.as_secs_f64(), 6);
+        w.field_f64_rounded("throughput_rps", self.throughput_rps, 3);
+        w.field_f64_rounded(
+            "p50_latency_ms",
             self.snapshot.p50_latency.as_secs_f64() * 1e3,
+            3,
+        );
+        w.field_f64_rounded(
+            "p99_latency_ms",
             self.snapshot.p99_latency.as_secs_f64() * 1e3,
-            self.snapshot.peak_queue_depth,
-            self.cache.hits,
-            self.cache.misses,
-            self.cache.coalesced,
-            self.cache.evictions,
-            self.cache_hit_rate(),
-        )
+            3,
+        );
+        w.field_u64("peak_queue_depth", self.snapshot.peak_queue_depth);
+        w.field_u64("cache_hits", self.cache.hits);
+        w.field_u64("cache_misses", self.cache.misses);
+        w.field_u64("cache_coalesced", self.cache.coalesced);
+        w.field_u64("cache_evictions", self.cache.evictions);
+        w.field_f64_rounded("cache_hit_rate", self.cache_hit_rate(), 4);
+        w.finish()
     }
 }
 
@@ -418,9 +431,10 @@ mod tests {
         // evaluations; everything else is a hit or a coalesced join.
         assert_eq!(report.cache.misses, 2, "{:?}", report.cache);
         assert!(report.cache_hit_rate() > 0.9);
-        let json = report.to_json();
-        assert!(json.contains("\"completed\": 40"));
-        assert!(json.contains("cache_hit_rate"));
+        // The report round-trips through the shared JSON codec.
+        let json = crate::json::parse(&report.to_json()).unwrap();
+        assert_eq!(json.get("completed").unwrap().as_u64(), Some(40));
+        assert!(json.get("cache_hit_rate").unwrap().as_f64().unwrap() > 0.9);
     }
 
     #[test]

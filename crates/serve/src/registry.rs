@@ -297,6 +297,25 @@ impl GraphRegistry {
         evicted
     }
 
+    /// Removes and returns exactly one published snapshot, dropping the id
+    /// entirely when its history empties.
+    ///
+    /// Snapshots are normally immutable once published; this exists for the
+    /// one caller with a legitimate claim — a publisher rolling back a
+    /// version *it just published* that was never served (e.g. the release
+    /// scheduler unwinding a publish after queue backpressure refused the
+    /// estimate). Concurrent readers that already resolved the snapshot keep
+    /// their `Arc` — removal unlists, it never invalidates.
+    pub fn remove_version(&self, id: &GraphId, version: GraphVersion) -> Option<Arc<Graph>> {
+        let mut shard = self.write(id);
+        let history = shard.get_mut(id)?;
+        let removed = history.remove(&version);
+        if history.is_empty() {
+            shard.remove(id);
+        }
+        removed
+    }
+
     /// Removes and returns the latest snapshot stored under `id`, dropping
     /// the whole version history.
     pub fn remove(&self, id: &GraphId) -> Option<Arc<Graph>> {

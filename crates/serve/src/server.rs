@@ -312,6 +312,25 @@ impl Server {
         &self.ledger
     }
 
+    /// The shared extension-family cache itself (for co-located engines —
+    /// e.g. a release scheduler invalidating superseded versions of what the
+    /// worker pool computed). Counters only: see
+    /// [`cache_stats`](Server::cache_stats).
+    pub fn cache(&self) -> &Arc<ExtensionCache> {
+        &self.cache
+    }
+
+    /// Whether the worker pool is still accepting submissions (readiness:
+    /// `false` once shutdown has begun).
+    pub fn is_accepting(&self) -> bool {
+        self.queue.is_some()
+    }
+
+    /// The server's configuration (as clamped at start).
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
     /// The shared extension-family cache (hit/miss/coalesce counters).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()

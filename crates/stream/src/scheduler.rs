@@ -38,10 +38,12 @@
 //! is per tenant, not per version.
 
 use crate::error::StreamError;
-use crate::stream::GraphStream;
+use crate::stream::{GraphSnapshot, GraphStream};
 use ccdp_core::{Estimator, EstimatorConfig, ExtensionCache, PrivateCcEstimator, SolverBackend};
 use ccdp_graph::GraphVersion;
-use ccdp_serve::{BudgetLedger, GraphId, GraphRegistry, ServeError, TenantId};
+use ccdp_serve::{
+    BudgetLedger, GraphId, GraphRegistry, ServeError, ServeRequest, Server, TenantId,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::hash_map::DefaultHasher;
@@ -186,12 +188,16 @@ pub struct ReleaseScheduler {
     registry: Arc<GraphRegistry>,
     ledger: Arc<BudgetLedger>,
     cache: Arc<ExtensionCache>,
+    /// When set, fired releases run through this worker pool instead of
+    /// estimating inline (see [`ReleaseScheduler::with_server`]).
+    server: Option<Arc<Server>>,
     state: Mutex<HashMap<GraphId, TriggerState>>,
     log: Mutex<Vec<ReleaseRecord>>,
 }
 
 impl ReleaseScheduler {
-    /// A scheduler over the shared registry, ledger and family cache.
+    /// A scheduler over the shared registry, ledger and family cache,
+    /// estimating inline on the calling thread.
     pub fn new(
         config: SchedulerConfig,
         registry: Arc<GraphRegistry>,
@@ -203,6 +209,35 @@ impl ReleaseScheduler {
             registry,
             ledger,
             cache,
+            server: None,
+            state: Mutex::new(HashMap::new()),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A scheduler whose fired releases run through `server`'s worker pool:
+    /// the published snapshot is estimated by the same workers, admitted by
+    /// the same bounded queue and charged by the same ledger admission path
+    /// as every wire request, and its extension family lands in the pool's
+    /// shared cache. Registry, ledger and cache are taken from the server,
+    /// so they are shared by construction.
+    ///
+    /// Differences from the inline path, both typed and bounded:
+    ///
+    /// * Queue backpressure surfaces as
+    ///   [`ServeError::QueueFull`] — the release is refused, the
+    ///   just-published snapshot is unpublished, and *no budget is charged*
+    ///   (the charge lives inside the worker, past admission). The stream's
+    ///   version number is burned; versions never recycle.
+    /// * The ledger stage name is the graph id (the worker pool's hot-path
+    ///   naming), not the inline path's `id@version`.
+    pub fn with_server(config: SchedulerConfig, server: Arc<Server>) -> Self {
+        ReleaseScheduler {
+            config,
+            registry: Arc::clone(server.registry()),
+            ledger: Arc::clone(server.ledger()),
+            cache: Arc::clone(server.cache()),
+            server: Some(server),
             state: Mutex::new(HashMap::new()),
             log: Mutex::new(Vec::new()),
         }
@@ -286,6 +321,9 @@ impl ReleaseScheduler {
         tenant: &TenantId,
         trigger: ReleaseTrigger,
     ) -> Result<ReleaseRecord, StreamError> {
+        if let Some(server) = self.server.as_ref().map(Arc::clone) {
+            return self.release_via_server(&server, stream, tenant, trigger);
+        }
         // Charge the tenant *first*: a refused release must cost nothing and
         // change nothing — no version burned, no snapshot published, no
         // cache invalidated, no solver time. The version the snapshot will
@@ -319,13 +357,7 @@ impl ReleaseScheduler {
         // to re-fire on the very next observe() and drain the tenant's quota
         // on a pathological graph — the damage is bounded to one charge per
         // policy period.
-        self.lock_state().insert(
-            id.clone(),
-            TriggerState {
-                mutations_at_last: snapshot.mutations_applied(),
-                components_at_last: snapshot.num_components(),
-            },
-        );
+        self.mark_released(&id, &snapshot);
 
         // Estimate on the registry-resolved snapshot (not the local copy):
         // what we release is provably what `(id, version)` names.
@@ -356,6 +388,93 @@ impl ReleaseScheduler {
         };
         self.lock_log().push(record.clone());
         Ok(record)
+    }
+
+    /// The worker-pool pipeline: snapshot → publish → submit → await →
+    /// invalidate/expire → record. Publication must precede submission (a
+    /// worker can only serve what the registry resolves), so refusals roll
+    /// the publish back instead of never making it — either way a refused
+    /// release leaves no resolvable snapshot and no charge (see
+    /// [`ReleaseScheduler::with_server`]).
+    fn release_via_server(
+        &self,
+        server: &Server,
+        stream: &mut GraphStream,
+        tenant: &TenantId,
+        trigger: ReleaseTrigger,
+    ) -> Result<ReleaseRecord, StreamError> {
+        let id = stream.id().clone();
+        let snapshot = stream.snapshot();
+        let version = snapshot.version();
+        self.registry
+            .insert_version(id.clone(), version, Arc::clone(snapshot.graph()))?;
+
+        // Pin the exact published version: the worker provably estimates the
+        // snapshot this release names, never "latest at dequeue time".
+        let request =
+            ServeRequest::new(tenant.clone(), id.clone(), self.config.epsilon_per_release)
+                .at_version(version);
+        let pending = match server.submit(request) {
+            Ok(pending) => pending,
+            Err(refusal) => {
+                // Typed backpressure (QueueFull / ShuttingDown): nothing was
+                // enqueued and nothing charged — the worker-side ledger spend
+                // never ran. Unpublish the unfunded snapshot so shared state
+                // is as before; only the stream's version number is burned.
+                self.registry.remove_version(&id, version);
+                return Err(StreamError::Serve(refusal));
+            }
+        };
+        let response = pending.wait();
+        let release = match response.result {
+            Ok(release) => release,
+            Err(refusal @ ServeError::BudgetExhausted { .. }) => {
+                // The worker's atomic check-and-spend refused: no charge
+                // landed, so the unfunded snapshot must not stay resolvable
+                // and the policy state must not advance.
+                self.registry.remove_version(&id, version);
+                return Err(StreamError::Serve(refusal));
+            }
+            Err(failure) => {
+                // The charge landed (failures past admission are never
+                // refunded — same conservative accounting as the inline
+                // path), so advance the policy state: a pathological graph
+                // drains at most one charge per policy period.
+                self.mark_released(&id, &snapshot);
+                return Err(StreamError::Serve(failure));
+            }
+        };
+        self.mark_released(&id, &snapshot);
+        self.cache.invalidate_versions_below(id.as_str(), version);
+        if self.config.retain_versions > 0 {
+            self.registry
+                .retain_latest(&id, self.config.retain_versions);
+        }
+
+        let record = ReleaseRecord {
+            graph: id,
+            version,
+            tenant: tenant.clone(),
+            epsilon: self.config.epsilon_per_release,
+            value: release.value(),
+            true_components: snapshot.num_components(),
+            time: snapshot.time(),
+            mutations_applied: snapshot.mutations_applied(),
+            trigger,
+        };
+        self.lock_log().push(record.clone());
+        Ok(record)
+    }
+
+    /// Advances the per-stream policy state to `snapshot`.
+    fn mark_released(&self, id: &GraphId, snapshot: &GraphSnapshot) {
+        self.lock_state().insert(
+            id.clone(),
+            TriggerState {
+                mutations_at_last: snapshot.mutations_applied(),
+                components_at_last: snapshot.num_components(),
+            },
+        );
     }
 
     /// Deterministic per-release noise stream: the same (seed, graph,
@@ -574,6 +693,111 @@ mod tests {
         assert_eq!(stats.misses, 5);
         assert_eq!(stats.hits, 0);
         assert!(stats.invalidations >= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn server_pool_releases_share_cache_ledger_and_log() {
+        use ccdp_serve::ServeConfig;
+        let registry = Arc::new(GraphRegistry::new());
+        let ledger = Arc::new(BudgetLedger::new());
+        ledger.register("acme", 100.0).unwrap();
+        let server = Arc::new(Server::start(
+            ServeConfig::new().with_workers(2).with_seed(5),
+            Arc::clone(&registry),
+            Arc::clone(&ledger),
+        ));
+        let sched = ReleaseScheduler::with_server(
+            SchedulerConfig::new(ReleasePolicy::EveryKMutations(3)).with_epsilon(0.5),
+            Arc::clone(&server),
+        );
+        let tenant = TenantId::new("acme");
+        let mut s = grow_stream("g", 2);
+        let baseline = sched.observe(&mut s, &tenant).unwrap().unwrap();
+        assert_eq!(baseline.trigger, ReleaseTrigger::Baseline);
+        assert_eq!(baseline.version, GraphVersion::INITIAL);
+        for i in 0..3u64 {
+            s.apply(&Mutation::insert(20 + i, 30 + i as usize, 31 + i as usize))
+                .unwrap();
+        }
+        let next = sched.observe(&mut s, &tenant).unwrap().unwrap();
+        assert_eq!(next.trigger, ReleaseTrigger::Mutations);
+        assert_eq!(next.version, GraphVersion::new(1));
+        // Both releases went through the pool: its stats counted them, its
+        // cache holds their families, the shared ledger funded them.
+        let snap = server.stats();
+        assert_eq!(snap.completed, 2);
+        assert_eq!(server.cache_stats().misses, 2);
+        let view = ledger.account_view(&tenant).unwrap();
+        assert!((view.spent_epsilon - 1.0).abs() < 1e-12);
+        assert_eq!(sched.releases(), 2);
+        assert_eq!(registry.versions(&GraphId::new("g")).len(), 2);
+    }
+
+    #[test]
+    fn pool_backpressure_refuses_the_release_and_charges_nothing() {
+        // Regression (wire-era invariant): a scheduler release that meets a
+        // full worker queue must surface `QueueFull` as a typed refusal,
+        // charge no budget and leave no resolvable snapshot behind.
+        use ccdp_serve::ServeConfig;
+        let registry = Arc::new(GraphRegistry::new());
+        // A slow graph occupies the lone worker long enough for the 1-slot
+        // queue to stay full behind it.
+        registry.insert("slow", ccdp_graph::generators::caveman(6, 6));
+        let ledger = Arc::new(BudgetLedger::new());
+        ledger.register("filler", 1e6).unwrap();
+        ledger.register("acme", 100.0).unwrap();
+        let server = Arc::new(Server::start(
+            ServeConfig::new().with_workers(1).with_queue_capacity(1),
+            Arc::clone(&registry),
+            Arc::clone(&ledger),
+        ));
+        let sched = ReleaseScheduler::with_server(
+            SchedulerConfig::new(ReleasePolicy::OnDemand).with_epsilon(0.5),
+            Arc::clone(&server),
+        );
+        let tenant = TenantId::new("acme");
+        let mut s = grow_stream("g", 4);
+        let id = GraphId::new("g");
+
+        let mut pending = Vec::new();
+        let mut refused = false;
+        for _ in 0..20 {
+            // Saturate the pool: keep submitting slow filler work until the
+            // bounded queue pushes back.
+            loop {
+                match server.submit(ccdp_serve::ServeRequest::new("filler", "slow", 0.001)) {
+                    Ok(p) => pending.push(p),
+                    Err(ServeError::QueueFull { .. }) => break,
+                    Err(other) => panic!("unexpected filler refusal: {other:?}"),
+                }
+            }
+            let spent_before = ledger.account_view(&tenant).unwrap().spent_epsilon;
+            let releases_before = sched.releases();
+            let refused_version = s.next_version();
+            match sched.release_now(&mut s, &tenant) {
+                Err(StreamError::Serve(ServeError::QueueFull { capacity })) => {
+                    assert_eq!(capacity, 1);
+                    let view = ledger.account_view(&tenant).unwrap();
+                    assert_eq!(
+                        view.spent_epsilon, spent_before,
+                        "a refused release must charge nothing"
+                    );
+                    // The refused snapshot was unpublished and not logged.
+                    assert!(registry.get_version(&id, refused_version).is_none());
+                    assert_eq!(sched.releases(), releases_before);
+                    refused = true;
+                    break;
+                }
+                // The lone worker won the race and drained the queue first;
+                // that release went through — re-saturate and try again.
+                Ok(r) => {
+                    assert_eq!(r.version, refused_version);
+                    continue;
+                }
+                Err(other) => panic!("unexpected release failure: {other:?}"),
+            }
+        }
+        assert!(refused, "a 1-slot queue never refused a release");
     }
 
     #[test]

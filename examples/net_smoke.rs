@@ -1,0 +1,126 @@
+//! Drive the wire tier end to end with the deterministic net-smoke workload.
+//!
+//! Starts a real listener on a loopback port, provisions the CI fleet and
+//! tenant mix, then runs 32 socket clients through 512 requests of the
+//! serve tier's deterministic schedule — every request a real HTTP/1.1
+//! round trip through [`NetClient`]. Asserts the acceptance invariants the
+//! CI `net-smoke` job relies on:
+//!
+//! * the workload completes: zero hard failures, every non-budget request
+//!   answered `200` (429 backpressure is retried, 403 budget refusals are
+//!   expected for the under-provisioned `burst` tenant);
+//! * `/healthz` answers `ready` while serving;
+//! * shutdown drains cleanly and reports consistent wire counters.
+//!
+//! With `--json PATH`, writes the metrics JSON archived as `BENCH_net.json`.
+//!
+//! ```text
+//! cargo run --release --example net_smoke
+//! cargo run --release --example net_smoke -- --clients 32 --requests 512
+//! cargo run --release --example net_smoke -- --json BENCH_net.json
+//! ```
+
+use ccdp::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let mut spec = WireLoadSpec::ci_smoke();
+    let mut json_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("flag {} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--requests" => {
+                spec.base.requests = value(i).parse().expect("--requests takes a count");
+                i += 2;
+            }
+            "--clients" => {
+                spec.base.clients = value(i).parse().expect("--clients takes a count");
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(value(i).to_string());
+                i += 2;
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+
+    // Provision the fleet and put a real listener in front of the pool.
+    let registry = Arc::new(GraphRegistry::new());
+    let ledger = Arc::new(BudgetLedger::new());
+    spec.provision(&registry, &ledger);
+    let server = Arc::new(Server::start(
+        spec.base.server.clone().with_seed(spec.base.seed),
+        registry,
+        ledger,
+    ));
+    let net = NetServer::start(
+        NetConfig::new().with_max_connections(spec.base.clients + 8),
+        server,
+    )
+    .expect("loopback listener must bind");
+    let addr = net.local_addr();
+    println!(
+        "net-smoke: {} clients x {} requests against {addr}",
+        spec.base.clients, spec.base.requests
+    );
+
+    // The server must be ready before a single byte of load.
+    let mut probe = NetClient::connect(addr);
+    let health = probe.health().expect("/healthz must answer");
+    assert!(health.ready, "listener not ready: {health:?}");
+
+    let report = spec.run(addr);
+    println!(
+        "completed {}/{} ({} budget refusals, {} failures, {} backpressure retries)",
+        report.completed,
+        report.spec_requests,
+        report.budget_refusals,
+        report.failed,
+        report.backpressure_retries
+    );
+    println!(
+        "throughput {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms",
+        report.throughput_rps,
+        report.p50_latency.as_secs_f64() * 1e3,
+        report.p99_latency.as_secs_f64() * 1e3
+    );
+
+    // Acceptance invariants — the CI job passes only if these hold.
+    assert!(report.is_complete(), "workload incomplete: {report:?}");
+    assert_eq!(report.failed, 0, "hard failures over the wire: {report:?}");
+    assert!(
+        report.budget_refusals > 0,
+        "the under-provisioned `burst` tenant should have been refused"
+    );
+
+    // Still healthy after the storm.
+    let health = probe.health().expect("/healthz must answer after load");
+    assert!(health.ready, "listener degraded after load: {health:?}");
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, format!("{}\n", report.to_json()))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    let stats = net.shutdown();
+    assert_eq!(
+        stats.refused_cap, 0,
+        "connection cap hit during a sized workload: {stats:?}"
+    );
+    println!(
+        "drained: {} connections accepted, {} requests, {} ok / {} client-err / {} server-err",
+        stats.accepted,
+        stats.requests,
+        stats.responses_ok,
+        stats.responses_client_error,
+        stats.responses_server_error
+    );
+}

@@ -1,0 +1,412 @@
+//! `ccdp` — the ops CLI of the networked serving stack.
+//!
+//! Thin subcommands over a service layer over the typed [`NetClient`]:
+//! the command layer only parses `KEY=VALUE` arguments and formats output,
+//! the service layer owns the client and the fleet lifecycle, and every
+//! failure is a typed [`CliError`] with a distinct exit code — never a
+//! panic, never a stringly-typed guess.
+//!
+//! ```text
+//! ccdp serve    [addr=127.0.0.1:8787] [fleet=smoke|empty] [workers=4]
+//!               [queue=256] [seed=0] [max_connections=64] [duration_s=0]
+//! ccdp estimate [addr=..] tenant=alpha graph=fleet/g0 epsilon=0.25 [version=3]
+//! ccdp ingest   [addr=..] graph=g (file=edges.txt | edges='0 1\n1 2') [version=0]
+//! ccdp stats    [addr=..]
+//! ccdp health   [addr=..]
+//! ccdp bench    [addr=..] [clients=32] [requests=512] [epsilon=0.25]
+//!               [seed=2023] [out=BENCH_net.json]
+//! ```
+//!
+//! `bench` without `addr=` is self-contained: it provisions the smoke fleet,
+//! starts a server and listener in-process, drives the wire workload and
+//! tears everything down. With `addr=` it drives an already-running
+//! `ccdp serve fleet=smoke` (the workload addresses the fleet by its
+//! deterministic catalog ids).
+
+use ccdp::net::client::resolve;
+use ccdp::net::{NetClient, NetConfig, NetError, NetServer, WireLoadSpec};
+use ccdp::serve::{BudgetLedger, GraphRegistry, ServeConfig, Server};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The default address `serve` binds and the clients target.
+const DEFAULT_ADDR: &str = "127.0.0.1:8787";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(Outcome::Done) => ExitCode::SUCCESS,
+        Ok(Outcome::Degraded) => ExitCode::from(2),
+        Err(e) => {
+            eprintln!("ccdp: {e}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: ccdp <serve|estimate|ingest|stats|health|bench> [KEY=VALUE]...\n\
+  serve     start a listener (fleet=smoke provisions the CI fleet)\n\
+  estimate  one private release: tenant= graph= epsilon= [version=]\n\
+  ingest    publish an edge list: graph= file=|edges= [version=]\n\
+  stats     print the server's counter tree as JSON\n\
+  health    readiness probe (exit 0 ready, 2 degraded)\n\
+  bench     drive the wire load workload ([out=] writes the report JSON)\n\
+  common    addr=127.0.0.1:8787";
+
+/// How a successful command ended (drives the exit code).
+enum Outcome {
+    /// All good: exit 0.
+    Done,
+    /// `health` answered but not ready: exit 2, distinguishable from a
+    /// transport failure (exit 1) by probes.
+    Degraded,
+}
+
+fn run(args: &[String]) -> Result<Outcome, CliError> {
+    let (command, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage("no command given".into()))?;
+    match command.as_str() {
+        "serve" => cmd_serve(Args::parse(
+            rest,
+            &[
+                "addr",
+                "fleet",
+                "workers",
+                "queue",
+                "seed",
+                "max_connections",
+                "duration_s",
+            ],
+        )?),
+        "estimate" => cmd_estimate(Args::parse(
+            rest,
+            &["addr", "tenant", "graph", "epsilon", "version"],
+        )?),
+        "ingest" => cmd_ingest(Args::parse(
+            rest,
+            &["addr", "graph", "file", "edges", "version"],
+        )?),
+        "stats" => cmd_stats(Args::parse(rest, &["addr"])?),
+        "health" => cmd_health(Args::parse(rest, &["addr"])?),
+        "bench" => cmd_bench(Args::parse(
+            rest,
+            &["addr", "clients", "requests", "epsilon", "seed", "out"],
+        )?),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Commands: parse keys, call the service, format output.
+// ---------------------------------------------------------------------------
+
+fn cmd_serve(args: Args) -> Result<Outcome, CliError> {
+    let addr = args.str_or("addr", DEFAULT_ADDR);
+    let fleet = args.str_or("fleet", "smoke");
+    let duration_s = args.u64_or("duration_s", 0)?;
+
+    let registry = Arc::new(GraphRegistry::new());
+    let ledger = Arc::new(BudgetLedger::new());
+    let spec = WireLoadSpec::ci_smoke();
+    match fleet {
+        "smoke" => {
+            let ids = spec.provision(&registry, &ledger);
+            println!(
+                "provisioned smoke fleet: {} graphs, {} tenants",
+                ids.len(),
+                spec.base.tenants.len()
+            );
+        }
+        "empty" => {}
+        other => {
+            return Err(CliError::BadArg {
+                key: "fleet",
+                detail: format!("`{other}` is not one of smoke|empty"),
+            })
+        }
+    }
+
+    let config = ServeConfig::new()
+        .with_workers(args.u64_or("workers", 4)? as usize)
+        .with_queue_capacity(args.u64_or("queue", 256)? as usize)
+        .with_seed(args.u64_or("seed", 0)?);
+    let server = Arc::new(Server::start(config, registry, ledger));
+    let net_config = NetConfig::new()
+        .with_addr(addr)
+        .with_max_connections(args.u64_or("max_connections", 64)? as usize);
+    let net = NetServer::start(net_config, Arc::clone(&server)).map_err(|e| CliError::Io {
+        detail: format!("cannot bind `{addr}`: {e}"),
+    })?;
+    println!("serving on {} (fleet={fleet})", net.local_addr());
+
+    if duration_s > 0 {
+        std::thread::sleep(Duration::from_secs(duration_s));
+        let stats = net.shutdown();
+        println!(
+            "drained after {duration_s}s: {} connections, {} requests",
+            stats.accepted, stats.requests
+        );
+    } else {
+        // Serve until the process is killed; the listener threads do the work.
+        loop {
+            std::thread::park();
+        }
+    }
+    Ok(Outcome::Done)
+}
+
+fn cmd_estimate(args: Args) -> Result<Outcome, CliError> {
+    let mut service = OpsService::connect(args.str_or("addr", DEFAULT_ADDR))?;
+    let est = service.client.estimate(
+        args.require("tenant")?,
+        args.require("graph")?,
+        args.f64_req("epsilon")?,
+        args.u64_opt("version")?,
+    )?;
+    println!(
+        "{} on {}@v{}: {:.3}  (ε={}, estimator={}, server latency {:.2} ms)",
+        est.tenant,
+        est.graph,
+        est.version.map_or_else(|| "?".into(), |v| v.to_string()),
+        est.value,
+        est.epsilon.map_or_else(|| "-".into(), |e| e.to_string()),
+        est.estimator,
+        est.latency_ms,
+    );
+    Ok(Outcome::Done)
+}
+
+fn cmd_ingest(args: Args) -> Result<Outcome, CliError> {
+    let edges = match (args.opt("file"), args.opt("edges")) {
+        (Some(path), None) => std::fs::read_to_string(path).map_err(|e| CliError::Io {
+            detail: format!("cannot read `{path}`: {e}"),
+        })?,
+        (None, Some(inline)) => inline.replace("\\n", "\n"),
+        _ => {
+            return Err(CliError::Usage(
+                "ingest needs exactly one of file= or edges=".into(),
+            ))
+        }
+    };
+    let mut service = OpsService::connect(args.str_or("addr", DEFAULT_ADDR))?;
+    let resp = service
+        .client
+        .ingest(args.require("graph")?, &edges, args.u64_opt("version")?)?;
+    println!(
+        "published {}@v{}: {} vertices, {} edges",
+        resp.graph, resp.version, resp.vertices, resp.edges
+    );
+    Ok(Outcome::Done)
+}
+
+fn cmd_stats(args: Args) -> Result<Outcome, CliError> {
+    let mut service = OpsService::connect(args.str_or("addr", DEFAULT_ADDR))?;
+    // /stats is already the canonical JSON document; print it verbatim so
+    // the output pipes straight into tooling.
+    let raw = service.client.get_json("/stats").map(|v| v.to_string());
+    match raw {
+        Ok(json) => println!("{json}"),
+        Err(e) => return Err(e.into()),
+    }
+    Ok(Outcome::Done)
+}
+
+fn cmd_health(args: Args) -> Result<Outcome, CliError> {
+    let mut service = OpsService::connect(args.str_or("addr", DEFAULT_ADDR))?;
+    let health = service.client.health()?;
+    println!(
+        "{} (ready={}, accepting={}, draining={}, graphs={})",
+        health.status, health.ready, health.accepting, health.draining, health.graphs
+    );
+    Ok(if health.ready {
+        Outcome::Done
+    } else {
+        Outcome::Degraded
+    })
+}
+
+fn cmd_bench(args: Args) -> Result<Outcome, CliError> {
+    let mut spec = WireLoadSpec::ci_smoke();
+    spec.base.clients = args.u64_or("clients", spec.base.clients as u64)? as usize;
+    spec.base.requests = args.u64_or("requests", spec.base.requests as u64)? as usize;
+    spec.base.epsilon_per_request = args.f64_or("epsilon", spec.base.epsilon_per_request)?;
+    spec.base.seed = args.u64_or("seed", spec.base.seed)?;
+
+    let report = match args.opt("addr") {
+        // Drive an already-running fleet.
+        Some(addr) => spec.run(resolve(addr)?),
+        // Self-contained: provision, serve, drive, tear down.
+        None => {
+            let registry = Arc::new(GraphRegistry::new());
+            let ledger = Arc::new(BudgetLedger::new());
+            spec.provision(&registry, &ledger);
+            let server = Arc::new(Server::start(
+                spec.base.server.clone().with_seed(spec.base.seed),
+                registry,
+                ledger,
+            ));
+            let net = NetServer::start(
+                NetConfig::new().with_max_connections(spec.base.clients + 8),
+                server,
+            )
+            .map_err(|e| CliError::Io {
+                detail: format!("cannot bind a loopback listener: {e}"),
+            })?;
+            let report = spec.run(net.local_addr());
+            net.shutdown();
+            report
+        }
+    };
+
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = args.opt("out") {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| CliError::Io {
+            detail: format!("cannot write `{path}`: {e}"),
+        })?;
+    }
+    if report.failed > 0 {
+        return Err(CliError::Bench {
+            failed: report.failed,
+        });
+    }
+    Ok(Outcome::Done)
+}
+
+// ---------------------------------------------------------------------------
+// Service layer: owns the typed client.
+// ---------------------------------------------------------------------------
+
+/// The connection a command operates through.
+struct OpsService {
+    client: NetClient,
+}
+
+impl OpsService {
+    fn connect(addr: &str) -> Result<Self, CliError> {
+        Ok(OpsService {
+            client: NetClient::connect(resolve(addr)?),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KEY=VALUE argument parsing with typed errors.
+// ---------------------------------------------------------------------------
+
+/// Parsed `KEY=VALUE` arguments, validated against the command's key set.
+struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String], allowed: &[&str]) -> Result<Self, CliError> {
+        let mut values = BTreeMap::new();
+        for arg in raw {
+            let (key, value) = arg
+                .split_once('=')
+                .ok_or_else(|| CliError::Usage(format!("`{arg}` is not KEY=VALUE")))?;
+            if !allowed.contains(&key) {
+                return Err(CliError::Usage(format!(
+                    "unknown key `{key}` (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+            if values.insert(key.to_string(), value.to_string()).is_some() {
+                return Err(CliError::Usage(format!("`{key}` given twice")));
+            }
+        }
+        Ok(Args { values })
+    }
+
+    fn opt(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.opt(key).unwrap_or(default)
+    }
+
+    fn require(&self, key: &'static str) -> Result<&str, CliError> {
+        self.opt(key).ok_or(CliError::Missing { key })
+    }
+
+    fn u64_opt(&self, key: &'static str) -> Result<Option<u64>, CliError> {
+        self.opt(key)
+            .map(|v| {
+                v.parse().map_err(|_| CliError::BadArg {
+                    key,
+                    detail: format!("`{v}` is not a non-negative integer"),
+                })
+            })
+            .transpose()
+    }
+
+    fn u64_or(&self, key: &'static str, default: u64) -> Result<u64, CliError> {
+        Ok(self.u64_opt(key)?.unwrap_or(default))
+    }
+
+    fn f64_or(&self, key: &'static str, default: f64) -> Result<f64, CliError> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| CliError::BadArg {
+                key,
+                detail: format!("`{v}` is not a number"),
+            }),
+        }
+    }
+
+    fn f64_req(&self, key: &'static str) -> Result<f64, CliError> {
+        self.require(key)?;
+        self.f64_or(key, f64::NAN)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The typed failure surface of the CLI.
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong, each with a readable message (and the
+/// server's stable error code passed through on API refusals).
+#[derive(Debug)]
+enum CliError {
+    /// The command line itself is malformed.
+    Usage(String),
+    /// A required key is missing.
+    Missing { key: &'static str },
+    /// A key has an unusable value.
+    BadArg { key: &'static str, detail: String },
+    /// A local I/O failure (file read, bind).
+    Io { detail: String },
+    /// The wire tier failed or the server refused (typed pass-through).
+    Net(NetError),
+    /// The bench workload saw failed requests.
+    Bench { failed: u64 },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Missing { key } => write!(f, "missing required `{key}=`"),
+            CliError::BadArg { key, detail } => write!(f, "bad `{key}=`: {detail}"),
+            CliError::Io { detail } => write!(f, "{detail}"),
+            CliError::Net(e) => write!(f, "{e}"),
+            CliError::Bench { failed } => write!(f, "bench saw {failed} failed requests"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<NetError> for CliError {
+    fn from(e: NetError) -> Self {
+        CliError::Net(e)
+    }
+}

@@ -52,6 +52,7 @@
 pub use ccdp_core as core;
 pub use ccdp_dp as dp;
 pub use ccdp_graph as graph;
+pub use ccdp_net as net;
 pub use ccdp_serve as serve;
 pub use ccdp_stream as stream;
 
@@ -85,6 +86,9 @@ pub mod prelude {
     pub use ccdp_dp::{BudgetExceeded, PrivacyBudget};
     pub use ccdp_graph::{
         components, forest, generators, io, sensitivity, stars, subgraph, Graph, GraphVersion,
+    };
+    pub use ccdp_net::{
+        NetClient, NetConfig, NetError, NetServer, NetStatsSnapshot, WireLoadReport, WireLoadSpec,
     };
     pub use ccdp_serve::{
         BudgetLedger, GraphId, GraphRegistry, LoadReport, LoadSpec, PendingResponse, ServeConfig,

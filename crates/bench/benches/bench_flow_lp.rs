@@ -2,7 +2,9 @@
 //! substrates.
 
 use ccdp_flow::{max_weight_closure, ClosureInstance, FlowNetwork};
-use ccdp_graph::generators;
+use ccdp_graph::{
+    bounded_degree_spanning_forest, bounded_degree_spanning_forest_csr, generators, CsrGraph, Graph,
+};
 use ccdp_lp::{LinearProgram, SolverBackend};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -129,11 +131,81 @@ fn bench_forest_polytope(c: &mut Criterion) {
     group.finish();
 }
 
+fn supercritical_er(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::erdos_renyi(n, 1.05 / n as f64, &mut rng)
+}
+
+fn bench_csr_vs_adjacency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_vs_adjacency");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let g = supercritical_er(n, 7);
+        let csr = CsrGraph::from_graph(&g);
+        // Arena construction from the mutable graph (the snapshot-publish
+        // cost of the streaming tier).
+        group.bench_function(format!("construct_csr_n{n}"), |b| {
+            b.iter(|| CsrGraph::from_graph(&g).num_edges())
+        });
+        // Whole-graph component labeling: pointer-chasing adjacency rows vs
+        // one contiguous arena sweep.
+        group.bench_function(format!("components_adjacency_n{n}"), |b| {
+            b.iter(|| g.num_connected_components())
+        });
+        group.bench_function(format!("components_csr_n{n}"), |b| {
+            b.iter(|| csr.num_components())
+        });
+    }
+    // The Lemma 1.8 forest construction, both hosts (the hot inner loop of
+    // the extension fast path). 10^6 would dominate the run; 10^5 is where
+    // the layouts already separate.
+    for &n in &[10_000usize, 100_000] {
+        let g = supercritical_er(n, 11);
+        let csr = CsrGraph::from_graph(&g);
+        group.bench_function(format!("forest_adjacency_n{n}"), |b| {
+            b.iter(|| bounded_degree_spanning_forest(&g, 2).map(|f| f.num_edges()))
+        });
+        group.bench_function(format!("forest_csr_n{n}"), |b| {
+            b.iter(|| bounded_degree_spanning_forest_csr(&csr, 2).map(|f| f.num_edges()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    // Per-component polytope solving on a barely-supercritical ER graph:
+    // thousands of small tree/unicyclic pieces plus one giant component,
+    // Δ = 1 so every non-trivial piece takes the LP path.
+    for &n in &[20_000usize, 100_000] {
+        let g = supercritical_er(n, 13);
+        for &threads in &[1usize, 2, 4, 8] {
+            group.bench_function(format!("solve_er_n{n}_t{threads}"), |b| {
+                b.iter(|| {
+                    SolverBackend::Combinatorial
+                        .solver()
+                        .solve_threaded(&g, 1.0, threads)
+                        .unwrap()
+                        .value
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_dinic,
     bench_closure,
     bench_simplex,
-    bench_forest_polytope
+    bench_forest_polytope,
+    bench_csr_vs_adjacency,
+    bench_thread_scaling
 );
 criterion_main!(benches);

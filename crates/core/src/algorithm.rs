@@ -25,11 +25,12 @@ use crate::cache::ExtensionCache;
 use crate::config::{ConfigError, EstimatorConfig};
 use crate::error::CcdpError;
 use crate::estimator::Estimator;
-use crate::extension::{evaluate_family_with, EvaluationPath, ExtensionEvaluation};
+use crate::extension::{evaluate_family_threaded, EvaluationPath, ExtensionEvaluation};
 use crate::release::{Diagnostics, Privacy, Release};
 use ccdp_dp::composition::{BudgetExceeded, PrivacyBudget};
 use ccdp_dp::gem::{generalized_exponential_mechanism, power_of_two_grid, GemCandidate};
 use ccdp_dp::laplace::laplace_mechanism;
+use ccdp_dp::NoiseBatch;
 use ccdp_graph::Graph;
 use rand::{Rng, RngCore};
 
@@ -85,11 +86,18 @@ impl PrivateSpanningForestEstimator {
         grid: &[usize],
     ) -> Result<std::sync::Arc<Vec<ExtensionEvaluation>>, CcdpError> {
         let backend = self.config.solver();
+        let threads = self.config.resolved_threads();
         match &self.family_cache {
-            Some(cache) => {
-                Ok(cache.evaluate_family_tagged(g, grid, backend, self.config.graph_tag())?)
-            }
-            None => Ok(std::sync::Arc::new(evaluate_family_with(g, grid, backend)?)),
+            Some(cache) => Ok(cache.evaluate_family_tagged(
+                g,
+                grid,
+                backend,
+                self.config.graph_tag(),
+                threads,
+            )?),
+            None => Ok(std::sync::Arc::new(evaluate_family_threaded(
+                g, grid, backend, threads,
+            )?)),
         }
     }
 
@@ -145,16 +153,32 @@ impl PrivateSpanningForestEstimator {
             .collect();
         let true_value = g.spanning_forest_size() as f64;
 
+        // The release consumes a statically known amount of randomness: one
+        // word for the GEM draw, one for the Laplace release. Prefetch both
+        // into a batch and replay it — the samples are bit-for-bit what
+        // drawing from `rng` directly would produce, and the exhaustion
+        // check below pins the draw count against accounting drift.
+        let mut noise = NoiseBatch::prefetch(rng, 2);
+
         // Step 1 of Algorithm 1: GEM with ε/2.
         let selection =
-            generalized_exponential_mechanism(&candidates, true_value, eps_gem, beta, rng);
+            generalized_exponential_mechanism(&candidates, true_value, eps_gem, beta, &mut noise);
         let selected_delta = grid[selection.index];
         let extension_value = selection.value;
 
         // Step 3: Laplace release with the remaining ε/2 and sensitivity Δ̂,
         // i.e. noise scale 2Δ̂/ε.
         let noise_scale = selected_delta as f64 / eps_release;
-        let value = laplace_mechanism(extension_value, selected_delta as f64, eps_release, rng);
+        let value = laplace_mechanism(
+            extension_value,
+            selected_delta as f64,
+            eps_release,
+            &mut noise,
+        );
+        assert!(
+            noise.is_exhausted(),
+            "spanning-forest release must consume exactly its prefetched noise"
+        );
 
         Ok(Release::new(
             value,
@@ -243,9 +267,14 @@ impl PrivateCcEstimator {
         let epsilon = self.config.epsilon();
         let mut budget = PrivacyBudget::new(epsilon);
 
-        // |V| has node sensitivity exactly 1.
+        // |V| has node sensitivity exactly 1. Its single noise word is
+        // prefetched like the spanning-forest stage's, so a full release
+        // consumes exactly three words from `rng` in a fixed order.
         let eps_count = budget.spend("node-count", epsilon * self.config.node_count_fraction())?;
-        let node_count_estimate = laplace_mechanism(g.num_vertices() as f64, 1.0, eps_count, rng);
+        let mut noise = NoiseBatch::prefetch(rng, 1);
+        let node_count_estimate =
+            laplace_mechanism(g.num_vertices() as f64, 1.0, eps_count, &mut noise);
+        assert!(noise.is_exhausted());
 
         // The spanning-forest stage consumes everything that remains, drawing
         // from the same accountant.
@@ -416,6 +445,34 @@ mod tests {
         let d = r.diagnostics(token());
         assert!(d.family_values.iter().all(|&(delta, _)| delta <= 4));
         assert!(d.selected_delta.unwrap() <= 4);
+    }
+
+    #[test]
+    fn releases_are_identical_for_every_thread_budget() {
+        let g = generators::planted_star_forest(40, 3, 20);
+        let baseline_cfg = EstimatorConfig::new(1.0).with_threads(1);
+        let mut rng = StdRng::seed_from_u64(2024);
+        let baseline = PrivateCcEstimator::from_config(baseline_cfg)
+            .unwrap()
+            .estimate(&g, &mut rng)
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            let cfg = EstimatorConfig::new(1.0).with_threads(threads);
+            let mut rng = StdRng::seed_from_u64(2024);
+            let r = PrivateCcEstimator::from_config(cfg)
+                .unwrap()
+                .estimate(&g, &mut rng)
+                .unwrap();
+            assert_eq!(
+                baseline.value().to_bits(),
+                r.value().to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                baseline.diagnostics(token()).selected_delta,
+                r.diagnostics(token()).selected_delta
+            );
+        }
     }
 
     #[test]

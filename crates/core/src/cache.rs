@@ -10,18 +10,29 @@
 //! baseline comparisons — therefore pays the family cost once and replays it
 //! from this cache afterwards (~20× cheaper repeated estimates).
 //!
-//! The cache is keyed by the exact edge list (plus grid and backend), bounded
-//! in size with LRU eviction (hits refresh an entry's recency), and safe to
-//! share across estimators and threads. Concurrent misses on the same key are
-//! **single-flighted**: the first caller evaluates while the others wait on an
-//! in-flight table and receive the same shared result, so a thundering herd of
-//! identical requests costs one family evaluation instead of one per thread.
-//! Hit/miss/coalesce/eviction counters are exposed for tests and capacity
-//! planning.
+//! The cache is keyed by a 128-bit fingerprint of the graph's CSR arena
+//! (plus vertex count, grid and backend), bounded in size with LRU eviction
+//! (hits refresh an entry's recency), and safe to share across estimators and
+//! threads. Fingerprinting replaces the previous exact-edge-list key: hashing
+//! and key comparison are O(1) in the number of edges instead of O(m), which
+//! matters once graphs reach 10^5–10^6 edges. Every entry keeps the
+//! [`CsrGraph`] it was computed from as a *witness*; a fingerprint hit is
+//! confirmed structurally against the witness before it is served, so a
+//! fingerprint collision degrades to a safe miss, never to a wrong answer.
+//!
+//! Concurrent misses on the same key are **single-flighted**: the first
+//! caller evaluates while the others wait on an in-flight table and receive
+//! the same shared result, so a thundering herd of identical requests costs
+//! one family evaluation instead of one per thread. Hit/miss/coalesce/
+//! eviction counters are exposed for tests and capacity planning.
+//!
+//! The thread budget of an evaluation is deliberately **not** part of the
+//! key: family values are bit-for-bit identical for every budget, so an entry
+//! computed with 8 workers answers a sequential request and vice versa.
 
 use crate::error::CoreError;
-use crate::extension::{evaluate_family_with, ExtensionEvaluation};
-use ccdp_graph::GraphVersion;
+use crate::extension::{evaluate_family_threaded, ExtensionEvaluation};
+use ccdp_graph::{CsrGraph, GraphVersion};
 use ccdp_lp::SolverBackend;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,11 +75,13 @@ impl std::fmt::Display for GraphTag {
     }
 }
 
-/// Exact identity of one family evaluation.
+/// Identity of one family evaluation: graph fingerprint plus grid, backend
+/// and optional catalog tag. The fingerprint is confirmed against the stored
+/// witness arena before a hit is served (collisions become safe misses).
 #[derive(Clone, Debug, Hash, PartialEq, Eq)]
 struct CacheKey {
     num_vertices: usize,
-    edges: Vec<(usize, usize)>,
+    fingerprint: u128,
     grid: Vec<usize>,
     backend: SolverBackend,
     /// Catalog identity, when the caller serves versioned snapshots.
@@ -116,13 +129,23 @@ impl Flight {
     }
 }
 
-/// One stored evaluation with its recency stamp.
+/// One stored evaluation with its recency stamp and structural witness.
 struct CacheEntry {
     evals: Arc<Vec<ExtensionEvaluation>>,
+    /// The CSR arena the evaluation was computed from. A fingerprint hit is
+    /// served only after the request graph matches this witness structurally,
+    /// so a colliding key can never replay another graph's family.
+    witness: Arc<CsrGraph>,
     /// Monotonic tick of the last hit (or the insert); the eviction victim
     /// is the minimum. Hits are O(1); the scan cost lives on the rare
     /// over-capacity insert instead.
     last_used: u64,
+}
+
+/// One registered in-flight evaluation with the leader's witness arena.
+struct InFlightEntry {
+    flight: Arc<Flight>,
+    witness: Arc<CsrGraph>,
 }
 
 #[derive(Default)]
@@ -131,7 +154,7 @@ struct CacheInner {
     /// Monotonic recency clock, bumped per lookup/insert.
     tick: u64,
     /// Single-flight table of evaluations currently being computed.
-    in_flight: HashMap<CacheKey, Arc<Flight>>,
+    in_flight: HashMap<CacheKey, InFlightEntry>,
 }
 
 impl CacheInner {
@@ -265,68 +288,109 @@ impl ExtensionCache {
         grid: &[usize],
         backend: SolverBackend,
     ) -> Result<Arc<Vec<ExtensionEvaluation>>, CoreError> {
-        self.evaluate_family_tagged(g, grid, backend, None)
+        self.evaluate_family_tagged(g, grid, backend, None, 1)
+    }
+
+    /// [`evaluate_family`](Self::evaluate_family) with a thread budget for
+    /// the evaluation on a miss. The budget never enters the cache key —
+    /// family values are identical for every budget — so threaded and
+    /// sequential callers share entries.
+    pub fn evaluate_family_threaded(
+        &self,
+        g: &ccdp_graph::Graph,
+        grid: &[usize],
+        backend: SolverBackend,
+        threads: usize,
+    ) -> Result<Arc<Vec<ExtensionEvaluation>>, CoreError> {
+        self.evaluate_family_tagged(g, grid, backend, None, threads)
     }
 
     /// [`evaluate_family`](Self::evaluate_family) with an optional catalog
-    /// [`GraphTag`]. Tagged entries are keyed by `(id, version)` *in addition
-    /// to* the edge list, so evaluations of different snapshot versions never
-    /// answer for each other and can be invalidated per graph or per version
-    /// range.
+    /// [`GraphTag`] and a thread budget. Tagged entries are keyed by
+    /// `(id, version)` *in addition to* the graph fingerprint, so evaluations
+    /// of different snapshot versions never answer for each other and can be
+    /// invalidated per graph or per version range.
     pub fn evaluate_family_tagged(
         &self,
         g: &ccdp_graph::Graph,
         grid: &[usize],
         backend: SolverBackend,
         tag: Option<&GraphTag>,
+        threads: usize,
     ) -> Result<Arc<Vec<ExtensionEvaluation>>, CoreError> {
+        let csr = Arc::new(CsrGraph::from_graph(g));
         let key = CacheKey {
             num_vertices: g.num_vertices(),
-            edges: g.edge_vec(),
+            fingerprint: csr.fingerprint(),
             grid: grid.to_vec(),
             backend,
             tag: tag.cloned(),
         };
 
-        let flight = {
+        let action = {
             let mut inner = self.lock();
             let tick = inner.next_tick();
             if let Some(entry) = inner.map.get_mut(&key) {
-                entry.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(&entry.evals));
+                // Confirm the fingerprint hit structurally before serving it:
+                // a collision must degrade to a miss, never replay another
+                // graph's family.
+                if entry.witness.matches_graph(g) {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&entry.evals));
+                }
             }
             match inner.in_flight.get(&key) {
-                Some(flight) => {
-                    // Someone else is already evaluating this exact key: join
-                    // their flight instead of racing a duplicate evaluation.
+                Some(in_flight) if in_flight.witness.matches_graph(g) => {
+                    // Someone else is already evaluating this exact graph:
+                    // join their flight instead of racing a duplicate
+                    // evaluation.
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
-                    Some(Arc::clone(flight))
+                    LookupAction::Join(Arc::clone(&in_flight.flight))
+                }
+                Some(_) => {
+                    // Fingerprint collision with a different in-flight graph:
+                    // evaluate on the side without touching the cache.
+                    LookupAction::EvaluateUncached
                 }
                 None => {
-                    inner.in_flight.insert(key.clone(), Arc::new(Flight::new()));
-                    None
+                    inner.in_flight.insert(
+                        key.clone(),
+                        InFlightEntry {
+                            flight: Arc::new(Flight::new()),
+                            witness: Arc::clone(&csr),
+                        },
+                    );
+                    LookupAction::Lead
                 }
             }
         };
-        if let Some(flight) = flight {
-            return flight.wait();
+        match action {
+            LookupAction::Join(flight) => flight.wait(),
+            LookupAction::EvaluateUncached => {
+                let result = evaluate_family_threaded(g, grid, backend, threads).map(Arc::new);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                result
+            }
+            LookupAction::Lead => {
+                // We are the flight leader: evaluate outside the lock (family
+                // evaluation can take a while and lookups of other graphs
+                // must not serialize on it), then store, publish and wake the
+                // followers. The guard publishes an error if evaluation
+                // panics, so followers are never left waiting on a flight
+                // whose leader died.
+                let guard = FlightGuard {
+                    cache: self,
+                    key,
+                    witness: csr,
+                    armed: true,
+                };
+                let result = evaluate_family_threaded(g, grid, backend, threads).map(Arc::new);
+                guard.finish(result.clone());
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                result
+            }
         }
-
-        // We are the flight leader: evaluate outside the lock (family
-        // evaluation can take a while and lookups of other graphs must not
-        // serialize on it), then store, publish and wake the followers. The
-        // guard publishes an error if evaluation panics, so followers are
-        // never left waiting on a flight whose leader died.
-        let guard = FlightGuard {
-            cache: self,
-            key,
-            armed: true,
-        };
-        let result = evaluate_family_with(g, grid, backend).map(Arc::new);
-        guard.finish(result.clone());
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        result
     }
 
     /// Removes the flight for `key` (returning it so the caller can publish),
@@ -334,10 +398,11 @@ impl ExtensionCache {
     fn complete_flight(
         &self,
         key: &CacheKey,
+        witness: &Arc<CsrGraph>,
         result: &Result<Arc<Vec<ExtensionEvaluation>>, CoreError>,
     ) -> Option<Arc<Flight>> {
         let mut inner = self.lock();
-        let flight = inner.in_flight.remove(key);
+        let flight = inner.in_flight.remove(key).map(|e| e.flight);
         if let Ok(evals) = result {
             if !inner.map.contains_key(key) {
                 while inner.map.len() >= self.capacity {
@@ -362,6 +427,7 @@ impl ExtensionCache {
                     key.clone(),
                     CacheEntry {
                         evals: Arc::clone(evals),
+                        witness: Arc::clone(witness),
                         last_used: tick,
                     },
                 );
@@ -377,18 +443,34 @@ impl ExtensionCache {
     }
 }
 
+/// What a cache lookup decided to do after consulting the stored entries and
+/// the in-flight table.
+enum LookupAction {
+    /// Wait on another caller's in-flight evaluation of the same graph.
+    Join(Arc<Flight>),
+    /// Lead a registered flight: evaluate, store, publish.
+    Lead,
+    /// Fingerprint collision with a different in-flight graph: evaluate on
+    /// the side without registering or storing anything.
+    EvaluateUncached,
+}
+
 /// Cleans up a leader's flight even on unwind: followers receive an error
 /// instead of blocking forever if the evaluation panicked.
 struct FlightGuard<'a> {
     cache: &'a ExtensionCache,
     key: CacheKey,
+    witness: Arc<CsrGraph>,
     armed: bool,
 }
 
 impl FlightGuard<'_> {
     fn finish(mut self, result: Result<Arc<Vec<ExtensionEvaluation>>, CoreError>) {
         self.armed = false;
-        if let Some(flight) = self.cache.complete_flight(&self.key, &result) {
+        if let Some(flight) = self
+            .cache
+            .complete_flight(&self.key, &self.witness, &result)
+        {
             flight.publish(result);
         }
     }
@@ -402,7 +484,10 @@ impl Drop for FlightGuard<'_> {
         let result = Err(CoreError::InvalidParameter(
             "family evaluation panicked in another thread".to_string(),
         ));
-        if let Some(flight) = self.cache.complete_flight(&self.key, &result) {
+        if let Some(flight) = self
+            .cache
+            .complete_flight(&self.key, &self.witness, &result)
+        {
             flight.publish(result);
         }
     }
@@ -558,13 +643,33 @@ mod tests {
         let cached = cache
             .evaluate_family(&g, &grid, SolverBackend::Combinatorial)
             .unwrap();
-        let direct = evaluate_family_with(&g, &grid, SolverBackend::Combinatorial).unwrap();
+        let direct =
+            crate::extension::evaluate_family_with(&g, &grid, SolverBackend::Combinatorial)
+                .unwrap();
         assert_eq!(cached.len(), direct.len());
         for (c, d) in cached.iter().zip(&direct) {
             assert!((c.value - d.value).abs() < 1e-12);
             assert_eq!(c.delta, d.delta);
             assert_eq!(c.path, d.path);
         }
+    }
+
+    #[test]
+    fn thread_budget_is_not_part_of_the_key() {
+        // A sequential evaluation answers a threaded request and vice versa:
+        // values are identical for every budget, so the entries are shared.
+        let cache = ExtensionCache::new(8);
+        let g = generators::caveman(3, 4);
+        let grid = [1usize, 2, 4, 8];
+        let seq = cache
+            .evaluate_family(&g, &grid, SolverBackend::Combinatorial)
+            .unwrap();
+        let par = cache
+            .evaluate_family_threaded(&g, &grid, SolverBackend::Combinatorial, 8)
+            .unwrap();
+        assert!(Arc::ptr_eq(&seq, &par));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
     }
 
     #[test]
@@ -576,10 +681,10 @@ mod tests {
         let v1 = GraphTag::new("fleet/g0", GraphVersion::new(1));
         // Same edge list, different versions: distinct entries, no replay.
         cache
-            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&v0))
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&v0), 1)
             .unwrap();
         cache
-            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&v1))
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&v1), 1)
             .unwrap();
         // And distinct from the untagged entry of the same edge list.
         cache
@@ -589,7 +694,7 @@ mod tests {
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 3));
         // Re-asking for a version is a hit.
         cache
-            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&v0))
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&v0), 1)
             .unwrap();
         assert_eq!(cache.stats().hits, 1);
     }
@@ -602,12 +707,12 @@ mod tests {
         for v in 0..3 {
             let tag = GraphTag::new("a", GraphVersion::new(v));
             cache
-                .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag))
+                .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag), 1)
                 .unwrap();
         }
         let other = GraphTag::new("b", GraphVersion::INITIAL);
         cache
-            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&other))
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&other), 1)
             .unwrap();
         cache
             .evaluate_family(&g, &grid, SolverBackend::Combinatorial)
@@ -621,7 +726,7 @@ mod tests {
         // The invalidated versions re-evaluate from scratch.
         let tag = GraphTag::new("a", GraphVersion::new(2));
         cache
-            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag))
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag), 1)
             .unwrap();
         assert_eq!(cache.stats().misses, 6);
     }
@@ -634,7 +739,7 @@ mod tests {
         for v in 0..4 {
             let tag = GraphTag::new("g", GraphVersion::new(v));
             cache
-                .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag))
+                .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag), 1)
                 .unwrap();
         }
         assert_eq!(
@@ -645,7 +750,7 @@ mod tests {
         // The frontier version is still a hit.
         let tag = GraphTag::new("g", GraphVersion::new(3));
         cache
-            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag))
+            .evaluate_family_tagged(&g, &grid, SolverBackend::Combinatorial, Some(&tag), 1)
             .unwrap();
         assert_eq!(cache.stats().hits, 1);
     }

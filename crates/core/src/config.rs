@@ -42,6 +42,11 @@ pub enum ConfigError {
         /// The rejected value.
         value: usize,
     },
+    /// The thread budget must be at least 1.
+    InvalidThreads {
+        /// The rejected value.
+        value: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -64,6 +69,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidDelta { value } => {
                 write!(f, "delta must be at least 1, got {value}")
+            }
+            ConfigError::InvalidThreads { value } => {
+                write!(f, "threads must be at least 1, got {value}")
             }
         }
     }
@@ -97,6 +105,7 @@ pub struct EstimatorConfig {
     family_cache_enabled: bool,
     shared_family_cache: Option<Arc<ExtensionCache>>,
     graph_tag: Option<GraphTag>,
+    threads: Option<usize>,
 }
 
 impl PartialEq for EstimatorConfig {
@@ -114,6 +123,7 @@ impl PartialEq for EstimatorConfig {
             && self.family_cache_enabled == other.family_cache_enabled
             && same_cache
             && self.graph_tag == other.graph_tag
+            && self.threads == other.threads
     }
 }
 
@@ -133,7 +143,20 @@ impl EstimatorConfig {
             family_cache_enabled: true,
             shared_family_cache: None,
             graph_tag: None,
+            threads: None,
         }
+    }
+
+    /// Sets the thread budget for per-release parallel solving (default:
+    /// the machine's available parallelism). `1` runs today's sequential path;
+    /// any other value fans the independent family/component subproblems out
+    /// over a scoped work-stealing map. A data-independent execution knob: the
+    /// release is **bit-for-bit identical for every thread budget** (results
+    /// merge in deterministic order), so this affects wall-clock only, never
+    /// privacy or accuracy.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
     }
 
     /// Overrides the GEM failure probability β (default `1 / ln ln n`, clamped
@@ -236,6 +259,21 @@ impl EstimatorConfig {
         self.graph_tag.as_ref()
     }
 
+    /// The thread-budget override, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The thread budget to run with: the override if set, otherwise the
+    /// machine's available parallelism (at least 1).
+    pub fn resolved_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+
     /// Resolves the family cache this configuration asks for: the shared one
     /// if supplied, a fresh private one if caching is enabled, `None` if
     /// disabled. Called once per estimator construction.
@@ -279,6 +317,11 @@ impl EstimatorConfig {
         let f = self.node_count_fraction;
         if !(f.is_finite() && f > 0.0 && f < 1.0) {
             return Err(ConfigError::InvalidNodeCountFraction { value: f });
+        }
+        if let Some(threads) = self.threads {
+            if threads == 0 {
+                return Err(ConfigError::InvalidThreads { value: threads });
+            }
         }
         Ok(())
     }
@@ -398,8 +441,27 @@ mod tests {
     }
 
     #[test]
+    fn threads_knob_validates_and_resolves() {
+        let err = EstimatorConfig::new(1.0)
+            .with_threads(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidThreads { value: 0 });
+        let cfg = EstimatorConfig::new(1.0).with_threads(8);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.threads(), Some(8));
+        assert_eq!(cfg.resolved_threads(), 8);
+        // Default resolves to the machine's parallelism, never below 1.
+        assert!(EstimatorConfig::new(1.0).resolved_threads() >= 1);
+    }
+
+    #[test]
     fn config_equality_accounts_for_the_new_fields() {
         assert_eq!(EstimatorConfig::new(1.0), EstimatorConfig::new(1.0));
+        assert_ne!(
+            EstimatorConfig::new(1.0),
+            EstimatorConfig::new(1.0).with_threads(4)
+        );
         assert_ne!(
             EstimatorConfig::new(1.0),
             EstimatorConfig::new(1.0).with_solver(SolverBackend::Simplex)

@@ -15,9 +15,19 @@
 //! analysis targets; the LP is only exercised when Δ is below the graph's Δ*.
 
 use crate::error::CoreError;
-use crate::polytope::{forest_polytope_max_with, PolytopeSolution, SolverBackend};
+use crate::polytope::{
+    forest_polytope_max_threaded, forest_polytope_max_with, PolytopeSolution, SolverBackend,
+};
+use ccdp_exec::parallel_map;
 use ccdp_graph::forest::bounded_degree_spanning_forest;
 use ccdp_graph::Graph;
+
+/// Minimum work size (`n + m`) before a family evaluation fans out across
+/// threads. Below this the per-task overhead of the thread pool outweighs
+/// the solve itself, and the serving tier's small graphs stay on the exact
+/// sequential path. The gate depends only on the graph, never on load, so
+/// results stay deterministic.
+const PARALLEL_WORK_THRESHOLD: usize = 4096;
 
 /// How `f_Δ(G)` was computed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,6 +104,19 @@ impl LipschitzExtension {
 
     /// Evaluates `f_Δ(G)` and reports how the value was obtained.
     pub fn evaluate_detailed(&self, g: &Graph) -> Result<ExtensionEvaluation, CoreError> {
+        self.evaluate_detailed_threaded(g, 1)
+    }
+
+    /// [`evaluate_detailed`](Self::evaluate_detailed) with a thread budget:
+    /// when the LP path is taken, its connected components are solved on up
+    /// to `threads` workers. The value is identical for every budget
+    /// (components merge in a fixed order); `threads <= 1` is exactly the
+    /// sequential path.
+    pub fn evaluate_detailed_threaded(
+        &self,
+        g: &Graph,
+        threads: usize,
+    ) -> Result<ExtensionEvaluation, CoreError> {
         if g.has_no_edges() {
             return Ok(ExtensionEvaluation {
                 value: 0.0,
@@ -113,7 +136,11 @@ impl LipschitzExtension {
                 lp: None,
             });
         }
-        let lp = forest_polytope_max_with(g, self.delta as f64, self.backend)?;
+        let lp = if threads <= 1 {
+            forest_polytope_max_with(g, self.delta as f64, self.backend)?
+        } else {
+            forest_polytope_max_threaded(g, self.delta as f64, self.backend, threads)?
+        };
         Ok(ExtensionEvaluation {
             value: lp.value,
             delta: self.delta,
@@ -150,6 +177,50 @@ pub fn evaluate_family_with(
         let mut eval = LipschitzExtension::new(delta)
             .with_backend(backend)
             .evaluate_detailed(g)?;
+        running_max = running_max.max(eval.value);
+        eval.value = running_max;
+        out.push(eval);
+    }
+    Ok(out)
+}
+
+/// [`evaluate_family_with`] with a thread budget.
+///
+/// Grid points are independent until the final monotone clamp, so the family
+/// fans out one task per Δ across up to `threads` workers, then applies the
+/// running-max clamp **in grid order** over the collected results — exactly
+/// the order the sequential loop uses. A single-point grid parallelizes
+/// across connected components instead. Either way the output is bit-for-bit
+/// identical for every thread budget; `threads <= 1` (or a graph below the
+/// work threshold) takes the sequential path itself.
+pub fn evaluate_family_threaded(
+    g: &Graph,
+    grid: &[usize],
+    backend: SolverBackend,
+    threads: usize,
+) -> Result<Vec<ExtensionEvaluation>, CoreError> {
+    if threads <= 1 || g.num_vertices() + g.num_edges() < PARALLEL_WORK_THRESHOLD {
+        return evaluate_family_with(g, grid, backend);
+    }
+    let results = if grid.len() > 1 {
+        parallel_map(threads, grid.len(), |i| {
+            LipschitzExtension::new(grid[i])
+                .with_backend(backend)
+                .evaluate_detailed(g)
+        })
+    } else {
+        grid.iter()
+            .map(|&delta| {
+                LipschitzExtension::new(delta)
+                    .with_backend(backend)
+                    .evaluate_detailed_threaded(g, threads)
+            })
+            .collect()
+    };
+    let mut out = Vec::with_capacity(grid.len());
+    let mut running_max = 0.0f64;
+    for result in results {
+        let mut eval = result?;
         running_max = running_max.max(eval.value);
         eval.value = running_max;
         out.push(eval);
@@ -280,6 +351,37 @@ mod tests {
         }
         // The largest Δ exceeds the max degree, so the last value is exactly f_sf.
         assert!(approx(evals[3].value, g.spanning_forest_size() as f64));
+    }
+
+    #[test]
+    fn threaded_family_matches_sequential_family_bit_for_bit() {
+        // 700 disjoint 5-cycles cross the parallel work threshold
+        // (n + m = 7000); Δ = 1 forces the LP path on every cycle.
+        let mut edges = Vec::new();
+        for c in 0..700usize {
+            let base = 5 * c;
+            for i in 0..5 {
+                edges.push((base + i, base + (i + 1) % 5));
+            }
+        }
+        let g = Graph::from_edges(3500, &edges);
+        let grid = [1usize, 2, 4, 8];
+        let seq = evaluate_family_with(&g, &grid, SolverBackend::default()).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let par =
+                evaluate_family_threaded(&g, &grid, SolverBackend::default(), threads).unwrap();
+            assert_eq!(seq.len(), par.len());
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(s.value.to_bits(), p.value.to_bits(), "threads={threads}");
+                assert_eq!(s.path, p.path);
+                assert_eq!(s.delta, p.delta);
+            }
+        }
+        // A single-point grid parallelizes across components instead; the
+        // value must still be identical.
+        let seq1 = evaluate_family_with(&g, &[1], SolverBackend::default()).unwrap();
+        let par1 = evaluate_family_threaded(&g, &[1], SolverBackend::default(), 4).unwrap();
+        assert_eq!(seq1[0].value.to_bits(), par1[0].value.to_bits());
     }
 
     #[test]

@@ -94,9 +94,11 @@ pub use downsens_extension::{
 pub use error::{CcdpError, CoreError};
 pub use estimator::Estimator;
 pub use extension::{
-    evaluate_family, evaluate_family_with, EvaluationPath, ExtensionEvaluation, LipschitzExtension,
+    evaluate_family, evaluate_family_threaded, evaluate_family_with, EvaluationPath,
+    ExtensionEvaluation, LipschitzExtension,
 };
 pub use polytope::{
-    forest_polytope_max, forest_polytope_max_with, PolytopeSolution, PolytopeSolver, SolverBackend,
+    forest_polytope_max, forest_polytope_max_threaded, forest_polytope_max_with, PolytopeSolution,
+    PolytopeSolver, SolverBackend,
 };
 pub use release::{Diagnostics, DiagnosticsAccess, Privacy, Release};

@@ -1,0 +1,134 @@
+//! Batched noise sampling for release pipelines.
+//!
+//! A full private release draws a small, statically known number of random
+//! words (one per Laplace sample, one for the GEM draw). When releases are
+//! produced in bulk — serving tiers, streaming re-estimation — drawing each
+//! word through the full `Rng` adapter stack per mechanism call costs a
+//! virtual dispatch and borrow per draw, and more importantly couples the
+//! mechanisms to a live generator. [`NoiseBatch`] decouples them: prefetch
+//! exactly the words a release needs from the source generator up front, then
+//! hand the batch to the mechanisms as an ordinary [`RngCore`].
+//!
+//! The batch replays the prefetched words **in order**, so a pipeline that
+//! consumes them through the same mechanism sequence produces bit-for-bit the
+//! samples it would have produced drawing from the source directly. This is
+//! the property the estimator's determinism tests pin down.
+
+use rand::RngCore;
+
+/// A fixed budget of random words prefetched from a source generator,
+/// replayed in order through the [`RngCore`] interface.
+#[derive(Clone, Debug)]
+pub struct NoiseBatch {
+    words: Vec<u64>,
+    pos: usize,
+}
+
+impl NoiseBatch {
+    /// Prefetches exactly `words` 64-bit words from `rng`, in draw order.
+    pub fn prefetch<R: RngCore + ?Sized>(rng: &mut R, words: usize) -> Self {
+        NoiseBatch {
+            words: (0..words).map(|_| rng.next_u64()).collect(),
+            pos: 0,
+        }
+    }
+
+    /// Words left to serve.
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+
+    /// `true` once every prefetched word has been consumed. Release pipelines
+    /// assert this at the end: an under-consumed batch means the mechanism
+    /// sequence drew fewer words than the batch was sized for (a privacy
+    /// accounting bug in the caller's sizing, not a correctness bug here).
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.words.len()
+    }
+}
+
+impl RngCore for NoiseBatch {
+    /// Serves the next prefetched word.
+    ///
+    /// # Panics
+    /// Panics if the batch is exhausted — batch sizing is a static property
+    /// of the release pipeline and over-consumption is a logic error, never
+    /// something to paper over with fresh (unaccounted) randomness.
+    fn next_u64(&mut self) -> u64 {
+        assert!(
+            self.pos < self.words.len(),
+            "noise batch exhausted: prefetched {} words, a {}th was requested",
+            self.words.len(),
+            self.words.len() + 1
+        );
+        let w = self.words[self.pos];
+        self.pos += 1;
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn replays_source_words_in_order() {
+        let mut a = StdRng::seed_from_u64(77);
+        let mut b = StdRng::seed_from_u64(77);
+        let direct: Vec<u64> = (0..5).map(|_| a.next_u64()).collect();
+        let mut batch = NoiseBatch::prefetch(&mut b, 5);
+        let replayed: Vec<u64> = (0..5).map(|_| batch.next_u64()).collect();
+        assert_eq!(direct, replayed);
+        assert!(batch.is_exhausted());
+    }
+
+    #[test]
+    fn float_draws_match_direct_draws() {
+        let mut a = StdRng::seed_from_u64(123);
+        let mut b = StdRng::seed_from_u64(123);
+        let direct: Vec<f64> = (0..4).map(|_| a.gen::<f64>()).collect();
+        let mut batch = NoiseBatch::prefetch(&mut b, 4);
+        let replayed: Vec<f64> = (0..4).map(|_| batch.gen::<f64>()).collect();
+        assert_eq!(
+            direct.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            replayed.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mechanisms_through_batch_match_direct() {
+        use crate::laplace::LaplaceNoise;
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let noise = LaplaceNoise::new(2.0);
+        let direct = [noise.sample(&mut a), noise.sample(&mut a)];
+        let mut batch = NoiseBatch::prefetch(&mut b, 2);
+        let batched = [noise.sample(&mut batch), noise.sample(&mut batch)];
+        assert_eq!(direct[0].to_bits(), batched[0].to_bits());
+        assert_eq!(direct[1].to_bits(), batched[1].to_bits());
+        assert!(batch.is_exhausted());
+    }
+
+    #[test]
+    fn source_rng_advances_exactly_by_prefetch() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let _ = NoiseBatch::prefetch(&mut a, 3);
+        for _ in 0..3 {
+            b.next_u64();
+        }
+        // Both generators are now in the same state.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "noise batch exhausted")]
+    fn over_consumption_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut batch = NoiseBatch::prefetch(&mut rng, 1);
+        batch.next_u64();
+        batch.next_u64();
+    }
+}

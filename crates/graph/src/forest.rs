@@ -17,8 +17,66 @@
 //! * [`delta_star_exact`]: an exact branch-and-bound search intended for small
 //!   graphs, used by tests and the optimality experiments.
 
+use crate::csr::CsrGraph;
 use crate::graph::Graph;
 use crate::unionfind::UnionFind;
+
+/// The minimal graph interface the constructive forest machinery needs, so the
+/// same code runs on the adjacency-list [`Graph`] and the flat [`CsrGraph`]
+/// arena without duplicating the repair logic. Private by design: the public
+/// surface stays the concrete `*_csr` / `Graph` entry points.
+trait ForestHost {
+    fn num_vertices(&self) -> usize;
+    fn degree(&self, v: usize) -> usize;
+    fn has_edge(&self, u: usize, v: usize) -> bool;
+    /// Calls `f` for every neighbor of `v`, in ascending order.
+    fn for_each_neighbor(&self, v: usize, f: &mut dyn FnMut(usize));
+    /// First neighbor of `v` (in ascending order) satisfying `pred`.
+    fn first_neighbor_where(&self, v: usize, pred: &mut dyn FnMut(usize) -> bool) -> Option<usize>;
+}
+
+impl ForestHost for Graph {
+    fn num_vertices(&self) -> usize {
+        Graph::num_vertices(self)
+    }
+    fn degree(&self, v: usize) -> usize {
+        Graph::degree(self, v)
+    }
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+    fn for_each_neighbor(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        for &w in self.neighbors(v) {
+            f(w);
+        }
+    }
+    fn first_neighbor_where(&self, v: usize, pred: &mut dyn FnMut(usize) -> bool) -> Option<usize> {
+        self.neighbors(v).iter().copied().find(|&w| pred(w))
+    }
+}
+
+impl ForestHost for CsrGraph {
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+    fn degree(&self, v: usize) -> usize {
+        CsrGraph::degree(self, v)
+    }
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        CsrGraph::has_edge(self, u, v)
+    }
+    fn for_each_neighbor(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        for &w in self.neighbors(v) {
+            f(w as usize);
+        }
+    }
+    fn first_neighbor_where(&self, v: usize, pred: &mut dyn FnMut(usize) -> bool) -> Option<usize> {
+        self.neighbors(v)
+            .iter()
+            .map(|&w| w as usize)
+            .find(|&w| pred(w))
+    }
+}
 
 /// A spanning forest of a host graph, stored as an explicit edge list.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -175,54 +233,39 @@ impl ForestBuilder {
 ///
 /// Returns the vertices in removal order together with a flag saying whether the
 /// vertex was isolated in the remaining graph at the time of its removal.
-fn elimination_order(g: &Graph) -> Vec<(usize, bool)> {
+///
+/// Implementation: one BFS per component, removal order = reverse discovery
+/// order. In any discovery-order prefix, the parent edges of the non-root
+/// prefix vertices form a spanning forest of the induced prefix graph (every
+/// parent precedes its child; distinct trees are distinct graph components),
+/// and the last-discovered vertex has no children in the prefix, so it is a
+/// leaf of that forest. A BFS root is removed last of its component, when all
+/// its component-mates are gone, so it is isolated at removal time. This is
+/// O(n + m) total, replacing the old leaf scan that rebuilt a BFS forest per
+/// removal (Θ(n·(n+m)) on connected graphs).
+fn elimination_order<H: ForestHost + ?Sized>(g: &H) -> Vec<(usize, bool)> {
     let n = g.num_vertices();
-    let mut removed = vec![false; n];
-    // Degrees within the remaining graph.
-    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut visited = vec![false; n];
     let mut order = Vec::with_capacity(n);
-
-    for _ in 0..n {
-        // Prefer isolated vertices (cheap), otherwise pick a leaf of a BFS forest of
-        // the remaining graph.
-        let isolated = (0..n).find(|&v| !removed[v] && deg[v] == 0);
-        let (v, was_isolated) = if let Some(v) = isolated {
-            (v, true)
-        } else {
-            // BFS forest of the remaining graph; any leaf (forest degree 1) works.
-            let mut visited = vec![false; n];
-            let mut forest_deg = vec![0usize; n];
-            let mut queue = std::collections::VecDeque::new();
-            for s in 0..n {
-                if removed[s] || visited[s] {
-                    continue;
-                }
-                visited[s] = true;
-                queue.push_back(s);
-                while let Some(u) = queue.pop_front() {
-                    for &w in g.neighbors(u) {
-                        if !removed[w] && !visited[w] {
-                            visited[w] = true;
-                            forest_deg[u] += 1;
-                            forest_deg[w] += 1;
-                            queue.push_back(w);
-                        }
-                    }
-                }
-            }
-            let leaf = (0..n)
-                .find(|&v| !removed[v] && deg[v] > 0 && forest_deg[v] == 1)
-                .expect("a non-empty forest always has a leaf");
-            (leaf, false)
-        };
-        removed[v] = true;
-        for &w in g.neighbors(v) {
-            if !removed[w] {
-                deg[w] -= 1;
-            }
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if visited[s] {
+            continue;
         }
-        order.push((v, was_isolated));
+        visited[s] = true;
+        order.push((s, true)); // component root: isolated once removal reaches it
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            g.for_each_neighbor(u, &mut |w| {
+                if !visited[w] {
+                    visited[w] = true;
+                    order.push((w, false));
+                    queue.push_back(w);
+                }
+            });
+        }
     }
+    order.reverse();
     order
 }
 
@@ -258,6 +301,39 @@ pub fn bounded_degree_spanning_forest(g: &Graph, delta: usize) -> Option<Spannin
 /// # Panics
 /// Panics if `caps.len() != g.num_vertices()`.
 pub fn capacity_bounded_spanning_forest(g: &Graph, caps: &[usize]) -> Option<SpanningForest> {
+    let result = capacity_bounded_forest_host(g, caps);
+    if let Some(f) = &result {
+        debug_assert!(
+            f.is_spanning_forest_of(g),
+            "local repair must preserve the spanning forest"
+        );
+    }
+    result
+}
+
+/// [`capacity_bounded_spanning_forest`] on the flat CSR arena. Neighbor
+/// iteration order matches the adjacency path (both sorted), so on the same
+/// graph both entry points construct the identical forest.
+pub fn capacity_bounded_spanning_forest_csr(
+    g: &CsrGraph,
+    caps: &[usize],
+) -> Option<SpanningForest> {
+    capacity_bounded_forest_host(g, caps)
+}
+
+/// [`bounded_degree_spanning_forest`] on the flat CSR arena.
+///
+/// # Panics
+/// Panics if `delta == 0`.
+pub fn bounded_degree_spanning_forest_csr(g: &CsrGraph, delta: usize) -> Option<SpanningForest> {
+    assert!(delta >= 1, "delta must be at least 1");
+    capacity_bounded_spanning_forest_csr(g, &vec![delta; g.num_vertices()])
+}
+
+fn capacity_bounded_forest_host<H: ForestHost + ?Sized>(
+    g: &H,
+    caps: &[usize],
+) -> Option<SpanningForest> {
     let n = g.num_vertices();
     assert_eq!(caps.len(), n, "capacity vector length mismatch");
     if n == 0 {
@@ -282,10 +358,8 @@ pub fn capacity_bounded_spanning_forest(g: &Graph, caps: &[usize]) -> Option<Spa
         }
         // v0 had at least one neighbor among the currently active vertices, and is
         // not a cut vertex of the current induced subgraph (it was a forest leaf).
-        let v1 = *g
-            .neighbors(v0)
-            .iter()
-            .find(|&&w| active[w])
+        let v1 = g
+            .first_neighbor_where(v0, &mut |w| active[w])
             .expect("non-isolated vertex must have an active neighbor");
         forest.add_edge(v0, v1);
 
@@ -341,10 +415,18 @@ pub fn capacity_bounded_spanning_forest(g: &Graph, caps: &[usize]) -> Option<Spa
     }
 
     let result = forest.into_forest();
-    debug_assert!(
-        result.is_spanning_forest_of(g),
-        "local repair must preserve the spanning forest"
-    );
+    #[cfg(debug_assertions)]
+    {
+        // Generic invariant check: forest edges belong to the host, are
+        // acyclic, and the edge count matches n − #components (= #roots).
+        let mut uf = UnionFind::new(n);
+        for &(u, v) in result.edges() {
+            debug_assert!(g.has_edge(u, v), "forest edge ({u},{v}) not in host");
+            debug_assert!(uf.union(u, v), "forest edge ({u},{v}) closes a cycle");
+        }
+        let roots = order.iter().filter(|&&(_, iso)| iso).count();
+        debug_assert_eq!(result.num_edges(), n - roots);
+    }
     let degrees = result.degrees();
     if (0..n).all(|v| degrees[v] <= caps[v]) {
         Some(result)
@@ -595,6 +677,64 @@ mod tests {
             assert!(ub >= exact, "upper bound {ub} below exact {exact}");
             // By Lemma 1.6 the bound from the constructive procedure is ≤ s(G)+1.
             assert!(ub <= induced_star_number(&g).value() + 1);
+        }
+    }
+
+    #[test]
+    fn csr_forest_matches_adjacency_forest() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [6, 12, 20] {
+            for p in [0.1, 0.25, 0.5] {
+                let g = generators::erdos_renyi(n, p, &mut rng);
+                let csr = CsrGraph::from_graph(&g);
+                for delta in 1..=4usize {
+                    let a = bounded_degree_spanning_forest(&g, delta);
+                    let b = bounded_degree_spanning_forest_csr(&csr, delta);
+                    assert_eq!(a, b, "n={n} p={p} delta={delta}");
+                }
+                let caps: Vec<usize> = (0..n).map(|v| 1 + v % 3).collect();
+                assert_eq!(
+                    capacity_bounded_spanning_forest(&g, &caps),
+                    capacity_bounded_spanning_forest_csr(&csr, &caps)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elimination_order_removes_leaves_or_isolated() {
+        // Re-verify the reverse-BFS order against the definition on random
+        // graphs: at each step the removed vertex is isolated in the remaining
+        // graph or a non-cut vertex with a neighbor remaining.
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..10 {
+            let g = generators::erdos_renyi(14, 0.2, &mut rng);
+            let order = elimination_order(&g);
+            assert_eq!(order.len(), g.num_vertices());
+            let mut remaining: Vec<usize> = g.vertices().collect();
+            for &(v, was_isolated) in &order {
+                let idx = remaining.iter().position(|&u| u == v).expect("in graph");
+                let deg = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&w| remaining.contains(&w))
+                    .count();
+                assert_eq!(was_isolated, deg == 0, "isolation flag for {v}");
+                if deg > 0 {
+                    // Removing v must not increase the component count by more
+                    // than the vanished vertex itself (v is not a cut vertex).
+                    let (before, _) = crate::subgraph::induced_subgraph(&g, &remaining);
+                    remaining.remove(idx);
+                    let (after, _) = crate::subgraph::induced_subgraph(&g, &remaining);
+                    assert_eq!(
+                        crate::components::num_connected_components(&after),
+                        crate::components::num_connected_components(&before) + deg.min(1) - 1,
+                        "vertex {v} was a cut vertex"
+                    );
+                } else {
+                    remaining.remove(idx);
+                }
+            }
         }
     }
 

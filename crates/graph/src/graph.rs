@@ -36,6 +36,16 @@ impl Graph {
         g
     }
 
+    /// Builds a graph directly from already-sorted, already-symmetric
+    /// adjacency rows, skipping per-edge binary-search insertion. Used by the
+    /// CSR arena and fast subgraph extraction, which construct rows in sorted
+    /// order by design. Debug builds verify the invariants.
+    pub(crate) fn from_sorted_adjacency(adj: Vec<Vec<usize>>, num_edges: usize) -> Self {
+        let g = Graph { adj, num_edges };
+        debug_assert_eq!(g.check_invariants(), Ok(()));
+        g
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.adj.len()

@@ -17,6 +17,7 @@
 //! (no self-loops, no parallel edges) and unweighted, exactly as in the paper.
 
 pub mod components;
+pub mod csr;
 pub mod forest;
 pub mod generators;
 pub mod graph;
@@ -29,9 +30,13 @@ pub mod unionfind;
 pub mod version;
 
 pub use components::{component_sizes, components, num_connected_components, spanning_forest_size};
-pub use forest::{bfs_spanning_forest, bounded_degree_spanning_forest, SpanningForest};
+pub use csr::{ComponentPartition, CsrComponent, CsrGraph};
+pub use forest::{
+    bfs_spanning_forest, bounded_degree_spanning_forest, bounded_degree_spanning_forest_csr,
+    SpanningForest,
+};
 pub use graph::Graph;
 pub use sensitivity::{down_sensitivity_fcc, down_sensitivity_fsf};
 pub use stars::induced_star_number;
-pub use unionfind::UnionFind;
+pub use unionfind::{UnionFind, UnionFind32};
 pub use version::GraphVersion;

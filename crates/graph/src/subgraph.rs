@@ -26,16 +26,33 @@ pub fn induced_subgraph(g: &Graph, keep: &[usize]) -> (Graph, Vec<usize>) {
         );
         new_index[old] = new;
     }
-    let mut h = Graph::new(keep.len());
-    for (new_u, &old_u) in keep.iter().enumerate() {
+    // Build each adjacency row in one pass with at most one allocation,
+    // instead of binary-search-inserting every edge twice (which made
+    // repeated per-component extraction quadratic in row length and
+    // allocation-heavy at n = 10^5). When `keep` is ascending — the
+    // per-component case — the relabeling is monotone, so rows come out
+    // sorted for free; otherwise one sort per row restores the invariant.
+    let ascending = keep.windows(2).all(|w| w[0] < w[1]);
+    let mut adj: Vec<Vec<usize>> = Vec::with_capacity(keep.len());
+    let mut half_edges = 0usize;
+    for &old_u in keep {
+        let mut row = Vec::with_capacity(g.degree(old_u));
         for &old_v in g.neighbors(old_u) {
             let new_v = new_index[old_v];
-            if new_v != usize::MAX && new_v > new_u {
-                h.add_edge(new_u, new_v);
+            if new_v != usize::MAX {
+                row.push(new_v);
             }
         }
+        if !ascending {
+            row.sort_unstable();
+        }
+        half_edges += row.len();
+        adj.push(row);
     }
-    (h, keep.to_vec())
+    (
+        Graph::from_sorted_adjacency(adj, half_edges / 2),
+        keep.to_vec(),
+    )
 }
 
 /// Induced subgraph obtained by removing vertex `v` (a node-neighbor of `g`).

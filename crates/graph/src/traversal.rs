@@ -1,5 +1,6 @@
 //! Breadth-first / depth-first traversals and cut vertices (articulation points).
 
+use crate::csr::CsrGraph;
 use crate::graph::Graph;
 
 /// Vertices reachable from `start`, in BFS order.
@@ -35,6 +36,46 @@ pub fn dfs_order(g: &Graph, start: usize) -> Vec<usize> {
         // Push in reverse so that smaller neighbors are visited first.
         for &v in g.neighbors(u).iter().rev() {
             if !visited[v] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// [`bfs_order`] on the flat CSR arena — identical visit order (both neighbor
+/// representations are sorted ascending).
+pub fn bfs_order_csr(g: &CsrGraph, start: usize) -> Vec<usize> {
+    let mut visited = vec![false; g.num_vertices()];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start as u32);
+    while let Some(u) = queue.pop_front() {
+        order.push(u as usize);
+        for &v in g.neighbors(u as usize) {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// [`dfs_order`] on the flat CSR arena — identical visit order.
+pub fn dfs_order_csr(g: &CsrGraph, start: usize) -> Vec<usize> {
+    let mut visited = vec![false; g.num_vertices()];
+    let mut order = Vec::new();
+    let mut stack = vec![start as u32];
+    while let Some(u) = stack.pop() {
+        if visited[u as usize] {
+            continue;
+        }
+        visited[u as usize] = true;
+        order.push(u as usize);
+        for &v in g.neighbors(u as usize).iter().rev() {
+            if !visited[v as usize] {
                 stack.push(v);
             }
         }
@@ -117,6 +158,23 @@ mod tests {
     fn dfs_visits_component() {
         let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         assert_eq!(dfs_order(&g, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn csr_traversals_match_adjacency_traversals() {
+        use crate::csr::CsrGraph;
+        use crate::generators;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..5 {
+            let g = generators::erdos_renyi(30, 0.1, &mut rng);
+            let csr = CsrGraph::from_graph(&g);
+            for start in 0..g.num_vertices() {
+                assert_eq!(bfs_order(&g, start), bfs_order_csr(&csr, start));
+                assert_eq!(dfs_order(&g, start), dfs_order_csr(&csr, start));
+            }
+        }
     }
 
     #[test]

@@ -83,6 +83,84 @@ impl UnionFind {
     }
 }
 
+/// Compact union-find over `u32` elements — half the memory traffic of
+/// [`UnionFind`] on the CSR hot path (parent array is `u32`, rank stays `u8`).
+#[derive(Clone, Debug)]
+pub struct UnionFind32 {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl UnionFind32 {
+    /// Creates `n` singleton sets.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds `u32` indexing.
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "UnionFind32 universe exceeds u32");
+        UnionFind32 {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently maintained.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Representative of the set containing `x` (with path compression).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `x` and `y`. Returns `true` if they were distinct.
+    pub fn union(&mut self, x: u32, y: u32) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        let (hi, lo) = if self.rank[rx as usize] >= self.rank[ry as usize] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Returns `true` if `x` and `y` are in the same set.
+    pub fn connected(&mut self, x: u32, y: u32) -> bool {
+        self.find(x) == self.find(y)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +232,30 @@ mod tests {
         let r = uf.find(0);
         for i in 0..100 {
             assert_eq!(uf.find(i), r);
+        }
+    }
+
+    #[test]
+    fn compact_variant_matches_wide_variant() {
+        let mut wide = UnionFind::new(64);
+        let mut narrow = UnionFind32::new(64);
+        assert!(!narrow.is_empty());
+        assert_eq!(narrow.len(), 64);
+        // Deterministic pseudo-random union sequence.
+        let mut x = 0x243f_6a88u64;
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (x >> 33) as usize % 64;
+            let b = (x >> 12) as usize % 64;
+            assert_eq!(wide.union(a, b), narrow.union(a as u32, b as u32));
+            assert_eq!(wide.num_sets(), narrow.num_sets());
+        }
+        for a in 0..64 {
+            for b in 0..64 {
+                assert_eq!(wide.connected(a, b), narrow.connected(a as u32, b as u32));
+            }
         }
     }
 }

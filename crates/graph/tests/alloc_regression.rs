@@ -1,0 +1,94 @@
+//! Allocation regression guard for `induced_subgraph` at n = 10^5.
+//!
+//! The pre-CSR implementation binary-search-inserted every edge and cloned
+//! adjacency per vertex, which made per-component extraction both quadratic
+//! in row length and allocation-heavy. The rewrite builds each row with at
+//! most one allocation, so extracting a subgraph on `k` vertices must stay
+//! within `k` + a small constant number of heap allocations — this test pins
+//! that bound with a counting global allocator so the behavior cannot
+//! silently regress.
+//!
+//! This file deliberately holds a single `#[test]`: the counter is global,
+//! and a sibling test running concurrently would pollute the measurement.
+
+use ccdp_graph::subgraph::induced_subgraph;
+use ccdp_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow is a fresh allocation for the purpose of the bound: the
+        // rewrite sizes every row up front precisely so none happen.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (out, after - before)
+}
+
+#[test]
+fn induced_subgraph_allocates_linearly_at_scale() {
+    let n = 100_000;
+    let mut rng = StdRng::seed_from_u64(4242);
+    let g = generators::erdos_renyi(n, 3.0 / n as f64, &mut rng);
+
+    // The per-component case: an ascending keep set of half the vertices.
+    let keep: Vec<usize> = (0..n).step_by(2).collect();
+    let ((sub, map), allocs) = allocations_during(|| induced_subgraph(&g, &keep));
+    assert_eq!(sub.num_vertices(), keep.len());
+    assert_eq!(map, keep);
+    // One allocation per non-isolated kept vertex (its row) plus a handful
+    // for the index, the adjacency spine and the returned map. The exact
+    // happy-path count today is keep.len() + 3; the slack absorbs allocator
+    // or stdlib drift without letting a quadratic/cloning regression through.
+    assert!(
+        allocs <= keep.len() + 64,
+        "induced_subgraph made {allocs} allocations for {} kept vertices",
+        keep.len()
+    );
+
+    // A non-ascending keep set pays the same bound (rows sort in place).
+    let keep_rev: Vec<usize> = (0..1000).rev().collect();
+    let ((sub, _), allocs) = allocations_during(|| induced_subgraph(&g, &keep_rev));
+    assert_eq!(sub.num_vertices(), keep_rev.len());
+    assert!(
+        allocs <= keep_rev.len() + 64,
+        "non-ascending keep made {allocs} allocations"
+    );
+
+    // And the extraction must agree with membership filtering on a sample.
+    let in_keep = |v: usize| v.is_multiple_of(2);
+    let mut expected = 0usize;
+    for (u, v) in g.edges() {
+        if in_keep(u) && in_keep(v) {
+            expected += 1;
+        }
+    }
+    let (full_half, _) = allocations_during(|| induced_subgraph(&g, &keep));
+    assert_eq!(full_half.0.num_edges(), expected);
+    let _ = Graph::new(0);
+}

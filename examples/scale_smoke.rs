@@ -1,0 +1,104 @@
+//! End-to-end scale smoke: one full private release of the number of
+//! connected components on a barely-supercritical Erdős–Rényi graph at
+//! n = 10^5, sequentially and with an 8-thread budget.
+//!
+//! Asserts the acceptance invariants the CI `scale-smoke` job relies on:
+//!
+//! * the release completes at this scale (the pre-CSR code path did not
+//!   finish inside any reasonable CI budget),
+//! * the sequential and 8-thread releases are **bit-for-bit identical** on
+//!   the same seed (`with_threads` is a pure scheduling knob),
+//! * the released value is in the right ballpark of the true component
+//!   count (a loose, noise-tolerant sanity band — not an accuracy claim).
+//!
+//! With `--json PATH`, writes the measurements archived as
+//! `BENCH_scale.json`. The speedup figure is honest wall-clock on whatever
+//! machine runs it: on a single-core container it hovers around 1.0, on the
+//! multi-core CI runners the per-component and per-Δ fan-out shows up.
+//!
+//! ```text
+//! cargo run --release --example scale_smoke
+//! cargo run --release --example scale_smoke -- --n 100000 --json BENCH_scale.json
+//! ```
+
+use ccdp::prelude::*;
+use std::time::Instant;
+
+const SEED_GRAPH: u64 = 20_230_605;
+const SEED_NOISE: u64 = 1_729;
+
+fn release_with_threads(g: &Graph, threads: usize) -> (f64, f64) {
+    let cfg = EstimatorConfig::new(1.0)
+        .with_threads(threads)
+        .with_delta_max(64);
+    let est = PrivateCcEstimator::from_config(cfg).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(SEED_NOISE);
+    let start = Instant::now();
+    let release = est.estimate(g, &mut rng).expect("estimate completes");
+    let secs = start.elapsed().as_secs_f64();
+    (release.value(), secs)
+}
+
+fn main() {
+    let mut n: usize = 100_000;
+    let mut json_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                n = args[i].parse().expect("--n takes an integer");
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args[i].clone());
+            }
+            other => panic!("unknown flag `{other}` (use --n N, --json PATH)"),
+        }
+        i += 1;
+    }
+
+    // Barely supercritical: c = 1.05 keeps the giant component small enough
+    // that its 2-core stays within the LP engines' reach, while still
+    // exercising every path (giant piece, unicyclic pieces, tree fast paths).
+    let mut rng = StdRng::seed_from_u64(SEED_GRAPH);
+    let build_start = Instant::now();
+    let g = generators::erdos_renyi(n, 1.05 / n as f64, &mut rng);
+    let build_s = build_start.elapsed().as_secs_f64();
+    let m = g.num_edges();
+    let truth = g.num_connected_components();
+    println!("graph: n={n} m={m} components={truth} (built in {build_s:.2}s)");
+
+    let (v1, t1) = release_with_threads(&g, 1);
+    println!("threads=1: value={v1:.3} in {t1:.2}s");
+    let (v8, t8) = release_with_threads(&g, 8);
+    println!("threads=8: value={v8:.3} in {t8:.2}s");
+
+    assert_eq!(
+        v1.to_bits(),
+        v8.to_bits(),
+        "sequential and 8-thread releases must be bit-for-bit identical"
+    );
+    // Loose sanity band: ε = 1 noise at Δ̂ ≤ 64 is far below 20% of the
+    // component count at this scale.
+    let err = (v1 - truth as f64).abs();
+    assert!(
+        err < truth as f64 * 0.2,
+        "released {v1:.1} strays too far from truth {truth}"
+    );
+
+    let speedup = t1 / t8.max(1e-9);
+    println!("speedup (t1/t8): {speedup:.2}x");
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\"n\":{n},\"m\":{m},\"components\":{truth},\"build_s\":{build_s:.3},\
+\"t1_s\":{t1:.3},\"t8_s\":{t8:.3},\"speedup\":{speedup:.3},\
+\"value_t1\":{v1:.6},\"value_t8\":{v8:.6},\"identical\":true}}"
+        );
+        std::fs::write(&path, format!("{json}\n")).expect("write json");
+        println!("wrote {path}");
+    }
+    println!("scale smoke OK");
+}

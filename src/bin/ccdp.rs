@@ -14,7 +14,7 @@
 //! ccdp stats    [addr=..]
 //! ccdp health   [addr=..]
 //! ccdp bench    [addr=..] [clients=32] [requests=512] [epsilon=0.25]
-//!               [seed=2023] [out=BENCH_net.json]
+//!               [seed=2023] [out=BENCH_net.json] [n=100000] [threads=8]
 //! ```
 //!
 //! `bench` without `addr=` is self-contained: it provisions the smoke fleet,
@@ -25,7 +25,7 @@
 
 use ccdp::net::client::resolve;
 use ccdp::net::{NetClient, NetConfig, NetError, NetServer, WireLoadSpec};
-use ccdp::serve::{BudgetLedger, GraphRegistry, ServeConfig, Server};
+use ccdp::serve::{BudgetLedger, GraphRegistry, GraphSpec, ServeConfig, Server};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -55,7 +55,9 @@ const USAGE: &str = "usage: ccdp <serve|estimate|ingest|stats|health|bench> [KEY
   ingest    publish an edge list: graph= file=|edges= [version=]\n\
   stats     print the server's counter tree as JSON\n\
   health    readiness probe (exit 0 ready, 2 degraded)\n\
-  bench     drive the wire load workload ([out=] writes the report JSON)\n\
+  bench     drive the wire load workload ([out=] writes the report JSON;\n\
+            [n=] swaps in one ER graph of that size, [threads=] pins the\n\
+            per-request estimator thread budget)\n\
   common    addr=127.0.0.1:8787";
 
 /// How a successful command ended (drives the exit code).
@@ -96,7 +98,9 @@ fn run(args: &[String]) -> Result<Outcome, CliError> {
         "health" => cmd_health(Args::parse(rest, &["addr"])?),
         "bench" => cmd_bench(Args::parse(
             rest,
-            &["addr", "clients", "requests", "epsilon", "seed", "out"],
+            &[
+                "addr", "clients", "requests", "epsilon", "seed", "out", "n", "threads",
+            ],
         )?),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -237,6 +241,28 @@ fn cmd_bench(args: Args) -> Result<Outcome, CliError> {
     spec.base.requests = args.u64_or("requests", spec.base.requests as u64)? as usize;
     spec.base.epsilon_per_request = args.f64_or("epsilon", spec.base.epsilon_per_request)?;
     spec.base.seed = args.u64_or("seed", spec.base.seed)?;
+    // `n=` swaps the mixed smoke fleet for one barely-supercritical ER graph
+    // of that size — the scale workload the estimator is benchmarked on.
+    if args.opt("n").is_some() {
+        let n = args.u64_or("n", 0)? as usize;
+        if n == 0 {
+            return Err(CliError::BadArg {
+                key: "n",
+                detail: "graph size must be at least 1".into(),
+            });
+        }
+        spec.base.graphs = vec![GraphSpec::ErdosRenyi {
+            n,
+            avg_degree: 1.05,
+            seed: spec.base.seed,
+        }];
+    }
+    // `threads=` pins the per-request estimator thread budget (the released
+    // values are identical for every budget; this only changes scheduling).
+    if args.opt("threads").is_some() {
+        let threads = args.u64_or("threads", 1)? as usize;
+        spec.base.server = spec.base.server.clone().with_estimator_threads(threads);
+    }
 
     let report = match args.opt("addr") {
         // Drive an already-running fleet.

@@ -1,0 +1,79 @@
+//! End-to-end determinism of the parallel execution path: a private release
+//! produced with any thread budget must be bit-for-bit identical to the
+//! sequential one on the same seed. This is the contract that makes
+//! `with_threads` a pure scheduling knob — privacy analysis, reproducibility
+//! of experiments and the family cache all rely on it.
+
+use ccdp::prelude::*;
+
+/// A barely-supercritical ER graph big enough to cross the parallel work
+/// threshold (n + m >= 4096), so the threaded path genuinely fans out.
+fn supercritical_er(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::erdos_renyi(n, 1.05 / n as f64, &mut rng)
+}
+
+fn release_bits(g: &Graph, threads: usize, seed: u64) -> (u64, Option<usize>) {
+    let cfg = EstimatorConfig::new(1.0)
+        .with_threads(threads)
+        .with_delta_max(64);
+    let est = PrivateCcEstimator::from_config(cfg).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = est.estimate(g, &mut rng).unwrap();
+    let delta = r
+        .diagnostics(DiagnosticsAccess::acknowledge_non_private())
+        .selected_delta;
+    (r.value().to_bits(), delta)
+}
+
+#[test]
+fn private_release_is_identical_for_every_thread_budget() {
+    let g = supercritical_er(6_000, 7);
+    assert!(
+        g.num_vertices() + g.num_edges() >= 4096,
+        "instance must cross the parallel work threshold"
+    );
+    for seed in [1u64, 99, 4242] {
+        let baseline = release_bits(&g, 1, seed);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                baseline,
+                release_bits(&g, threads, seed),
+                "threads={threads} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn spanning_forest_release_is_identical_for_every_thread_budget() {
+    let g = supercritical_er(5_000, 31);
+    let mk = |threads: usize| {
+        let cfg = EstimatorConfig::new(0.5)
+            .with_threads(threads)
+            .with_delta_max(32);
+        let est = PrivateSpanningForestEstimator::from_config(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(271_828);
+        est.estimate(&g, &mut rng).unwrap().value().to_bits()
+    };
+    let baseline = mk(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(baseline, mk(threads), "threads={threads}");
+    }
+}
+
+#[test]
+fn default_thread_budget_matches_explicit_sequential() {
+    // The default (machine parallelism, whatever this host has) must release
+    // the same bits as an explicit `with_threads(1)`.
+    let g = supercritical_er(4_500, 13);
+    let bits = |cfg: EstimatorConfig| {
+        let est = PrivateCcEstimator::from_config(cfg.with_delta_max(32)).unwrap();
+        let mut rng = StdRng::seed_from_u64(55);
+        est.estimate(&g, &mut rng).unwrap().value().to_bits()
+    };
+    assert_eq!(
+        bits(EstimatorConfig::new(1.0)),
+        bits(EstimatorConfig::new(1.0).with_threads(1))
+    );
+}

@@ -25,14 +25,27 @@ use crate::cache::ExtensionCache;
 use crate::config::{ConfigError, EstimatorConfig};
 use crate::error::CcdpError;
 use crate::estimator::Estimator;
-use crate::extension::{evaluate_family_threaded, EvaluationPath, ExtensionEvaluation};
+use crate::extension::{
+    evaluate_family_csr_profiled, evaluate_family_tuned, EvaluationPath, ExtensionEvaluation,
+};
 use crate::release::{Diagnostics, Privacy, Release};
 use ccdp_dp::composition::{BudgetExceeded, PrivacyBudget};
 use ccdp_dp::gem::{generalized_exponential_mechanism, power_of_two_grid, GemCandidate};
 use ccdp_dp::laplace::laplace_mechanism;
 use ccdp_dp::NoiseBatch;
-use ccdp_graph::Graph;
+use ccdp_exec::PhaseProfiler;
+use ccdp_graph::{CsrGraph, Graph};
 use rand::{Rng, RngCore};
+
+/// The ε splits, β and Δ grid of one spanning-forest release, fixed before
+/// the family evaluation starts (stage spends are recorded up front).
+struct ReleasePlan {
+    epsilon: f64,
+    eps_gem: f64,
+    eps_release: f64,
+    beta: f64,
+    grid: Vec<usize>,
+}
 
 /// Node-private estimator for `f_sf(G)` (Algorithm 1).
 #[derive(Clone, Debug)]
@@ -87,18 +100,129 @@ impl PrivateSpanningForestEstimator {
     ) -> Result<std::sync::Arc<Vec<ExtensionEvaluation>>, CcdpError> {
         let backend = self.config.solver();
         let threads = self.config.resolved_threads();
+        let options = self.config.family_options();
         match &self.family_cache {
-            Some(cache) => Ok(cache.evaluate_family_tagged(
+            Some(cache) => Ok(cache.evaluate_family_tuned(
                 g,
                 grid,
                 backend,
                 self.config.graph_tag(),
                 threads,
+                options,
             )?),
-            None => Ok(std::sync::Arc::new(evaluate_family_threaded(
-                g, grid, backend, threads,
+            None => Ok(std::sync::Arc::new(evaluate_family_tuned(
+                g, grid, backend, threads, options,
             )?)),
         }
+    }
+
+    /// Fixes the ε splits, β and the doubling grid for a release over `n`
+    /// vertices, recording the stage spends against `budget` up front so the
+    /// ledger order is identical no matter which family engine runs next.
+    fn plan_release(&self, n: usize, budget: &mut PrivacyBudget) -> Result<ReleasePlan, CcdpError> {
+        let epsilon = budget.remaining_epsilon();
+        if epsilon <= 0.0 {
+            // An exhausted accountant cannot fund another stage: any positive
+            // request exceeds what remains.
+            return Err(CcdpError::Budget(BudgetExceeded {
+                requested: f64::MIN_POSITIVE,
+                remaining: epsilon,
+            }));
+        }
+        let eps_gem = budget.spend("gem-threshold-selection", epsilon / 2.0)?;
+        let eps_release = budget.spend("laplace-release", epsilon / 2.0)?;
+        let beta = self.config.resolved_beta(n);
+        let delta_max = self.config.delta_max().unwrap_or(n).min(n.max(1));
+        let grid = power_of_two_grid(delta_max);
+        Ok(ReleasePlan {
+            epsilon,
+            eps_gem,
+            eps_release,
+            beta,
+            grid,
+        })
+    }
+
+    /// Steps 1 and 3 of Algorithm 1 once the family values are in hand: GEM
+    /// selection with ε/2 followed by the Laplace release with ε/2. Shared by
+    /// the adjacency-list and CSR entry points so both consume randomness and
+    /// assemble diagnostics identically.
+    fn finish_release<R: Rng + ?Sized>(
+        &self,
+        plan: &ReleasePlan,
+        evals: &[ExtensionEvaluation],
+        true_value: f64,
+        budget: &PrivacyBudget,
+        rng: &mut R,
+    ) -> Release {
+        let used_lp = evals
+            .iter()
+            .any(|e| e.path == EvaluationPath::LinearProgram);
+        let candidates: Vec<GemCandidate> = plan
+            .grid
+            .iter()
+            .zip(evals.iter())
+            .map(|(&d, e)| GemCandidate {
+                delta: d as f64,
+                value: e.value,
+            })
+            .collect();
+
+        // The release consumes a statically known amount of randomness: one
+        // word for the GEM draw, one for the Laplace release. Prefetch both
+        // into a batch and replay it — the samples are bit-for-bit what
+        // drawing from `rng` directly would produce, and the exhaustion
+        // check below pins the draw count against accounting drift.
+        let mut noise = NoiseBatch::prefetch(rng, 2);
+
+        // Step 1 of Algorithm 1: GEM with ε/2.
+        let selection = generalized_exponential_mechanism(
+            &candidates,
+            true_value,
+            plan.eps_gem,
+            plan.beta,
+            &mut noise,
+        );
+        let selected_delta = plan.grid[selection.index];
+        let extension_value = selection.value;
+
+        // Step 3: Laplace release with the remaining ε/2 and sensitivity Δ̂,
+        // i.e. noise scale 2Δ̂/ε.
+        let noise_scale = selected_delta as f64 / plan.eps_release;
+        let value = laplace_mechanism(
+            extension_value,
+            selected_delta as f64,
+            plan.eps_release,
+            &mut noise,
+        );
+        assert!(
+            noise.is_exhausted(),
+            "spanning-forest release must consume exactly its prefetched noise"
+        );
+
+        Release::new(
+            value,
+            Privacy::NodeDp {
+                epsilon: plan.epsilon,
+            },
+            Self::NAME,
+            Diagnostics {
+                selected_delta: Some(selected_delta),
+                extension_value: Some(extension_value),
+                noise_scale: Some(noise_scale),
+                beta: Some(plan.beta),
+                used_lp,
+                family_values: plan
+                    .grid
+                    .iter()
+                    .copied()
+                    .zip(evals.iter().map(|e| e.value))
+                    .collect(),
+                node_count_estimate: None,
+                spanning_forest_estimate: None,
+                budget_ledger: budget.ledger().to_vec(),
+            },
+        )
     }
 
     /// Runs Algorithm 1 on `g` and returns the private release of `f_sf(G)`.
@@ -120,86 +244,68 @@ impl PrivateSpanningForestEstimator {
         budget: &mut PrivacyBudget,
         rng: &mut R,
     ) -> Result<Release, CcdpError> {
-        let n = g.num_vertices();
-        let epsilon = budget.remaining_epsilon();
-        if epsilon <= 0.0 {
-            // An exhausted accountant cannot fund another stage: any positive
-            // request exceeds what remains.
-            return Err(CcdpError::Budget(BudgetExceeded {
-                requested: f64::MIN_POSITIVE,
-                remaining: epsilon,
-            }));
-        }
-        let eps_gem = budget.spend("gem-threshold-selection", epsilon / 2.0)?;
-        let eps_release = budget.spend("laplace-release", epsilon / 2.0)?;
-        let beta = self.config.resolved_beta(n);
-
         // Steps 2–4 of Algorithm 4: evaluate the family on the doubling grid.
         // The empty graph takes the same path as everything else: the grid
         // degenerates to {1}, the extension value to 0.
-        let delta_max = self.config.delta_max().unwrap_or(n).min(n.max(1));
-        let grid = power_of_two_grid(delta_max);
-        let evals = self.family(g, &grid)?;
-        let used_lp = evals
-            .iter()
-            .any(|e| e.path == EvaluationPath::LinearProgram);
-        let candidates: Vec<GemCandidate> = grid
-            .iter()
-            .zip(evals.iter())
-            .map(|(&d, e)| GemCandidate {
-                delta: d as f64,
-                value: e.value,
-            })
-            .collect();
+        let plan = self.plan_release(g.num_vertices(), budget)?;
+        let evals = self.family(g, &plan.grid)?;
         let true_value = g.spanning_forest_size() as f64;
+        Ok(self.finish_release(&plan, &evals, true_value, budget, rng))
+    }
 
-        // The release consumes a statically known amount of randomness: one
-        // word for the GEM draw, one for the Laplace release. Prefetch both
-        // into a batch and replay it — the samples are bit-for-bit what
-        // drawing from `rng` directly would produce, and the exhaustion
-        // check below pins the draw count against accounting drift.
-        let mut noise = NoiseBatch::prefetch(rng, 2);
+    /// Runs Algorithm 1 directly on a CSR arena, bypassing both the
+    /// adjacency-list [`Graph`] and the [`ExtensionCache`]. This is the
+    /// large-scale entry point: the family is evaluated by the partitioned
+    /// CSR engine and the release is bit-for-bit identical to
+    /// [`Self::estimate`] on the equivalent `Graph` with the same RNG state.
+    pub fn estimate_csr<R: Rng + ?Sized>(
+        &self,
+        arena: &CsrGraph,
+        rng: &mut R,
+    ) -> Result<Release, CcdpError> {
+        let mut budget = PrivacyBudget::new(self.config.epsilon());
+        self.estimate_csr_with_budget(arena, &mut budget, rng, None)
+    }
 
-        // Step 1 of Algorithm 1: GEM with ε/2.
-        let selection =
-            generalized_exponential_mechanism(&candidates, true_value, eps_gem, beta, &mut noise);
-        let selected_delta = grid[selection.index];
-        let extension_value = selection.value;
+    /// [`Self::estimate_csr`] with per-phase wall-clock attribution: family
+    /// phases (`family/partition`, `family/anchor`, `family/lp`) are recorded
+    /// by the CSR engine, and this wrapper adds `release/true-value` (the
+    /// exact spanning-forest size fed to GEM) and `release/mechanisms` (GEM
+    /// selection plus the Laplace release).
+    pub fn estimate_csr_profiled<R: Rng + ?Sized>(
+        &self,
+        arena: &CsrGraph,
+        rng: &mut R,
+        profiler: &PhaseProfiler,
+    ) -> Result<Release, CcdpError> {
+        let mut budget = PrivacyBudget::new(self.config.epsilon());
+        self.estimate_csr_with_budget(arena, &mut budget, rng, Some(profiler))
+    }
 
-        // Step 3: Laplace release with the remaining ε/2 and sensitivity Δ̂,
-        // i.e. noise scale 2Δ̂/ε.
-        let noise_scale = selected_delta as f64 / eps_release;
-        let value = laplace_mechanism(
-            extension_value,
-            selected_delta as f64,
-            eps_release,
-            &mut noise,
-        );
-        assert!(
-            noise.is_exhausted(),
-            "spanning-forest release must consume exactly its prefetched noise"
-        );
-
-        Ok(Release::new(
-            value,
-            Privacy::NodeDp { epsilon },
-            Self::NAME,
-            Diagnostics {
-                selected_delta: Some(selected_delta),
-                extension_value: Some(extension_value),
-                noise_scale: Some(noise_scale),
-                beta: Some(beta),
-                used_lp,
-                family_values: grid
-                    .iter()
-                    .copied()
-                    .zip(evals.iter().map(|e| e.value))
-                    .collect(),
-                node_count_estimate: None,
-                spanning_forest_estimate: None,
-                budget_ledger: budget.ledger().to_vec(),
-            },
-        ))
+    /// CSR counterpart of [`Self::estimate_with_budget`]. Budget spends, the
+    /// Δ grid, noise consumption and diagnostics all match the `Graph` path;
+    /// only the family engine differs (and is itself value-identical).
+    pub fn estimate_csr_with_budget<R: Rng + ?Sized>(
+        &self,
+        arena: &CsrGraph,
+        budget: &mut PrivacyBudget,
+        rng: &mut R,
+        profiler: Option<&PhaseProfiler>,
+    ) -> Result<Release, CcdpError> {
+        let plan = self.plan_release(arena.num_vertices(), budget)?;
+        let evals = evaluate_family_csr_profiled(
+            arena,
+            &plan.grid,
+            self.config.resolved_threads(),
+            self.config.family_options(),
+            profiler,
+        )?;
+        let true_value = {
+            let _t = profiler.map(|p| p.phase("release/true-value"));
+            arena.spanning_forest_size() as f64
+        };
+        let _t = profiler.map(|p| p.phase("release/mechanisms"));
+        Ok(self.finish_release(&plan, &evals, true_value, budget, rng))
     }
 }
 
@@ -264,23 +370,78 @@ impl PrivateCcEstimator {
 
     /// Runs the estimator on `g` and returns the private release of `f_cc(G)`.
     pub fn estimate<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Result<Release, CcdpError> {
-        let epsilon = self.config.epsilon();
-        let mut budget = PrivacyBudget::new(epsilon);
-
-        // |V| has node sensitivity exactly 1. Its single noise word is
-        // prefetched like the spanning-forest stage's, so a full release
-        // consumes exactly three words from `rng` in a fixed order.
-        let eps_count = budget.spend("node-count", epsilon * self.config.node_count_fraction())?;
-        let mut noise = NoiseBatch::prefetch(rng, 1);
-        let node_count_estimate =
-            laplace_mechanism(g.num_vertices() as f64, 1.0, eps_count, &mut noise);
-        assert!(noise.is_exhausted());
+        let n = g.num_vertices();
+        let (mut budget, node_count_estimate) = self.count_stage(n, rng)?;
 
         // The spanning-forest stage consumes everything that remains, drawing
         // from the same accountant.
         let sf_release = self
             .spanning_forest
             .estimate_with_budget(g, &mut budget, rng)?;
+        Ok(self.assemble(node_count_estimate, sf_release, &budget))
+    }
+
+    /// Runs the estimator directly on a CSR arena — the large-scale twin of
+    /// [`Self::estimate`], bit-for-bit identical on the equivalent `Graph`
+    /// with the same RNG state.
+    pub fn estimate_csr<R: Rng + ?Sized>(
+        &self,
+        arena: &CsrGraph,
+        rng: &mut R,
+    ) -> Result<Release, CcdpError> {
+        self.estimate_csr_inner(arena, rng, None)
+    }
+
+    /// [`Self::estimate_csr`] with per-phase wall-clock attribution recorded
+    /// into `profiler` (see [`PrivateSpanningForestEstimator::estimate_csr_profiled`]).
+    pub fn estimate_csr_profiled<R: Rng + ?Sized>(
+        &self,
+        arena: &CsrGraph,
+        rng: &mut R,
+        profiler: &PhaseProfiler,
+    ) -> Result<Release, CcdpError> {
+        self.estimate_csr_inner(arena, rng, Some(profiler))
+    }
+
+    fn estimate_csr_inner<R: Rng + ?Sized>(
+        &self,
+        arena: &CsrGraph,
+        rng: &mut R,
+        profiler: Option<&PhaseProfiler>,
+    ) -> Result<Release, CcdpError> {
+        let (mut budget, node_count_estimate) = self.count_stage(arena.num_vertices(), rng)?;
+        let sf_release =
+            self.spanning_forest
+                .estimate_csr_with_budget(arena, &mut budget, rng, profiler)?;
+        Ok(self.assemble(node_count_estimate, sf_release, &budget))
+    }
+
+    /// Stage 1 shared by both entry points: spend the node-count slice and
+    /// release `|V|` with sensitivity 1.
+    ///
+    /// The single noise word is prefetched like the spanning-forest stage's,
+    /// so a full release consumes exactly three words from `rng` in a fixed
+    /// order.
+    fn count_stage<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<(PrivacyBudget, f64), CcdpError> {
+        let epsilon = self.config.epsilon();
+        let mut budget = PrivacyBudget::new(epsilon);
+        let eps_count = budget.spend("node-count", epsilon * self.config.node_count_fraction())?;
+        let mut noise = NoiseBatch::prefetch(rng, 1);
+        let node_count_estimate = laplace_mechanism(n as f64, 1.0, eps_count, &mut noise);
+        assert!(noise.is_exhausted());
+        Ok((budget, node_count_estimate))
+    }
+
+    fn assemble(
+        &self,
+        node_count_estimate: f64,
+        sf_release: Release,
+        budget: &PrivacyBudget,
+    ) -> Release {
         let sf_value = sf_release.value();
         let mut diagnostics = sf_release
             .into_diagnostics(crate::release::DiagnosticsAccess::acknowledge_non_private());
@@ -288,12 +449,14 @@ impl PrivateCcEstimator {
         diagnostics.spanning_forest_estimate = Some(sf_value);
         diagnostics.budget_ledger = budget.ledger().to_vec();
 
-        Ok(Release::new(
+        Release::new(
             node_count_estimate - sf_value,
-            Privacy::NodeDp { epsilon },
+            Privacy::NodeDp {
+                epsilon: self.config.epsilon(),
+            },
             Self::NAME,
             diagnostics,
-        ))
+        )
     }
 }
 
@@ -361,6 +524,51 @@ mod tests {
             small >= 8,
             "GEM selected a large Δ too often ({small}/10 small)"
         );
+    }
+
+    #[test]
+    fn csr_release_is_bitwise_identical_to_graph_release() {
+        // The CSR entry points must release the exact bits the Graph path
+        // does for the same RNG stream: same family values, same GEM draw,
+        // same Laplace sample — across micro/dedup toggles and thread counts.
+        let g = generators::erdos_renyi(600, 1.3 / 600.0, &mut StdRng::seed_from_u64(77));
+        let arena = CsrGraph::from_graph(&g);
+        for (micro, dedup) in [(true, true), (true, false), (false, true), (false, false)] {
+            let config = EstimatorConfig::new(1.0)
+                .with_micro_solver(micro)
+                .with_solve_dedup(dedup);
+            let sf = PrivateSpanningForestEstimator::from_config(config.clone()).unwrap();
+            let base = sf.estimate(&g, &mut StdRng::seed_from_u64(9)).unwrap();
+            let csr = sf
+                .estimate_csr(&arena, &mut StdRng::seed_from_u64(9))
+                .unwrap();
+            assert_eq!(base.value().to_bits(), csr.value().to_bits());
+            let (bd, cd) = (base.diagnostics(token()), csr.diagnostics(token()));
+            assert_eq!(bd.selected_delta, cd.selected_delta);
+            assert_eq!(bd.family_values, cd.family_values);
+
+            let cc = PrivateCcEstimator::from_config(config).unwrap();
+            let base = cc.estimate(&g, &mut StdRng::seed_from_u64(10)).unwrap();
+            let csr = cc
+                .estimate_csr(&arena, &mut StdRng::seed_from_u64(10))
+                .unwrap();
+            assert_eq!(base.value().to_bits(), csr.value().to_bits());
+        }
+
+        // The profiled variant is the same release and records the phases.
+        let est = PrivateSpanningForestEstimator::new(1.0).unwrap();
+        let profiler = ccdp_exec::PhaseProfiler::new();
+        let plain = est
+            .estimate_csr(&arena, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        let profiled = est
+            .estimate_csr_profiled(&arena, &mut StdRng::seed_from_u64(11), &profiler)
+            .unwrap();
+        assert_eq!(plain.value().to_bits(), profiled.value().to_bits());
+        let phases: Vec<String> = profiler.report().into_iter().map(|p| p.name).collect();
+        assert!(phases.iter().any(|p| p == "release/mechanisms"));
+        assert!(phases.iter().any(|p| p == "release/true-value"));
+        assert!(phases.iter().any(|p| p == "family/partition"));
     }
 
     #[test]

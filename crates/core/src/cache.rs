@@ -26,12 +26,14 @@
 //! one family evaluation instead of one per thread. Hit/miss/coalesce/
 //! eviction counters are exposed for tests and capacity planning.
 //!
-//! The thread budget of an evaluation is deliberately **not** part of the
-//! key: family values are bit-for-bit identical for every budget, so an entry
-//! computed with 8 workers answers a sequential request and vice versa.
+//! The thread budget and family fast-path toggles of an evaluation are
+//! deliberately **not** part of the key: family values are bit-for-bit
+//! identical for every budget and toggle combination, so an entry computed
+//! with 8 workers and the micro solver answers a sequential, fully general
+//! request and vice versa.
 
 use crate::error::CoreError;
-use crate::extension::{evaluate_family_threaded, ExtensionEvaluation};
+use crate::extension::{evaluate_family_tuned, ExtensionEvaluation, FamilyOptions};
 use ccdp_graph::{CsrGraph, GraphVersion};
 use ccdp_lp::SolverBackend;
 use std::collections::HashMap;
@@ -318,6 +320,23 @@ impl ExtensionCache {
         tag: Option<&GraphTag>,
         threads: usize,
     ) -> Result<Arc<Vec<ExtensionEvaluation>>, CoreError> {
+        self.evaluate_family_tuned(g, grid, backend, tag, threads, FamilyOptions::default())
+    }
+
+    /// [`evaluate_family_tagged`](Self::evaluate_family_tagged) with explicit
+    /// family fast-path toggles for the evaluation on a miss. Like the thread
+    /// budget, the toggles never enter the cache key: every combination
+    /// produces bit-identical family values, so toggled and default callers
+    /// share entries.
+    pub fn evaluate_family_tuned(
+        &self,
+        g: &ccdp_graph::Graph,
+        grid: &[usize],
+        backend: SolverBackend,
+        tag: Option<&GraphTag>,
+        threads: usize,
+        options: FamilyOptions,
+    ) -> Result<Arc<Vec<ExtensionEvaluation>>, CoreError> {
         let csr = Arc::new(CsrGraph::from_graph(g));
         let key = CacheKey {
             num_vertices: g.num_vertices(),
@@ -368,7 +387,8 @@ impl ExtensionCache {
         match action {
             LookupAction::Join(flight) => flight.wait(),
             LookupAction::EvaluateUncached => {
-                let result = evaluate_family_threaded(g, grid, backend, threads).map(Arc::new);
+                let result =
+                    evaluate_family_tuned(g, grid, backend, threads, options).map(Arc::new);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 result
             }
@@ -385,7 +405,8 @@ impl ExtensionCache {
                     witness: csr,
                     armed: true,
                 };
-                let result = evaluate_family_threaded(g, grid, backend, threads).map(Arc::new);
+                let result =
+                    evaluate_family_tuned(g, grid, backend, threads, options).map(Arc::new);
                 guard.finish(result.clone());
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 result

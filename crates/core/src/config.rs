@@ -8,6 +8,7 @@
 //! without catching panics.
 
 use crate::cache::{ExtensionCache, GraphTag};
+use crate::extension::FamilyOptions;
 use ccdp_graph::GraphVersion;
 use ccdp_lp::SolverBackend;
 use std::fmt;
@@ -106,6 +107,8 @@ pub struct EstimatorConfig {
     shared_family_cache: Option<Arc<ExtensionCache>>,
     graph_tag: Option<GraphTag>,
     threads: Option<usize>,
+    micro_solver: bool,
+    solve_dedup: bool,
 }
 
 impl PartialEq for EstimatorConfig {
@@ -124,6 +127,8 @@ impl PartialEq for EstimatorConfig {
             && same_cache
             && self.graph_tag == other.graph_tag
             && self.threads == other.threads
+            && self.micro_solver == other.micro_solver
+            && self.solve_dedup == other.solve_dedup
     }
 }
 
@@ -144,7 +149,27 @@ impl EstimatorConfig {
             shared_family_cache: None,
             graph_tag: None,
             threads: None,
+            micro_solver: true,
+            solve_dedup: true,
         }
+    }
+
+    /// Enables or disables the micro-component fast paths of the large-graph
+    /// family engine (default enabled). A pure execution knob: the micro
+    /// solver replicates the general solver bit-for-bit, so this affects
+    /// wall-clock only, never values, privacy or accuracy. Exposed for
+    /// ablation benchmarks.
+    pub fn with_micro_solver(mut self, enabled: bool) -> Self {
+        self.micro_solver = enabled;
+        self
+    }
+
+    /// Enables or disables isomorphism-class solve dedup across identical
+    /// small components (default enabled). Like the micro solver, a pure
+    /// execution knob — deduplicated solves reuse bit-identical solutions.
+    pub fn with_solve_dedup(mut self, enabled: bool) -> Self {
+        self.solve_dedup = enabled;
+        self
     }
 
     /// Sets the thread budget for per-release parallel solving (default:
@@ -264,14 +289,40 @@ impl EstimatorConfig {
         self.threads
     }
 
+    /// Whether the micro-component fast paths are enabled.
+    pub fn micro_solver(&self) -> bool {
+        self.micro_solver
+    }
+
+    /// Whether isomorphism-class solve dedup is enabled.
+    pub fn solve_dedup(&self) -> bool {
+        self.solve_dedup
+    }
+
+    /// The family-engine fast-path toggles this configuration selects.
+    pub fn family_options(&self) -> FamilyOptions {
+        FamilyOptions {
+            micro: self.micro_solver,
+            dedup: self.solve_dedup,
+        }
+    }
+
     /// The thread budget to run with: the override if set, otherwise the
-    /// machine's available parallelism (at least 1).
+    /// machine's available parallelism — and never *more* than the machine's
+    /// available parallelism. Oversubscribing physical cores with scoped
+    /// workers slows the solve down instead of speeding it up (each worker
+    /// adds scheduling and cache pressure but no extra compute), so an
+    /// explicit budget above the hardware limit is clamped. Results are
+    /// bit-for-bit identical for every budget, so the clamp never changes
+    /// output.
     pub fn resolved_threads(&self) -> usize {
-        self.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        match self.threads {
+            Some(requested) => requested.min(hardware).max(1),
+            None => hardware,
+        }
     }
 
     /// Resolves the family cache this configuration asks for: the shared one
@@ -450,9 +501,36 @@ mod tests {
         let cfg = EstimatorConfig::new(1.0).with_threads(8);
         assert!(cfg.validate().is_ok());
         assert_eq!(cfg.threads(), Some(8));
-        assert_eq!(cfg.resolved_threads(), 8);
+        // An explicit budget is honored up to the machine's parallelism and
+        // clamped above it (oversubscription only slows the solve down).
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(cfg.resolved_threads(), 8.min(hardware));
+        assert_eq!(
+            EstimatorConfig::new(1.0).with_threads(1).resolved_threads(),
+            1
+        );
         // Default resolves to the machine's parallelism, never below 1.
         assert!(EstimatorConfig::new(1.0).resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn fast_path_toggles_default_on_and_round_trip() {
+        let cfg = EstimatorConfig::new(1.0);
+        assert!(cfg.micro_solver() && cfg.solve_dedup());
+        assert_eq!(cfg.family_options(), FamilyOptions::default());
+        let cfg = cfg.with_micro_solver(false).with_solve_dedup(false);
+        assert!(!cfg.micro_solver() && !cfg.solve_dedup());
+        assert!(cfg.validate().is_ok());
+        assert_ne!(
+            EstimatorConfig::new(1.0),
+            EstimatorConfig::new(1.0).with_micro_solver(false)
+        );
+        assert_ne!(
+            EstimatorConfig::new(1.0),
+            EstimatorConfig::new(1.0).with_solve_dedup(false)
+        );
     }
 
     #[test]

@@ -18,9 +18,10 @@ use crate::error::CoreError;
 use crate::polytope::{
     forest_polytope_max_threaded, forest_polytope_max_with, PolytopeSolution, SolverBackend,
 };
-use ccdp_exec::parallel_map;
-use ccdp_graph::forest::bounded_degree_spanning_forest;
-use ccdp_graph::Graph;
+use ccdp_exec::{parallel_map, PhaseProfiler};
+use ccdp_graph::forest::{bounded_degree_spanning_forest, bounded_degree_spanning_forest_csr};
+use ccdp_graph::{CsrGraph, Graph};
+use ccdp_lp::{solve_partition, SolveOptions};
 
 /// Minimum work size (`n + m`) before a family evaluation fans out across
 /// threads. Below this the per-task overhead of the thread pool outweighs
@@ -150,6 +151,41 @@ impl LipschitzExtension {
     }
 }
 
+/// Fast-path toggles for the large-graph (CSR-partition) family engine.
+///
+/// Both are on by default and both are pure execution knobs: the micro solver
+/// replicates the general solver bit-for-bit and dedup only reuses solutions
+/// across identical labeled component slices, so every combination yields the
+/// same family values. Exposed so benches can ablate each path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FamilyOptions {
+    /// Enable micro-component closed forms / mirrored fast solves.
+    pub micro: bool,
+    /// Enable isomorphism-class (labeled-slice) solve dedup.
+    pub dedup: bool,
+}
+
+impl Default for FamilyOptions {
+    fn default() -> Self {
+        FamilyOptions {
+            micro: true,
+            dedup: true,
+        }
+    }
+}
+
+impl FamilyOptions {
+    fn solve_options(&self) -> SolveOptions {
+        SolveOptions {
+            micro: self.micro,
+            dedup: self.dedup,
+            // The family only feeds values into the GEM selection; skipping
+            // weight assembly saves one `f64` per edge per grid point.
+            want_weights: false,
+        }
+    }
+}
+
 /// Evaluates the whole family `{f_Δ}` on the given grid of Δ values with the
 /// default (combinatorial) backend.
 ///
@@ -171,37 +207,62 @@ pub fn evaluate_family_with(
     grid: &[usize],
     backend: SolverBackend,
 ) -> Result<Vec<ExtensionEvaluation>, CoreError> {
-    let mut out = Vec::with_capacity(grid.len());
-    let mut running_max = 0.0f64;
-    for &delta in grid {
-        let mut eval = LipschitzExtension::new(delta)
-            .with_backend(backend)
-            .evaluate_detailed(g)?;
-        running_max = running_max.max(eval.value);
-        eval.value = running_max;
-        out.push(eval);
-    }
-    Ok(out)
+    evaluate_family_tuned(g, grid, backend, 1, FamilyOptions::default())
 }
 
 /// [`evaluate_family_with`] with a thread budget.
 ///
-/// Grid points are independent until the final monotone clamp, so the family
-/// fans out one task per Δ across up to `threads` workers, then applies the
-/// running-max clamp **in grid order** over the collected results — exactly
-/// the order the sequential loop uses. A single-point grid parallelizes
-/// across connected components instead. Either way the output is bit-for-bit
-/// identical for every thread budget; `threads <= 1` (or a graph below the
-/// work threshold) takes the sequential path itself.
+/// The output is bit-for-bit identical for every thread budget; `threads <= 1`
+/// (or a graph below the work threshold) takes the sequential path itself.
 pub fn evaluate_family_threaded(
     g: &Graph,
     grid: &[usize],
     backend: SolverBackend,
     threads: usize,
 ) -> Result<Vec<ExtensionEvaluation>, CoreError> {
-    if threads <= 1 || g.num_vertices() + g.num_edges() < PARALLEL_WORK_THRESHOLD {
-        return evaluate_family_with(g, grid, backend);
+    evaluate_family_tuned(g, grid, backend, threads, FamilyOptions::default())
+}
+
+/// The full-knob family evaluation: backend, thread budget and fast-path
+/// toggles.
+///
+/// Large graphs (`n + m ≥` the work threshold) on the combinatorial backend
+/// route through the CSR-partition engine regardless of the thread budget: the
+/// graph is partitioned into a component-contiguous arena **once**, each grid
+/// point reuses it, and per-component solving goes through the micro/dedup
+/// fast paths of `ccdp_lp`. The engine merges per-component values in
+/// component order, so its results are bit-for-bit identical to the historical
+/// per-Δ sequential path — for every thread budget and toggle combination.
+/// Small graphs and the simplex backend keep the historical paths.
+pub fn evaluate_family_tuned(
+    g: &Graph,
+    grid: &[usize],
+    backend: SolverBackend,
+    threads: usize,
+    options: FamilyOptions,
+) -> Result<Vec<ExtensionEvaluation>, CoreError> {
+    let work = g.num_vertices() + g.num_edges();
+    if backend == SolverBackend::Combinatorial && work >= PARALLEL_WORK_THRESHOLD {
+        let arena = CsrGraph::from_graph(g);
+        return evaluate_family_csr_with(&arena, grid, threads, options);
     }
+    if threads <= 1 || work < PARALLEL_WORK_THRESHOLD {
+        let mut out = Vec::with_capacity(grid.len());
+        let mut running_max = 0.0f64;
+        for &delta in grid {
+            let mut eval = LipschitzExtension::new(delta)
+                .with_backend(backend)
+                .evaluate_detailed(g)?;
+            running_max = running_max.max(eval.value);
+            eval.value = running_max;
+            out.push(eval);
+        }
+        return Ok(out);
+    }
+    // Simplex backend above the work threshold: fan out one task per Δ, then
+    // apply the running-max clamp in grid order — exactly the order the
+    // sequential loop uses. A single-point grid parallelizes across connected
+    // components instead.
     let results = if grid.len() > 1 {
         parallel_map(threads, grid.len(), |i| {
             LipschitzExtension::new(grid[i])
@@ -221,6 +282,133 @@ pub fn evaluate_family_threaded(
     let mut running_max = 0.0f64;
     for result in results {
         let mut eval = result?;
+        running_max = running_max.max(eval.value);
+        eval.value = running_max;
+        out.push(eval);
+    }
+    Ok(out)
+}
+
+/// Evaluates the family directly on a CSR arena with default toggles — the
+/// entry point for graphs built by
+/// [`CsrGraph::from_edge_stream`](ccdp_graph::CsrGraph::from_edge_stream)
+/// that never materialize an adjacency-list [`Graph`].
+pub fn evaluate_family_csr(
+    arena: &CsrGraph,
+    grid: &[usize],
+    threads: usize,
+) -> Result<Vec<ExtensionEvaluation>, CoreError> {
+    evaluate_family_csr_with(arena, grid, threads, FamilyOptions::default())
+}
+
+/// [`evaluate_family_csr`] with explicit fast-path toggles.
+///
+/// Semantics mirror the adjacency-list path exactly, decision for decision:
+///
+/// * the spanning-forest fast path fires iff `Δ ≥ max_degree` or the Lemma 1.8
+///   construction finds a spanning Δ-forest (the CSR variant builds the
+///   identical forest), with one provable shortcut — if some *tree* component
+///   has a vertex of degree `> Δ`, no spanning Δ-forest exists (a spanning
+///   forest of a tree component is the component itself), so the search is
+///   skipped without being run;
+/// * otherwise the Δ-bounded forest polytope is maximized per component over
+///   the shared partition, merging values in component order.
+///
+/// The returned evaluations therefore carry the same values and
+/// [`EvaluationPath`] labels as [`evaluate_family_with`] on the same graph,
+/// bit for bit. LP evaluations carry solver statistics but empty
+/// `edge_weights` (the family never uses the maximizing point itself).
+pub fn evaluate_family_csr_with(
+    arena: &CsrGraph,
+    grid: &[usize],
+    threads: usize,
+    options: FamilyOptions,
+) -> Result<Vec<ExtensionEvaluation>, CoreError> {
+    evaluate_family_csr_profiled(arena, grid, threads, options, None)
+}
+
+/// [`evaluate_family_csr_with`] with an optional [`PhaseProfiler`] that
+/// aggregates where the evaluation spends its time, under stable phase names:
+/// `family/partition` (arena partitioning + tree precheck), `family/anchor`
+/// (fast-path checks including the Lemma 1.8 search), `family/lp` (polytope
+/// solving over the partition). Per-partition solve attribution counters
+/// (component totals, closed forms, dedup hits, general fallbacks) are
+/// recorded as profiler counts. Profiling never changes values.
+pub fn evaluate_family_csr_profiled(
+    arena: &CsrGraph,
+    grid: &[usize],
+    threads: usize,
+    options: FamilyOptions,
+    profiler: Option<&PhaseProfiler>,
+) -> Result<Vec<ExtensionEvaluation>, CoreError> {
+    let mut out = Vec::with_capacity(grid.len());
+    if arena.num_edges() == 0 {
+        for &delta in grid {
+            assert!(delta >= 1, "delta must be at least 1");
+            out.push(ExtensionEvaluation {
+                value: 0.0,
+                delta,
+                path: EvaluationPath::SpanningForestFastPath,
+                lp: None,
+            });
+        }
+        return Ok(out);
+    }
+    let partition_timer = profiler.map(|p| p.phase("family/partition"));
+    let fsf = arena.spanning_forest_size() as f64;
+    let max_degree = arena.max_degree();
+    let part = arena.partition_components();
+    // Largest maximum degree over *tree* components: for Δ below it the
+    // spanning-Δ-forest search is unsatisfiable and gets skipped.
+    let mut tree_max_degree = 0usize;
+    for c in 0..part.num_components() {
+        let view = part.component(c);
+        if view.num_edges() + 1 == view.num_vertices() {
+            let local_max = (0..view.num_vertices())
+                .map(|v| view.degree(v))
+                .max()
+                .unwrap_or(0);
+            tree_max_degree = tree_max_degree.max(local_max);
+        }
+    }
+    drop(partition_timer);
+    let solve_options = options.solve_options();
+    let mut running_max = 0.0f64;
+    for &delta in grid {
+        assert!(delta >= 1, "delta must be at least 1");
+        let anchored = {
+            let _t = profiler.map(|p| p.phase("family/anchor"));
+            delta >= max_degree
+                || (delta >= tree_max_degree
+                    && bounded_degree_spanning_forest_csr(arena, delta).is_some())
+        };
+        let mut eval = if anchored {
+            ExtensionEvaluation {
+                value: fsf,
+                delta,
+                path: EvaluationPath::SpanningForestFastPath,
+                lp: None,
+            }
+        } else {
+            let _t = profiler.map(|p| p.phase("family/lp"));
+            let solved = solve_partition(&part, delta as f64, threads, &solve_options)
+                .map_err(CoreError::from)?;
+            if let Some(p) = profiler {
+                let stats = solved.stats;
+                p.add_count("solve/components", stats.components as u64);
+                p.add_count("solve/micro-closed-form", stats.micro_closed_form as u64);
+                p.add_count("solve/micro-reduced", stats.micro_reduced as u64);
+                p.add_count("solve/general-fallback", stats.general_fallback as u64);
+                p.add_count("solve/dedup-classes", stats.dedup_classes as u64);
+                p.add_count("solve/dedup-hits", stats.dedup_hits as u64);
+            }
+            ExtensionEvaluation {
+                value: solved.solution.value,
+                delta,
+                path: EvaluationPath::LinearProgram,
+                lp: Some(solved.solution),
+            }
+        };
         running_max = running_max.max(eval.value);
         eval.value = running_max;
         out.push(eval);
@@ -382,6 +570,67 @@ mod tests {
         let seq1 = evaluate_family_with(&g, &[1], SolverBackend::default()).unwrap();
         let par1 = evaluate_family_threaded(&g, &[1], SolverBackend::default(), 4).unwrap();
         assert_eq!(seq1[0].value.to_bits(), par1[0].value.to_bits());
+    }
+
+    #[test]
+    fn csr_family_engine_matches_historical_loop_bit_for_bit() {
+        // Large enough to cross the work threshold, so evaluate_family_with
+        // routes through the CSR-partition engine; the reference is the
+        // historical per-Δ loop over evaluate_detailed. Barely-supercritical
+        // ER mixes trees, unicyclic components and a few multicyclic ones.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::erdos_renyi(3000, 1.25 / 3000.0, &mut rng);
+        let grid = [1usize, 2, 4, 8, 16];
+        let mut want = Vec::new();
+        let mut running_max = 0.0f64;
+        for &delta in &grid {
+            let mut eval = LipschitzExtension::new(delta)
+                .evaluate_detailed(&g)
+                .unwrap();
+            running_max = running_max.max(eval.value);
+            eval.value = running_max;
+            want.push(eval);
+        }
+        let toggles = [
+            FamilyOptions::default(),
+            FamilyOptions {
+                micro: true,
+                dedup: false,
+            },
+            FamilyOptions {
+                micro: false,
+                dedup: true,
+            },
+            FamilyOptions {
+                micro: false,
+                dedup: false,
+            },
+        ];
+        for options in toggles {
+            for threads in [1usize, 4] {
+                let got =
+                    evaluate_family_tuned(&g, &grid, SolverBackend::default(), threads, options)
+                        .unwrap();
+                assert_eq!(want.len(), got.len());
+                for (w, g_eval) in want.iter().zip(&got) {
+                    assert_eq!(
+                        w.value.to_bits(),
+                        g_eval.value.to_bits(),
+                        "Δ={} threads={threads} options={options:?}",
+                        w.delta
+                    );
+                    assert_eq!(w.path, g_eval.path);
+                    assert_eq!(w.delta, g_eval.delta);
+                }
+            }
+        }
+        // The CSR-arena entry point (no adjacency-list graph at all) agrees too.
+        let arena = CsrGraph::from_graph(&g);
+        let got = evaluate_family_csr(&arena, &grid, 2).unwrap();
+        for (w, g_eval) in want.iter().zip(&got) {
+            assert_eq!(w.value.to_bits(), g_eval.value.to_bits());
+            assert_eq!(w.path, g_eval.path);
+        }
     }
 
     #[test]

@@ -94,8 +94,9 @@ pub use downsens_extension::{
 pub use error::{CcdpError, CoreError};
 pub use estimator::Estimator;
 pub use extension::{
-    evaluate_family, evaluate_family_threaded, evaluate_family_with, EvaluationPath,
-    ExtensionEvaluation, LipschitzExtension,
+    evaluate_family, evaluate_family_csr, evaluate_family_csr_profiled, evaluate_family_csr_with,
+    evaluate_family_threaded, evaluate_family_tuned, evaluate_family_with, EvaluationPath,
+    ExtensionEvaluation, FamilyOptions, LipschitzExtension,
 };
 pub use polytope::{
     forest_polytope_max, forest_polytope_max_threaded, forest_polytope_max_with, PolytopeSolution,

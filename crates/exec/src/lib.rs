@@ -335,6 +335,151 @@ fn worker_loop(w: usize, shared: &PoolShared) {
     }
 }
 
+/// Minimum units of work (vertices + edges, or any comparable cost proxy) a
+/// worker thread must have before fanning out is worth its scheduling cost.
+/// The old fixed gate `work < 4096 → sequential` is the special case of two
+/// workers; this constant makes the gate scale with the requested budget.
+pub const MIN_WORK_PER_THREAD: usize = 2048;
+
+/// Adapts a requested thread budget to the actual work size: at least
+/// [`MIN_WORK_PER_THREAD`] units per worker, never more workers than
+/// requested. Returns 1 (sequential) when the work cannot feed two workers —
+/// callers gate their parallel path on `effective_parallelism(..) >= 2`,
+/// which for 2 requested threads reduces exactly to the historical
+/// `work < 4096` cutoff.
+///
+/// Purely a function of its arguments (no machine probing), so gating never
+/// changes results across hosts; capping at the *hardware* parallelism is the
+/// estimator configuration's job.
+pub fn effective_parallelism(threads: usize, work: usize) -> usize {
+    threads.max(1).min((work / MIN_WORK_PER_THREAD).max(1))
+}
+
+/// A thread-safe per-phase wall-clock aggregator for attributing release cost.
+///
+/// Phases are named slots; [`PhaseProfiler::phase`] returns a [`PhaseTimer`]
+/// RAII guard that adds its scope's elapsed wall time (and one invocation) to
+/// the slot on drop. Counters ([`add_count`](Self::add_count)) ride along for
+/// unitless totals (components solved, dedup hits). The profiler is purely
+/// observational: it never influences values, ordering, or scheduling, so a
+/// profiled release is bit-for-bit identical to an unprofiled one.
+///
+/// Overhead is two `Instant` reads plus one mutex acquisition per scope —
+/// intended for coarse pipeline phases (build, partition, solve, noise), not
+/// per-edge instrumentation.
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    slots: Mutex<Vec<PhaseSlot>>,
+}
+
+#[derive(Debug, Clone)]
+struct PhaseSlot {
+    name: String,
+    seconds: f64,
+    invocations: u64,
+    count: u64,
+}
+
+/// One aggregated profiler slot, as reported by [`PhaseProfiler::report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Phase name as passed to [`PhaseProfiler::phase`].
+    pub name: String,
+    /// Total wall-clock seconds across all finished scopes.
+    pub seconds: f64,
+    /// Number of finished scopes.
+    pub invocations: u64,
+    /// Unitless counter total from [`PhaseProfiler::add_count`].
+    pub count: u64,
+}
+
+impl PhaseProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a scoped timer for `name`; elapsed time is recorded on drop.
+    pub fn phase<'p>(&'p self, name: &str) -> PhaseTimer<'p> {
+        PhaseTimer {
+            profiler: self,
+            name: name.to_string(),
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Adds `n` to the unitless counter of `name` (creating the slot if new).
+    pub fn add_count(&self, name: &str, n: u64) {
+        let mut slots = self.slots.lock().expect("profiler lock");
+        let slot = Self::slot(&mut slots, name);
+        slot.count += n;
+    }
+
+    fn add_seconds(&self, name: &str, seconds: f64) {
+        let mut slots = self.slots.lock().expect("profiler lock");
+        let slot = Self::slot(&mut slots, name);
+        slot.seconds += seconds;
+        slot.invocations += 1;
+    }
+
+    fn slot<'a>(slots: &'a mut Vec<PhaseSlot>, name: &str) -> &'a mut PhaseSlot {
+        // Linear scan keeps first-use registration order for reporting; the
+        // slot count is the number of pipeline phases, i.e. tiny.
+        if let Some(i) = slots.iter().position(|s| s.name == name) {
+            return &mut slots[i];
+        }
+        slots.push(PhaseSlot {
+            name: name.to_string(),
+            seconds: 0.0,
+            invocations: 0,
+            count: 0,
+        });
+        slots.last_mut().expect("just pushed")
+    }
+
+    /// Snapshot of every slot in first-use order.
+    pub fn report(&self) -> Vec<PhaseReport> {
+        self.slots
+            .lock()
+            .expect("profiler lock")
+            .iter()
+            .map(|s| PhaseReport {
+                name: s.name.clone(),
+                seconds: s.seconds,
+                invocations: s.invocations,
+                count: s.count,
+            })
+            .collect()
+    }
+
+    /// Total seconds recorded for `name`, or 0.0 if the phase never ran.
+    pub fn seconds(&self, name: &str) -> f64 {
+        self.slots
+            .lock()
+            .expect("profiler lock")
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.seconds)
+            .unwrap_or(0.0)
+    }
+}
+
+/// RAII guard from [`PhaseProfiler::phase`]: records elapsed wall time into
+/// its phase slot when dropped.
+#[must_use = "the timer records on drop; binding it to `_` ends the scope immediately"]
+pub struct PhaseTimer<'p> {
+    profiler: &'p PhaseProfiler,
+    name: String,
+    started: std::time::Instant,
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        self.profiler
+            .add_seconds(&self.name, self.started.elapsed().as_secs_f64());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +600,47 @@ mod tests {
         let mut pool = WorkStealingPool::new(2, 8);
         pool.shutdown_inner();
         assert_eq!(pool.try_spawn(|| {}), Err(PoolError::ShuttingDown));
+    }
+
+    #[test]
+    fn profiler_aggregates_scopes_and_counts() {
+        let prof = PhaseProfiler::new();
+        for _ in 0..3 {
+            let _t = prof.phase("solve");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let _t = prof.phase("noise");
+        }
+        prof.add_count("solve", 10);
+        prof.add_count("solve", 5);
+        let report = prof.report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].name, "solve");
+        assert_eq!(report[0].invocations, 3);
+        assert_eq!(report[0].count, 15);
+        assert!(report[0].seconds >= 0.004, "slept ~6ms across 3 scopes");
+        assert_eq!(report[1].name, "noise");
+        assert_eq!(report[1].invocations, 1);
+        assert_eq!(prof.seconds("missing"), 0.0);
+        assert!(prof.seconds("solve") > 0.0);
+    }
+
+    #[test]
+    fn profiler_is_usable_across_threads() {
+        let prof = PhaseProfiler::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _t = prof.phase("worker");
+                    prof.add_count("worker", 1);
+                });
+            }
+        });
+        let report = prof.report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].invocations, 4);
+        assert_eq!(report[0].count, 4);
     }
 
     #[test]

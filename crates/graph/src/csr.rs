@@ -61,6 +61,92 @@ impl CsrGraph {
         CsrGraph { offsets, targets }
     }
 
+    /// Builds the arena directly from a re-playable edge stream in two
+    /// counting passes, never materializing an adjacency-list [`Graph`].
+    ///
+    /// `edges` is called twice and must yield the same multiset of edges both
+    /// times (a deterministic generator, or a re-read of an edge list). Pass
+    /// one counts degrees, pass two scatters the half-edges into the arena;
+    /// rows are then sorted and exact duplicates removed. Self-loops are
+    /// rejected. Peak memory is the arena itself plus one `u32` cursor per
+    /// vertex — this is what unlocks n = 10⁷, where building the intermediate
+    /// `Vec<Vec<usize>>` adjacency first costs more than the whole solve.
+    ///
+    /// # Panics
+    /// Panics on an endpoint `>= n`, a self-loop, a stream that yields a
+    /// different edge count on the second pass, or a graph too large for
+    /// `u32` indexing.
+    pub fn from_edge_stream<I, F>(n: usize, mut edges: F) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+        F: FnMut() -> I,
+    {
+        assert!(n < u32::MAX as usize, "graph exceeds u32 CSR indexing");
+        let nu = n as u32;
+        // Pass 1: degree counts.
+        let mut degree = vec![0u32; n];
+        let mut half_edges = 0usize;
+        for (u, v) in edges() {
+            assert!(u < nu && v < nu, "edge ({u}, {v}) out of range for n = {n}");
+            assert!(u != v, "self-loop ({u}, {v}) is not a simple-graph edge");
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+            half_edges += 2;
+        }
+        assert!(
+            half_edges < u32::MAX as usize,
+            "graph exceeds u32 CSR indexing"
+        );
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        // Pass 2: scatter half-edges; `degree` becomes the per-row cursor.
+        degree.iter_mut().for_each(|d| *d = 0);
+        let mut targets = vec![0u32; half_edges];
+        let mut seen = 0usize;
+        for (u, v) in edges() {
+            targets[(offsets[u as usize] + degree[u as usize]) as usize] = v;
+            degree[u as usize] += 1;
+            targets[(offsets[v as usize] + degree[v as usize]) as usize] = u;
+            degree[v as usize] += 1;
+            seen += 2;
+        }
+        assert_eq!(seen, half_edges, "edge stream changed between passes");
+        for v in 0..n {
+            targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        let csr = CsrGraph { offsets, targets };
+        if csr.has_duplicate_half_edges() {
+            csr.deduplicated()
+        } else {
+            csr
+        }
+    }
+
+    /// `true` if any sorted row contains a repeated target (duplicate edge).
+    fn has_duplicate_half_edges(&self) -> bool {
+        (0..self.num_vertices()).any(|v| self.neighbors(v).windows(2).any(|w| w[0] == w[1]))
+    }
+
+    /// Rebuilds the arena with duplicate edges collapsed (rows stay sorted).
+    fn deduplicated(&self) -> Self {
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.targets.len());
+        offsets.push(0u32);
+        for v in 0..n {
+            let row = self.neighbors(v);
+            for (i, &w) in row.iter().enumerate() {
+                if i == 0 || row[i - 1] != w {
+                    targets.push(w);
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph { offsets, targets }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -489,6 +575,50 @@ mod tests {
             CsrGraph::from_graph(&a).fingerprint(),
             CsrGraph::from_graph(&b).fingerprint()
         );
+    }
+
+    #[test]
+    fn edge_stream_build_matches_from_graph() {
+        for g in sample_graphs() {
+            let edges: Vec<(u32, u32)> = g
+                .edge_vec()
+                .iter()
+                .map(|&(u, v)| (u as u32, v as u32))
+                .collect();
+            let streamed = CsrGraph::from_edge_stream(g.num_vertices(), || edges.iter().copied());
+            assert_eq!(streamed, CsrGraph::from_graph(&g));
+        }
+    }
+
+    #[test]
+    fn edge_stream_build_sorts_unordered_input() {
+        // Reversed endpoints and shuffled order must land in the same arena.
+        let edges = [(4u32, 0u32), (2, 1), (0, 1), (3, 4)];
+        let csr = CsrGraph::from_edge_stream(5, || edges.iter().copied());
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 4), (3, 4)]);
+        assert!(csr.matches_graph(&g));
+    }
+
+    #[test]
+    fn edge_stream_build_collapses_duplicates() {
+        let edges = [(0u32, 1u32), (1, 0), (0, 1), (1, 2)];
+        let csr = CsrGraph::from_edge_stream(3, || edges.iter().copied());
+        assert_eq!(csr.num_edges(), 2);
+        assert!(csr.matches_graph(&Graph::from_edges(3, &[(0, 1), (1, 2)])));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn edge_stream_build_rejects_self_loops() {
+        let edges = [(1u32, 1u32)];
+        let _ = CsrGraph::from_edge_stream(3, || edges.iter().copied());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_stream_build_rejects_out_of_range_endpoints() {
+        let edges = [(0u32, 7u32)];
+        let _ = CsrGraph::from_edge_stream(3, || edges.iter().copied());
     }
 
     #[test]

@@ -135,6 +135,87 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     g
 }
 
+/// Streaming counterpart of [`erdos_renyi`]: yields the same edges (same
+/// geometric-skipping walk, same RNG consumption) as `(u32, u32)` pairs
+/// without building a [`Graph`].
+///
+/// Takes the RNG by value so the stream can be re-created from the same seed —
+/// exactly what [`CsrGraph::from_edge_stream`](crate::csr::CsrGraph::from_edge_stream)
+/// needs for its two counting passes:
+///
+/// ```
+/// use ccdp_graph::{generators, CsrGraph};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let csr = CsrGraph::from_edge_stream(1000, || {
+///     generators::erdos_renyi_edges(1000, 1.05 / 1000.0, StdRng::seed_from_u64(7))
+/// });
+/// let g = generators::erdos_renyi(1000, 1.05 / 1000.0, &mut StdRng::seed_from_u64(7));
+/// assert!(csr.matches_graph(&g));
+/// ```
+pub fn erdos_renyi_edges<R: Rng>(n: usize, p: f64, rng: R) -> ErdosRenyiEdges<R> {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    ErdosRenyiEdges {
+        n,
+        dense: p >= 1.0,
+        log_q: if p > 0.0 && p < 1.0 {
+            (1.0 - p).ln()
+        } else {
+            0.0
+        },
+        exhausted: n < 2 || p == 0.0,
+        v: 1,
+        w: -1,
+        rng,
+    }
+}
+
+/// Iterator state for [`erdos_renyi_edges`].
+pub struct ErdosRenyiEdges<R> {
+    n: usize,
+    dense: bool,
+    log_q: f64,
+    exhausted: bool,
+    v: usize,
+    w: i64,
+    rng: R,
+}
+
+impl<R: Rng> Iterator for ErdosRenyiEdges<R> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        if self.exhausted {
+            return None;
+        }
+        if self.dense {
+            // p >= 1: every pair, lexicographic, matching `complete(n)`.
+            self.w += 1;
+            if self.w >= self.v as i64 {
+                self.w = 0;
+                self.v += 1;
+                if self.v >= self.n {
+                    self.exhausted = true;
+                    return None;
+                }
+            }
+            return Some((self.w as u32, self.v as u32));
+        }
+        // Same lexicographic (w, v) walk with geometric jumps as `erdos_renyi`.
+        let r: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (r.ln() / self.log_q).floor() as i64;
+        self.w += 1 + skip;
+        while self.w >= self.v as i64 && self.v < self.n {
+            self.w -= self.v as i64;
+            self.v += 1;
+        }
+        if self.v >= self.n {
+            self.exhausted = true;
+            return None;
+        }
+        Some((self.w as u32, self.v as u32))
+    }
+}
+
 /// Random geometric graph: `n` points placed uniformly at random in the unit
 /// square, with an edge whenever the Euclidean distance is at most `radius`.
 ///
@@ -351,6 +432,39 @@ mod tests {
         assert_eq!(erdos_renyi(10, 0.0, &mut rng).num_edges(), 0);
         assert_eq!(erdos_renyi(10, 1.0, &mut rng).num_edges(), 45);
         assert_eq!(erdos_renyi(1, 0.5, &mut rng).num_edges(), 0);
+    }
+
+    #[test]
+    fn erdos_renyi_edge_stream_matches_graph_builder() {
+        for (n, p, seed) in [
+            (0usize, 0.5, 1u64),
+            (1, 0.5, 2),
+            (50, 0.0, 3),
+            (10, 1.0, 4),
+            (300, 0.02, 5),
+            (1000, 1.05 / 1000.0, 6),
+        ] {
+            let g = erdos_renyi(n, p, &mut StdRng::seed_from_u64(seed));
+            let stream: Vec<(u32, u32)> =
+                erdos_renyi_edges(n, p, StdRng::seed_from_u64(seed)).collect();
+            let expected: Vec<(u32, u32)> = g
+                .edge_vec()
+                .iter()
+                .map(|&(u, v)| (u as u32, v as u32))
+                .collect();
+            let mut sorted = stream.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, expected, "n={n} p={p}");
+            // Re-playable: the same seed yields the same stream.
+            let replay: Vec<(u32, u32)> =
+                erdos_renyi_edges(n, p, StdRng::seed_from_u64(seed)).collect();
+            assert_eq!(stream, replay);
+            // And the CSR two-pass build lands on the same arena.
+            let csr = crate::csr::CsrGraph::from_edge_stream(n, || {
+                erdos_renyi_edges(n, p, StdRng::seed_from_u64(seed))
+            });
+            assert!(csr.matches_graph(&g), "n={n} p={p}");
+        }
     }
 
     #[test]

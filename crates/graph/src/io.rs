@@ -4,6 +4,7 @@
 //! header line `# n m`, followed by one `u v` pair per line. Lines starting with
 //! `#` (other than the header) and blank lines are ignored.
 
+use crate::csr::CsrGraph;
 use crate::graph::Graph;
 
 /// Error produced when parsing an edge list.
@@ -112,6 +113,72 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
     Ok(Graph::from_edges(n, &edges))
 }
 
+/// Streaming counterpart of [`from_edge_list`]: parses the same format
+/// directly into a [`CsrGraph`] arena without materializing the adjacency-list
+/// [`Graph`] or an intermediate edge vector.
+///
+/// One validation pass checks every line and determines the vertex count, then
+/// [`CsrGraph::from_edge_stream`] re-reads the text for its two counting
+/// passes. Peak memory is the arena plus one cursor per vertex, which is what
+/// makes 10⁷-scale edge lists loadable.
+pub fn from_edge_list_csr(text: &str) -> Result<CsrGraph, ParseError> {
+    let mut declared_n: Option<usize> = None;
+    let mut max_vertex = 0usize;
+    let mut any_edge = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if declared_n.is_none() {
+                let mut parts = rest.split_whitespace();
+                if let (Some(n), Some(_m)) = (parts.next(), parts.next()) {
+                    if let Ok(n) = n.parse::<usize>() {
+                        declared_n = Some(n);
+                    }
+                }
+            }
+            continue;
+        }
+        let (u, v) = parse_edge_line(line).ok_or_else(|| ParseError::MalformedLine {
+            line_number: i + 1,
+            content: line.to_string(),
+        })?;
+        if let Some(n) = declared_n {
+            for &x in &[u, v] {
+                if x >= n {
+                    return Err(ParseError::VertexOutOfRange {
+                        line_number: i + 1,
+                        vertex: x,
+                        num_vertices: n,
+                    });
+                }
+            }
+        }
+        max_vertex = max_vertex.max(u).max(v);
+        any_edge = true;
+    }
+    let n = declared_n.unwrap_or(if any_edge { max_vertex + 1 } else { 0 });
+    Ok(CsrGraph::from_edge_stream(n, || {
+        // Every line was validated above, so the quiet re-parse is total.
+        text.lines().filter_map(|raw| {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            parse_edge_line(line).map(|(u, v)| (u as u32, v as u32))
+        })
+    }))
+}
+
+fn parse_edge_line(line: &str) -> Option<(usize, usize)> {
+    let mut parts = line.split_whitespace();
+    let u: usize = parts.next()?.parse().ok()?;
+    let v: usize = parts.next()?.parse().ok()?;
+    Some((u, v))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +231,32 @@ mod tests {
         assert!(matches!(
             err,
             ParseError::VertexOutOfRange { vertex: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn csr_parse_agrees_with_graph_parse() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let g = generators::erdos_renyi(60, 0.07, &mut rng);
+        let text = to_edge_list(&g);
+        let csr = from_edge_list_csr(&text).unwrap();
+        assert!(csr.matches_graph(&from_edge_list(&text).unwrap()));
+        // Headerless + comments + blanks.
+        let csr = from_edge_list_csr("# a note\n\n0 4\n1 2\n").unwrap();
+        assert!(csr.matches_graph(&from_edge_list("# a note\n\n0 4\n1 2\n").unwrap()));
+        assert_eq!(from_edge_list_csr("").unwrap().num_vertices(), 0);
+    }
+
+    #[test]
+    fn csr_parse_rejects_malformed_and_out_of_range_lines() {
+        assert!(matches!(
+            from_edge_list_csr("0 1\nnope\n"),
+            Err(ParseError::MalformedLine { line_number: 2, .. })
+        ));
+        assert!(matches!(
+            from_edge_list_csr("# 3 1\n0 7\n"),
+            Err(ParseError::VertexOutOfRange { vertex: 7, .. })
         ));
     }
 

@@ -52,18 +52,45 @@ const MAX_STEPS: usize = 6000;
 /// Per-round cut budget of the embedded cutting-plane engine.
 const CUTS_PER_ROUND: usize = 64;
 
+/// Pieces with more than this many vertices + edges run column generation
+/// alone: the cutting-plane engine's dense tableau (one variable per edge)
+/// and per-root separation oracle are quadratic in the piece, which is what
+/// capped the release pipeline at n = 10⁶. Column generation terminates
+/// exactly on its own via the pricing certificate; the pieces this large in
+/// practice (peeled 2-cores of supercritical ER giants) have few binding
+/// capacities, which keeps its master tiny.
+const CUT_ENGINE_MAX_WORK: usize = 4096;
+
 /// Stepwise column generation over forests for one connected component with
 /// per-vertex degree capacities.
 struct ColumnGenState {
     edges: Vec<(usize, usize)>,
     caps: Vec<f64>,
-    /// Generated forests (sorted edge-index lists)…
+    /// Master row index of each vertex, or `usize::MAX` for vertices whose
+    /// capacity constraint is redundant (`cap_v ≥ deg_v`): every column is a
+    /// forest, so `Σ_F λ_F deg_F(v) ≤ deg_v` holds for any convex
+    /// combination, the constraint can never bind and its dual is exactly 0.
+    /// Skipping those rows keeps the master at the scale of the *binding*
+    /// vertices — on peeled ER-giant cores a few percent of the piece.
+    row_of_vertex: Vec<usize>,
+    /// Number of vertex rows in the master (the convexity row comes after).
+    rows: usize,
+    /// Generated forests (sorted edge-index lists).
     columns: Vec<Vec<usize>>,
-    /// …with their degree vectors, cached at generation time.
-    column_degrees: Vec<Vec<(usize, f64)>>,
     seen: std::collections::HashSet<Vec<usize>>,
+    /// The master LP, kept **warm across rounds**: each priced forest enters
+    /// via [`IncrementalSimplex::add_variable`] and re-solves with a few
+    /// primal pivots. Rebuilding the master from scratch every round made
+    /// each step quadratic in the column pool — on the thousand-row masters
+    /// of peeled 10⁷-scale giants that was minutes per step.
+    master: IncrementalSimplex,
     /// Best feasible value proven so far (master optimum).
     lower_bound: f64,
+    /// Best Lagrangian upper bound proven so far: for any duals `y ≥ 0` the
+    /// pricing round's exact max-weight forest gives the valid bound
+    /// `Σ_v cap_v·y_v + max_F Σ_{e∈F}(1 − y_u − y_v)` — valid even on a
+    /// drifted warm basis, so the driver can stop when the bounds meet.
+    upper_bound: f64,
     /// Feasible point attaining `lower_bound`.
     best_point: Vec<f64>,
     lp_iterations: usize,
@@ -77,13 +104,38 @@ struct ColumnGenState {
 
 impl ColumnGenState {
     fn new(g: &Graph, caps: &[f64]) -> Self {
+        let mut row_of_vertex = vec![usize::MAX; g.num_vertices()];
+        let mut rows = 0usize;
+        for (v, slot) in row_of_vertex.iter_mut().enumerate() {
+            if caps[v] < g.degree(v) as f64 {
+                *slot = rows;
+                rows += 1;
+            }
+        }
+        // The empty master: one capacity row per binding vertex plus the
+        // convexity row, no columns yet. Forest columns stream in one per
+        // pricing round via `add_variable`.
+        let mut master = IncrementalSimplex::new(&[]);
+        for (v, &row) in row_of_vertex.iter().enumerate() {
+            if row != usize::MAX {
+                master
+                    .add_constraint(&[], caps[v])
+                    .expect("capacities are non-negative");
+            }
+        }
+        master
+            .add_constraint(&[], 1.0)
+            .expect("convexity rhs is positive");
         ColumnGenState {
             edges: g.edge_vec(),
             caps: caps.to_vec(),
+            row_of_vertex,
+            rows,
             columns: Vec::new(),
-            column_degrees: Vec::new(),
             seen: std::collections::HashSet::new(),
+            master,
             lower_bound: 0.0,
+            upper_bound: f64::INFINITY,
             best_point: vec![0.0; g.num_edges()],
             lp_iterations: 0,
             lp_solves: 0,
@@ -93,27 +145,9 @@ impl ColumnGenState {
     }
 
     /// One master solve plus one pricing round.
-    fn step(&mut self, n: usize) -> Result<(), PolytopeError> {
-        // ----- Master LP over the current columns. -----
-        let k = self.columns.len();
-        let sizes: Vec<f64> = self.columns.iter().map(|f| f.len() as f64).collect();
-        let mut master = IncrementalSimplex::new(&sizes);
-        let mut row_of_vertex = vec![usize::MAX; n];
-        let mut rows = 0usize;
-        for (v, slot) in row_of_vertex.iter_mut().enumerate() {
-            let terms: Vec<(usize, f64)> = self
-                .column_degrees
-                .iter()
-                .enumerate()
-                .filter_map(|(j, degs)| degs.iter().find(|&&(u, _)| u == v).map(|&(_, d)| (j, d)))
-                .collect();
-            *slot = rows;
-            master.add_constraint(&terms, self.caps[v])?;
-            rows += 1;
-        }
-        let convexity: Vec<(usize, f64)> = (0..k).map(|j| (j, 1.0)).collect();
-        master.add_constraint(&convexity, 1.0)?;
-        let sol = master.solve()?;
+    fn step(&mut self) -> Result<(), PolytopeError> {
+        // ----- Warm master re-solve over the current columns. -----
+        let sol = self.master.solve()?;
         self.lp_iterations += sol.iterations;
         self.lp_solves += 1;
         if sol.objective_value > self.lower_bound {
@@ -130,19 +164,30 @@ impl ColumnGenState {
         }
 
         // ----- Pricing: maximum-weight forest under the master duals. -----
-        let duals = master.duals();
-        let mu = duals[rows];
+        // Skipped rows have dual exactly 0 (their constraints are redundant,
+        // never tight), so the reduced cost of an edge only involves the
+        // duals of its row endpoints.
+        let duals = self.master.duals();
+        let mu = duals[self.rows];
+        let y = |v: usize| {
+            let row = self.row_of_vertex[v];
+            if row == usize::MAX {
+                0.0
+            } else {
+                duals[row]
+            }
+        };
         let mut weighted: Vec<(f64, usize)> = self
             .edges
             .iter()
             .enumerate()
             .filter_map(|(i, &(a, b))| {
-                let w = 1.0 - duals[row_of_vertex[a]] - duals[row_of_vertex[b]];
+                let w = 1.0 - y(a) - y(b);
                 (w > 0.0).then_some((w, i))
             })
             .collect();
         weighted.sort_by(|p, q| q.0.partial_cmp(&p.0).unwrap_or(std::cmp::Ordering::Equal));
-        let mut uf = UnionFind::new(n);
+        let mut uf = UnionFind::new(self.row_of_vertex.len());
         let mut forest: Vec<usize> = Vec::new();
         let mut forest_weight = 0.0;
         for &(w, i) in &weighted {
@@ -154,9 +199,31 @@ impl ColumnGenState {
         }
         forest.sort_unstable();
 
+        // Lagrangian bound: `(y, μ')` with `μ' = forest_weight` is dual
+        // feasible for ANY `y ≥ 0` (the pricer solves the inner max
+        // exactly), so this is a valid upper bound even when the warm basis
+        // has drifted. It lets the driver stop on a closed gap long before
+        // pricing fully dries up.
+        let mut lagrangian = forest_weight;
+        for (v, &row) in self.row_of_vertex.iter().enumerate() {
+            if row != usize::MAX {
+                lagrangian += self.caps[v] * duals[row];
+            }
+        }
+        if lagrangian < self.upper_bound {
+            self.upper_bound = lagrangian;
+        }
+
         if forest_weight - mu <= PRICE_TOL || forest.is_empty() {
-            // Certified optimal: no forest prices positive.
-            self.priced_out = true;
+            // No forest prices positive. On a fresh factorization that
+            // certifies optimality; on a drifted warm basis it might be a
+            // numerical artifact, so refactorize and let the next round
+            // re-price against a clean solve before certifying.
+            if self.master.last_solve_was_fresh() {
+                self.priced_out = true;
+            } else {
+                self.master.refactorize();
+            }
             return Ok(());
         }
         if !self.seen.insert(forest.clone()) {
@@ -165,17 +232,24 @@ impl ColumnGenState {
             self.stuck = true;
             return Ok(());
         }
-        let degrees = {
-            let mut deg = std::collections::HashMap::new();
-            for &e in &forest {
-                let (a, b) = self.edges[e];
-                *deg.entry(a).or_insert(0.0) += 1.0;
-                *deg.entry(b).or_insert(0.0) += 1.0;
+        // Only degrees at row vertices matter to the master; the rest feed
+        // constraints that were proven redundant above. BTreeMap keeps the
+        // column's term order deterministic.
+        let mut degrees = std::collections::BTreeMap::new();
+        for &e in &forest {
+            let (a, b) = self.edges[e];
+            for v in [a, b] {
+                let row = self.row_of_vertex[v];
+                if row != usize::MAX {
+                    *degrees.entry(row).or_insert(0.0) += 1.0;
+                }
             }
-            deg.into_iter().collect::<Vec<_>>()
-        };
+        }
+        let mut terms: Vec<(usize, f64)> = degrees.into_iter().collect();
+        terms.push((self.rows, 1.0)); // convexity row
+        self.master
+            .add_variable(forest.len() as f64, f64::INFINITY, &terms);
         self.columns.push(forest);
-        self.column_degrees.push(degrees);
         Ok(())
     }
 
@@ -202,17 +276,25 @@ pub(crate) fn solve_component_with_caps(
     let n = g.num_vertices();
     debug_assert_eq!(caps.len(), n);
     let mut cg = ColumnGenState::new(g, caps);
-    let mut cp = CuttingPlaneState::new(g, caps, CUTS_PER_ROUND)?;
-    let mut cp_alive = true;
+    // Above the work threshold the cutting-plane engine is not constructed
+    // at all: its dense edge-variable tableau and per-root separation oracle
+    // are quadratic in the piece. Column generation terminates exactly on
+    // its own (pricing certificate), just without the early bound pairing.
+    let mut cp = if n + g.num_edges() <= CUT_ENGINE_MAX_WORK {
+        Some(CuttingPlaneState::new(g, caps, CUTS_PER_ROUND)?)
+    } else {
+        None
+    };
+    let mut cp_alive = cp.is_some();
 
     for _ in 0..MAX_STEPS {
         // Step the engine that has consumed fewer pivots so far, so neither
         // pathology can dominate the wall clock.
-        let step_cg =
-            !cp_alive || (!cg.priced_out && !cg.stuck && cg.lp_iterations <= cp.lp_iterations());
+        let cp_pivots = cp.as_ref().map_or(0, |cp| cp.lp_iterations());
+        let step_cg = !cp_alive || (!cg.priced_out && !cg.stuck && cg.lp_iterations <= cp_pivots);
         if step_cg {
-            cg.step(n)?;
-        } else {
+            cg.step()?;
+        } else if let Some(cp) = cp.as_mut() {
             match cp.step(g) {
                 Ok(()) => {}
                 Err(PolytopeError::Lp(crate::problem::LpError::Stalled { .. })) => {
@@ -225,27 +307,32 @@ pub(crate) fn solve_component_with_caps(
         }
         // Whichever engine finishes, report the *combined* work of both in
         // the solution counters (they surface in release diagnostics).
-        let merge = |mut sol: PolytopeSolution, cg: &ColumnGenState, cp: &CuttingPlaneState| {
-            sol.lp_iterations = cg.lp_iterations + cp.lp_iterations();
-            sol.lp_solves = cg.lp_solves + cp.lp_solves();
-            sol.generated_cuts = cg.columns.len() + cp.generated_cuts();
-            sol
-        };
-        if let Some(sol) = cp.take_finished() {
-            return Ok(merge(sol, &cg, &cp));
+        let merge =
+            |mut sol: PolytopeSolution, cg: &ColumnGenState, cp: Option<&CuttingPlaneState>| {
+                sol.lp_iterations = cg.lp_iterations + cp.map_or(0, |cp| cp.lp_iterations());
+                sol.lp_solves = cg.lp_solves + cp.map_or(0, |cp| cp.lp_solves());
+                sol.generated_cuts = cg.columns.len() + cp.map_or(0, |cp| cp.generated_cuts());
+                sol
+            };
+        if let Some(sol) = cp.as_mut().and_then(|cp| cp.take_finished()) {
+            return Ok(merge(sol, &cg, cp.as_ref()));
         }
         if cg.priced_out {
-            return Ok(merge(cg.solution(cg.lower_bound), &cg, &cp));
+            return Ok(merge(cg.solution(cg.lower_bound), &cg, cp.as_ref()));
         }
         if cg.stuck && !cp_alive {
             return Err(PolytopeError::Lp(crate::problem::LpError::Stalled {
-                pivots: cg.lp_iterations + cp.lp_iterations(),
+                pivots: cg.lp_iterations + cp.as_ref().map_or(0, |cp| cp.lp_iterations()),
             }));
         }
-        if cp.upper_bound() - cg.lower_bound <= GAP_TOL {
+        let upper = cp
+            .as_ref()
+            .map_or(f64::INFINITY, |cp| cp.upper_bound())
+            .min(cg.upper_bound);
+        if upper - cg.lower_bound <= GAP_TOL {
             // The feasible master point is within tolerance of the proven
             // relaxation bound: certified optimal.
-            return Ok(merge(cg.solution(cg.lower_bound), &cg, &cp));
+            return Ok(merge(cg.solution(cg.lower_bound), &cg, cp.as_ref()));
         }
     }
     Err(PolytopeError::SeparationDidNotConverge { rounds: MAX_STEPS })
@@ -282,6 +369,35 @@ mod tests {
         let g = generators::path(3);
         let sol = solve_component_with_caps(&g, &[1.0, 0.5, 1.0]).unwrap();
         assert!(approx(sol.value, 0.5), "value {}", sol.value);
+    }
+
+    #[test]
+    fn large_piece_runs_column_generation_alone() {
+        // Two capacity-tight triangles joined by a long chain, sized past
+        // CUT_ENGINE_MAX_WORK so the cutting-plane engine is skipped. The
+        // optimum is integral: a spanning tree dropping one junction-incident
+        // edge per triangle respects every cap, so the value is n − 1 — and
+        // the pure column-generation path must certify it by pricing alone.
+        let chain = 2500usize;
+        let n = chain + 4;
+        let mut edges: Vec<(usize, usize)> = (0..chain - 1).map(|i| (i, i + 1)).collect();
+        // Triangle at the left end: {0, chain, chain+1}.
+        edges.push((0, chain));
+        edges.push((0, chain + 1));
+        edges.push((chain, chain + 1));
+        // Triangle at the right end: {chain-1, chain+2, chain+3}.
+        edges.push((chain - 1, chain + 2));
+        edges.push((chain - 1, chain + 3));
+        edges.push((chain + 2, chain + 3));
+        let g = Graph::from_edges(n, &edges);
+        assert!(g.num_vertices() + g.num_edges() > CUT_ENGINE_MAX_WORK);
+        let sol = solve_component_with_caps(&g, &vec![2.0; n]).unwrap();
+        assert!(
+            approx(sol.value, (n - 1) as f64),
+            "value {} vs {}",
+            sol.value,
+            n - 1
+        );
     }
 
     #[test]

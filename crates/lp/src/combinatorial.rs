@@ -49,7 +49,7 @@ use ccdp_graph::Graph;
 use std::collections::HashMap;
 
 /// Residual capacities at or below this are treated as exhausted.
-const CAP_TOL: f64 = 1e-9;
+pub(crate) const CAP_TOL: f64 = 1e-9;
 
 /// Graph-algorithm-speed exact solver: certified combinatorial reductions
 /// with a column-generation fallback for the irreducible core.
@@ -65,7 +65,14 @@ impl CombinatorialSolver {
     }
 
     /// Solves one connected component (local vertex indices, ≥ 1 edge).
-    fn solve_component(&self, g: &Graph, delta: f64) -> Result<PolytopeSolution, PolytopeError> {
+    ///
+    /// Crate-visible so the micro-component driver ([`crate::micro`]) can use
+    /// it as the general fallback and equivalence oracle.
+    pub(crate) fn solve_component(
+        &self,
+        g: &Graph,
+        delta: f64,
+    ) -> Result<PolytopeSolution, PolytopeError> {
         let n = g.num_vertices();
         let edges = g.edge_vec();
         let m = edges.len();
@@ -215,12 +222,19 @@ impl PolytopeSolver for CombinatorialSolver {
 /// fits the (floored) residual capacity. Returns the forest's edge list
 /// (piece-local endpoints) on success.
 ///
-/// Two attempts: a capped Kruskal-style greedy over the graphic matroid
+/// Three attempts: a capped Kruskal-style greedy over the graphic matroid
 /// (cheap, order-sensitive), then the local-repair construction of Lemma 1.8
 /// generalized to per-vertex capacities
 /// ([`capacity_bounded_spanning_forest`]), which recovers the many instances
-/// where a fixed greedy order paints itself into a corner.
-fn spanning_certificate(piece: &Graph, caps: &[f64]) -> Option<Vec<(usize, usize)>> {
+/// where a fixed greedy order paints itself into a corner, and finally — for
+/// pieces small enough to search exhaustively — a complete branch-and-prune
+/// over edge subsets ([`tiny_exhaustive_certificate`]), which is decisive
+/// where the local-repair heuristic gives up even though a certificate
+/// exists.
+///
+/// Shared by the general component solver and the micro-component fast paths,
+/// so both produce identical certificates on identical pieces.
+pub(crate) fn spanning_certificate(piece: &Graph, caps: &[f64]) -> Option<Vec<(usize, usize)>> {
     let n = piece.num_vertices();
     let target = n - 1; // the piece is connected
     let icaps: Vec<usize> = caps
@@ -228,6 +242,10 @@ fn spanning_certificate(piece: &Graph, caps: &[f64]) -> Option<Vec<(usize, usize
         .map(|&c| (c + CAP_TOL).floor() as usize)
         .collect();
     if icaps.iter().any(|&c| c < 1) {
+        return None;
+    }
+    if icaps.iter().sum::<usize>() < 2 * target {
+        // Degree sum of any spanning tree is 2(n − 1); caps cannot carry it.
         return None;
     }
     let mut greedy_caps = icaps.clone();
@@ -245,9 +263,98 @@ fn spanning_certificate(piece: &Graph, caps: &[f64]) -> Option<Vec<(usize, usize
     }
     // Greedy failed; the insertion-with-local-repairs procedure searches much
     // harder for a capacity-respecting spanning forest.
-    capacity_bounded_spanning_forest(piece, &icaps)
+    if let Some(forest) = capacity_bounded_spanning_forest(piece, &icaps)
         .filter(|forest| forest.num_edges() == target)
-        .map(|forest| forest.edges().to_vec())
+    {
+        return Some(forest.edges().to_vec());
+    }
+    tiny_exhaustive_certificate(piece, &icaps)
+}
+
+/// Pieces at most this large go through the complete exhaustive search when
+/// both heuristic certificate attempts fail.
+const TINY_DP_MAX_VERTICES: usize = 10;
+const TINY_DP_MAX_EDGES: usize = 24;
+/// Branch-node budget: the search is abandoned (fall through to the LP) if
+/// pruning is not biting. Purely a cost guard — abandoning is always sound.
+const TINY_DP_NODE_BUDGET: usize = 200_000;
+
+/// Complete include/exclude search for a capacity-respecting spanning tree of
+/// a connected piece with ≤ [`TINY_DP_MAX_VERTICES`] vertices. Either returns
+/// a genuine certificate, proves none exists, or runs out of budget — in the
+/// latter two cases the caller falls back to the exact LP, so the overall
+/// backend stays exact.
+fn tiny_exhaustive_certificate(piece: &Graph, icaps: &[usize]) -> Option<Vec<(usize, usize)>> {
+    let n = piece.num_vertices();
+    let edges = piece.edge_vec();
+    let m = edges.len();
+    if n > TINY_DP_MAX_VERTICES || m > TINY_DP_MAX_EDGES {
+        return None;
+    }
+    let target = n - 1;
+
+    struct Search<'a> {
+        edges: &'a [(usize, usize)],
+        target: usize,
+        budget: usize,
+        chosen: Vec<(usize, usize)>,
+    }
+
+    impl Search<'_> {
+        /// `parent` is a flat union-find (path halving unnecessary at n ≤ 10);
+        /// cloned per include-branch so exclude-backtracking is trivial.
+        fn go(&mut self, i: usize, parent: &mut [usize], caps: &mut [usize]) -> bool {
+            if self.chosen.len() == self.target {
+                return true;
+            }
+            if i >= self.edges.len() || self.edges.len() - i < self.target - self.chosen.len() {
+                return false;
+            }
+            if self.budget == 0 {
+                return false;
+            }
+            self.budget -= 1;
+            let (a, b) = self.edges[i];
+            let (ra, rb) = (root(parent, a), root(parent, b));
+            if ra != rb && caps[a] >= 1 && caps[b] >= 1 {
+                // Include branch.
+                let mut p2 = parent.to_vec();
+                p2[ra] = rb;
+                caps[a] -= 1;
+                caps[b] -= 1;
+                self.chosen.push((a, b));
+                if self.go(i + 1, &mut p2, caps) {
+                    return true;
+                }
+                self.chosen.pop();
+                caps[a] += 1;
+                caps[b] += 1;
+            }
+            // Exclude branch.
+            self.go(i + 1, parent, caps)
+        }
+    }
+
+    fn root(parent: &[usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            v = parent[v];
+        }
+        v
+    }
+
+    let mut search = Search {
+        edges: &edges,
+        target,
+        budget: TINY_DP_NODE_BUDGET,
+        chosen: Vec::with_capacity(target),
+    };
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut caps = icaps.to_vec();
+    if search.go(0, &mut parent, &mut caps) {
+        Some(search.chosen)
+    } else {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -19,12 +19,17 @@
 pub mod column_generation;
 pub mod combinatorial;
 pub mod cutting_plane;
+pub mod micro;
 pub mod problem;
 pub mod simplex;
 pub mod solver;
 
 pub use combinatorial::CombinatorialSolver;
 pub use cutting_plane::violated_forest_constraints;
+pub use micro::{
+    solve_partition, PartitionSolution, PartitionSolveStats, SolveOptions, DEDUP_MAX_VERTICES,
+    MICRO_TINY_VERTICES,
+};
 pub use problem::{LinearProgram, LpError, LpSolution};
 pub use simplex::IncrementalSimplex;
 pub use solver::{PolytopeError, PolytopeSolution, PolytopeSolver, SimplexSolver, SolverBackend};

@@ -176,6 +176,66 @@ impl IncrementalSimplex {
         }
     }
 
+    /// Adds a structural variable with the given objective coefficient, upper
+    /// bound and sparse constraint column (`(constraint row, coefficient)`
+    /// pairs; repeated rows accumulate). Returns the new variable's index.
+    ///
+    /// The variable enters at its lower bound 0, so no basic value changes
+    /// and the current basis stays primal-feasible; when the tableau has
+    /// already been solved, the new column is expressed in the current basis
+    /// through the slack block (whose tableau columns are exactly `B⁻¹`) and
+    /// the next [`IncrementalSimplex::solve`] prices it in with a handful of
+    /// warm primal pivots. This is what lets a column-generation master grow
+    /// by one forest per round without a from-scratch rebuild — the rebuild
+    /// is what capped the release pipeline on large masters.
+    ///
+    /// # Panics
+    /// Panics if the bound is negative/NaN or a row index is out of range.
+    pub fn add_variable(&mut self, objective: f64, upper: f64, terms: &[(usize, f64)]) -> usize {
+        assert!(upper >= 0.0, "upper bound must be non-negative");
+        let n = self.objective.len();
+        let m = self.rows.len();
+        // Deduplicate and sort by row so the basis transform below sums in a
+        // deterministic order (callers may pass hash-ordered terms).
+        let mut column = std::collections::BTreeMap::new();
+        for &(row, coeff) in terms {
+            assert!(row < m, "constraint row {row} out of range");
+            *column.entry(row).or_insert(0.0) += coeff;
+        }
+        self.objective.push(objective);
+        self.upper.push(upper);
+        // Record the column in the pristine constraint data so a later
+        // refactorization rebuilds the full LP.
+        for (&row, &coeff) in &column {
+            self.original[row].0.push((n, coeff));
+        }
+        // Tableau column of the new variable in the current basis:
+        // B⁻¹ a_new = Σ coeff · (slack column of that row), because the
+        // slack block starts as the identity and every pivot keeps it equal
+        // to B⁻¹. Reduced cost likewise: z − c = Σ coeff · y_row − c.
+        let values: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|row| column.iter().map(|(&i, &c)| c * row[n + i]).sum())
+            .collect();
+        let reduced: f64 = column
+            .iter()
+            .map(|(&i, &c)| c * self.obj[n + i])
+            .sum::<f64>()
+            - objective;
+        for (row, v) in self.rows.iter_mut().zip(values) {
+            row.insert(n, v);
+        }
+        self.obj.insert(n, reduced);
+        self.status.insert(n, Status::Lower);
+        for b in &mut self.basis {
+            if *b >= n {
+                *b += 1;
+            }
+        }
+        n
+    }
+
     /// Adds the sparse constraint `Σ coeff · x_idx ≤ rhs` (repeated indices
     /// accumulate). `rhs` must be non-negative — the all-slack basis of this
     /// single-phase solver requires it.
@@ -769,6 +829,85 @@ mod tests {
         assert!(approx(second.objective_value, 2.0));
         for &v in &second.values {
             assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn added_variable_matches_from_scratch() {
+        // max x0 + 2·x1 s.t. x0 + x1 ≤ 3, x0 ≤ 2 → 6 at (0, 3). Then add a
+        // third variable worth 5 in the first row only: optimum jumps to 15.
+        let mut inc = IncrementalSimplex::new(&[1.0, 2.0]);
+        inc.add_constraint(&[(0, 1.0), (1, 1.0)], 3.0).unwrap();
+        inc.add_constraint(&[(0, 1.0)], 2.0).unwrap();
+        let first = inc.solve().unwrap();
+        assert!(approx(first.objective_value, 6.0));
+        let idx = inc.add_variable(5.0, f64::INFINITY, &[(0, 1.0)]);
+        assert_eq!(idx, 2);
+        let second = inc.solve().unwrap();
+        assert!(approx(second.objective_value, 15.0));
+        assert!(approx(second.values[2], 3.0));
+        // Fresh reference with the column present from the start.
+        let scratch = solve(
+            &[1.0, 2.0, 5.0],
+            &[vec![1.0, 1.0, 1.0], vec![1.0, 0.0, 0.0]],
+            &[3.0, 2.0],
+        )
+        .unwrap();
+        assert!(approx(second.objective_value, scratch.objective_value));
+    }
+
+    #[test]
+    fn added_variable_survives_refactorization() {
+        let mut inc = IncrementalSimplex::new(&[1.0]);
+        inc.add_constraint(&[(0, 1.0)], 4.0).unwrap();
+        inc.solve().unwrap();
+        inc.add_variable(3.0, 1.5, &[(0, 2.0)]);
+        let warm = inc.solve().unwrap();
+        inc.refactorize();
+        let fresh = inc.solve().unwrap();
+        assert!(approx(warm.objective_value, fresh.objective_value));
+        // x1 capped at 1.5 by its implicit bound: 3·1.5 + (4 − 3) = 5.5.
+        assert!(approx(fresh.objective_value, 5.5));
+    }
+
+    #[test]
+    fn random_columns_added_warm_match_scratch() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        for case in 0..30 {
+            let m = rng.gen_range(1..6);
+            let rhs: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..4.0)).collect();
+            let mut inc = IncrementalSimplex::new(&[]);
+            for &b in &rhs {
+                inc.add_constraint(&[], b).unwrap();
+            }
+            let mut cols: Vec<(f64, Vec<f64>)> = Vec::new();
+            // Column-generation shape: alternate solves and column additions.
+            for round in 0..8 {
+                let c = rng.gen_range(0.1..3.0);
+                let col: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..2.0)).collect();
+                let terms: Vec<(usize, f64)> =
+                    col.iter().enumerate().map(|(i, &v)| (i, v)).collect();
+                inc.add_variable(c, f64::INFINITY, &terms);
+                cols.push((c, col));
+                if round % 2 == 0 {
+                    inc.solve().unwrap();
+                }
+            }
+            let warm = inc.solve().unwrap();
+            // From-scratch reference over the same columns.
+            let c: Vec<f64> = cols.iter().map(|(c, _)| *c).collect();
+            let rows: Vec<Vec<f64>> = (0..m)
+                .map(|i| cols.iter().map(|(_, col)| col[i]).collect())
+                .collect();
+            let scratch = solve(&c, &rows, &rhs).unwrap();
+            assert!(
+                (warm.objective_value - scratch.objective_value).abs() < 1e-6,
+                "case {case}: warm {} vs scratch {}",
+                warm.objective_value,
+                scratch.objective_value
+            );
         }
     }
 

@@ -25,16 +25,10 @@
 
 use crate::cutting_plane;
 use crate::problem::LpError;
-use ccdp_exec::parallel_map;
+use ccdp_exec::{effective_parallelism, parallel_map};
 use ccdp_graph::components::components;
 use ccdp_graph::subgraph::induced_subgraph;
 use ccdp_graph::{CsrGraph, Graph};
-
-/// Graphs below this size (`n + m`) are solved sequentially even when a
-/// thread budget is available: spawning scoped workers costs more than the
-/// whole solve for the tiny graphs the serving tier handles at high QPS.
-/// Deterministic (depends only on the graph), so gating never changes output.
-pub(crate) const PARALLEL_WORK_THRESHOLD: usize = 4096;
 
 /// Errors surfaced by the polytope solvers.
 #[derive(Clone, Debug, PartialEq)]
@@ -251,7 +245,13 @@ pub(crate) fn solve_per_component_parallel<F>(
 where
     F: Fn(&Graph) -> Result<PolytopeSolution, PolytopeError> + Sync,
 {
-    if threads <= 1 || g.num_vertices() + g.num_edges() < PARALLEL_WORK_THRESHOLD {
+    // Adaptive gate: scoped workers cost more than the whole solve for the
+    // tiny graphs the serving tier handles at high QPS, and oversubscribing a
+    // small graph with a large budget inverts the speedup. The effective
+    // budget depends only on (threads, graph size), so gating and clamping
+    // never change output.
+    let threads = effective_parallelism(threads, g.num_vertices() + g.num_edges());
+    if threads < 2 {
         return solve_per_component(g, delta, solve_component);
     }
     if delta <= 0.0 || !delta.is_finite() {

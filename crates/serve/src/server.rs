@@ -50,6 +50,8 @@ pub struct ServeConfig {
     seed: u64,
     delta_max: Option<usize>,
     estimator_threads: Option<usize>,
+    estimator_micro: bool,
+    estimator_dedup: bool,
 }
 
 impl ServeConfig {
@@ -64,6 +66,8 @@ impl ServeConfig {
             seed: 0,
             delta_max: None,
             estimator_threads: None,
+            estimator_micro: true,
+            estimator_dedup: true,
         }
     }
 
@@ -113,6 +117,23 @@ impl ServeConfig {
     /// scheduling knob.
     pub fn with_estimator_threads(mut self, threads: usize) -> Self {
         self.estimator_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Enables or disables the micro-component closed-form solver forwarded
+    /// to [`EstimatorConfig::with_micro_solver`]. On by default; released
+    /// values are identical either way, so this exists for A/B timing and
+    /// fallback drills.
+    pub fn with_estimator_micro(mut self, micro: bool) -> Self {
+        self.estimator_micro = micro;
+        self
+    }
+
+    /// Enables or disables isomorphism-class solve dedup forwarded to
+    /// [`EstimatorConfig::with_solve_dedup`]. On by default; value-neutral
+    /// like the micro toggle.
+    pub fn with_estimator_dedup(mut self, dedup: bool) -> Self {
+        self.estimator_dedup = dedup;
         self
     }
 
@@ -479,6 +500,9 @@ fn handle_request(
     if let Some(threads) = config.estimator_threads {
         est_config = est_config.with_threads(threads);
     }
+    est_config = est_config
+        .with_micro_solver(config.estimator_micro)
+        .with_solve_dedup(config.estimator_dedup);
     let estimator =
         PrivateCcEstimator::from_config(est_config).map_err(|e| ServeError::Estimator(e.into()))?;
     // Deterministic per-request stream: the same (seed, request id) pair

@@ -1,47 +1,106 @@
 //! End-to-end scale smoke: one full private release of the number of
-//! connected components on a barely-supercritical Erdős–Rényi graph at
-//! n = 10^5, sequentially and with an 8-thread budget.
+//! connected components on a barely-supercritical Erdős–Rényi graph,
+//! default n = 10^5, streaming-built straight into the CSR arena.
 //!
 //! Asserts the acceptance invariants the CI `scale-smoke` job relies on:
 //!
-//! * the release completes at this scale (the pre-CSR code path did not
-//!   finish inside any reasonable CI budget),
+//! * the release completes at this scale — the arena is built by
+//!   [`CsrGraph::from_edge_stream`] in two counting passes, so no
+//!   adjacency-list `Graph` is ever materialized and n = 10^7 fits,
 //! * the sequential and 8-thread releases are **bit-for-bit identical** on
 //!   the same seed (`with_threads` is a pure scheduling knob),
+//! * the micro-solver and solve-dedup fast paths are **value-neutral**:
+//!   every toggle combination releases the same bits,
+//! * at moderate n the CSR release matches the adjacency-list `Graph`
+//!   release bit-for-bit (same RNG stream, same mechanisms),
 //! * the released value is in the right ballpark of the true component
 //!   count (a loose, noise-tolerant sanity band — not an accuracy claim).
 //!
-//! With `--json PATH`, writes the measurements archived as
-//! `BENCH_scale.json`. The speedup figure is honest wall-clock on whatever
-//! machine runs it: on a single-core container it hovers around 1.0, on the
-//! multi-core CI runners the per-component and per-Δ fan-out shows up.
+//! With `--json PATH`, writes the measurements (including the per-phase
+//! wall-clock breakdown from [`PhaseProfiler`] and the micro/dedup ablation
+//! timings) archived as `BENCH_scale.json`. With `--baseline PATH`, loads a
+//! committed phase baseline and fails if any phase regressed more than 3×
+//! against it — the CI regression gate.
 //!
 //! ```text
 //! cargo run --release --example scale_smoke
-//! cargo run --release --example scale_smoke -- --n 100000 --json BENCH_scale.json
+//! cargo run --release --example scale_smoke -- --n 1000000 --json BENCH_scale.json
+//! cargo run --release --example scale_smoke -- --n 1000000 --baseline BENCH_scale_baseline.json
+//! cargo run --release --example scale_smoke -- --n 10000000 --no-ablate
 //! ```
 
 use ccdp::prelude::*;
+use ccdp::{CsrGraph, PhaseProfiler};
 use std::time::Instant;
 
 const SEED_GRAPH: u64 = 20_230_605;
 const SEED_NOISE: u64 = 1_729;
+const AVG_DEGREE: f64 = 1.05;
 
-fn release_with_threads(g: &Graph, threads: usize) -> (f64, f64) {
-    let cfg = EstimatorConfig::new(1.0)
+/// Above this size the `Graph`-path cross-check is skipped: it would build
+/// the adjacency list the streaming path exists to avoid.
+const GRAPH_CROSSCHECK_MAX_N: usize = 300_000;
+
+/// Allowed slowdown per phase against the committed baseline before the
+/// regression gate trips.
+const PHASE_REGRESSION_FACTOR: f64 = 3.0;
+/// Phases faster than this in the baseline are too noisy to gate on.
+const PHASE_GATE_FLOOR_S: f64 = 0.05;
+
+fn config(threads: usize, micro: bool, dedup: bool) -> EstimatorConfig {
+    EstimatorConfig::new(1.0)
         .with_threads(threads)
-        .with_delta_max(64);
-    let est = PrivateCcEstimator::from_config(cfg).expect("valid config");
+        .with_delta_max(64)
+        .with_micro_solver(micro)
+        .with_solve_dedup(dedup)
+}
+
+fn release_csr(
+    arena: &CsrGraph,
+    threads: usize,
+    micro: bool,
+    dedup: bool,
+    profiler: Option<&PhaseProfiler>,
+) -> (f64, f64) {
+    let est = PrivateCcEstimator::from_config(config(threads, micro, dedup)).expect("valid config");
     let mut rng = StdRng::seed_from_u64(SEED_NOISE);
     let start = Instant::now();
-    let release = est.estimate(g, &mut rng).expect("estimate completes");
-    let secs = start.elapsed().as_secs_f64();
-    (release.value(), secs)
+    let release = match profiler {
+        Some(p) => est.estimate_csr_profiled(arena, &mut rng, p),
+        None => est.estimate_csr(arena, &mut rng),
+    }
+    .expect("estimate completes");
+    (release.value(), start.elapsed().as_secs_f64())
+}
+
+/// Pulls `"name":seconds` pairs out of the committed baseline JSON. The file
+/// is written by this very example (flat, no nesting inside `"phases"`), so
+/// a scanning parser is enough — no JSON dependency needed.
+fn baseline_phases(raw: &str) -> Vec<(String, f64)> {
+    let Some(start) = raw.find("\"phases\":{") else {
+        return Vec::new();
+    };
+    let rest = &raw[start + "\"phases\":{".len()..];
+    let Some(end) = rest.find('}') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .filter_map(|pair| {
+            let (name, secs) = pair.split_once(':')?;
+            Some((
+                name.trim().trim_matches('"').to_string(),
+                secs.trim().parse().ok()?,
+            ))
+        })
+        .collect()
 }
 
 fn main() {
     let mut n: usize = 100_000;
     let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut ablate = true;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -54,7 +113,14 @@ fn main() {
                 i += 1;
                 json_path = Some(args[i].clone());
             }
-            other => panic!("unknown flag `{other}` (use --n N, --json PATH)"),
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(args[i].clone());
+            }
+            "--no-ablate" => ablate = false,
+            other => panic!(
+                "unknown flag `{other}` (use --n N, --json PATH, --baseline PATH, --no-ablate)"
+            ),
         }
         i += 1;
     }
@@ -62,24 +128,79 @@ fn main() {
     // Barely supercritical: c = 1.05 keeps the giant component small enough
     // that its 2-core stays within the LP engines' reach, while still
     // exercising every path (giant piece, unicyclic pieces, tree fast paths).
-    let mut rng = StdRng::seed_from_u64(SEED_GRAPH);
+    // The stream is re-playable from the seed, which is exactly what the
+    // two-pass CSR build needs.
+    let p = AVG_DEGREE / n as f64;
     let build_start = Instant::now();
-    let g = generators::erdos_renyi(n, 1.05 / n as f64, &mut rng);
+    let arena = CsrGraph::from_edge_stream(n, || {
+        generators::erdos_renyi_edges(n, p, StdRng::seed_from_u64(SEED_GRAPH))
+    });
     let build_s = build_start.elapsed().as_secs_f64();
-    let m = g.num_edges();
-    let truth = g.num_connected_components();
-    println!("graph: n={n} m={m} components={truth} (built in {build_s:.2}s)");
+    let m = arena.num_edges();
+    let truth = arena.num_components();
+    println!("graph: n={n} m={m} components={truth} (streamed into CSR in {build_s:.2}s)");
 
-    let (v1, t1) = release_with_threads(&g, 1);
+    // Primary configuration (micro + dedup on), with the per-phase breakdown
+    // attributed on the sequential run.
+    let profiler = PhaseProfiler::new();
+    let (v1, t1) = release_csr(&arena, 1, true, true, Some(&profiler));
     println!("threads=1: value={v1:.3} in {t1:.2}s");
-    let (v8, t8) = release_with_threads(&g, 8);
+    let (v8, t8) = release_csr(&arena, 8, true, true, None);
     println!("threads=8: value={v8:.3} in {t8:.2}s");
-
     assert_eq!(
         v1.to_bits(),
         v8.to_bits(),
         "sequential and 8-thread releases must be bit-for-bit identical"
     );
+
+    let phases = profiler.report();
+    for ph in &phases {
+        if ph.invocations > 0 {
+            println!(
+                "  phase {:<24} {:>9.3}s ({} calls)",
+                ph.name, ph.seconds, ph.invocations
+            );
+        } else {
+            println!("  count {:<24} {:>12}", ph.name, ph.count);
+        }
+    }
+
+    // Value-neutrality of the fast paths: every toggle combination must
+    // release the same bits. (micro=off, dedup=off) is the pre-optimization
+    // solver; at large n it is exactly the slow path this example exists to
+    // retire, so ablations are opt-out via --no-ablate.
+    let mut ablations: Vec<(bool, bool, f64)> = Vec::new();
+    if ablate {
+        for (micro, dedup) in [(false, true), (true, false), (false, false)] {
+            let (v, t) = release_csr(&arena, 1, micro, dedup, None);
+            assert_eq!(
+                v1.to_bits(),
+                v.to_bits(),
+                "micro={micro} dedup={dedup} must release identical bits"
+            );
+            println!("ablation micro={micro} dedup={dedup}: {t:.2}s (bit-identical)");
+            ablations.push((micro, dedup, t));
+        }
+    }
+
+    // At moderate n, pin the CSR entry point against the historical
+    // adjacency-list path: same RNG stream, same released bits.
+    if n <= GRAPH_CROSSCHECK_MAX_N {
+        let g = generators::erdos_renyi(n, p, &mut StdRng::seed_from_u64(SEED_GRAPH));
+        assert!(arena.matches_graph(&g), "stream and Graph builds diverged");
+        let est = PrivateCcEstimator::from_config(config(1, true, true)).expect("valid config");
+        let gv = est
+            .estimate(&g, &mut StdRng::seed_from_u64(SEED_NOISE))
+            .expect("estimate completes")
+            .value();
+        assert_eq!(
+            v1.to_bits(),
+            gv.to_bits(),
+            "CSR release must match the Graph release bit-for-bit"
+        );
+        println!("graph-path cross-check: bit-identical");
+    }
+
     // Loose sanity band: ε = 1 noise at Δ̂ ≤ 64 is far below 20% of the
     // component count at this scale.
     let err = (v1 - truth as f64).abs();
@@ -91,11 +212,50 @@ fn main() {
     let speedup = t1 / t8.max(1e-9);
     println!("speedup (t1/t8): {speedup:.2}x");
 
+    // The CI regression gate: no phase may run 3× slower than the committed
+    // baseline (tiny phases are below measurement noise and skipped).
+    if let Some(path) = baseline_path {
+        let raw = std::fs::read_to_string(&path).expect("read baseline");
+        let mut gated = 0;
+        for (name, base_s) in baseline_phases(&raw) {
+            if base_s < PHASE_GATE_FLOOR_S {
+                continue;
+            }
+            let now_s = profiler.seconds(&name);
+            assert!(
+                now_s <= base_s * PHASE_REGRESSION_FACTOR,
+                "phase `{name}` regressed: {now_s:.3}s vs baseline {base_s:.3}s (>{PHASE_REGRESSION_FACTOR}x)"
+            );
+            gated += 1;
+        }
+        println!("baseline check: {gated} phase(s) within {PHASE_REGRESSION_FACTOR}x of {path}");
+    }
+
     if let Some(path) = json_path {
+        let phase_json: Vec<String> = phases
+            .iter()
+            .filter(|p| p.invocations > 0)
+            .map(|p| format!("\"{}\":{:.3}", p.name, p.seconds))
+            .collect();
+        let count_json: Vec<String> = phases
+            .iter()
+            .filter(|p| p.invocations == 0)
+            .map(|p| format!("\"{}\":{}", p.name, p.count))
+            .collect();
+        let ablation_json: Vec<String> = ablations
+            .iter()
+            .map(|(micro, dedup, t)| {
+                format!("{{\"micro\":{micro},\"dedup\":{dedup},\"t_s\":{t:.3},\"identical\":true}}")
+            })
+            .collect();
         let json = format!(
             "{{\"n\":{n},\"m\":{m},\"components\":{truth},\"build_s\":{build_s:.3},\
 \"t1_s\":{t1:.3},\"t8_s\":{t8:.3},\"speedup\":{speedup:.3},\
-\"value_t1\":{v1:.6},\"value_t8\":{v8:.6},\"identical\":true}}"
+\"value_t1\":{v1:.6},\"value_t8\":{v8:.6},\"identical\":true,\
+\"phases\":{{{}}},\"counts\":{{{}}},\"ablations\":[{}]}}",
+            phase_json.join(","),
+            count_json.join(","),
+            ablation_json.join(",")
         );
         std::fs::write(&path, format!("{json}\n")).expect("write json");
         println!("wrote {path}");

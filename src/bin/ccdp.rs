@@ -57,7 +57,8 @@ const USAGE: &str = "usage: ccdp <serve|estimate|ingest|stats|health|bench> [KEY
   health    readiness probe (exit 0 ready, 2 degraded)\n\
   bench     drive the wire load workload ([out=] writes the report JSON;\n\
             [n=] swaps in one ER graph of that size, [threads=] pins the\n\
-            per-request estimator thread budget)\n\
+            per-request estimator thread budget, [micro=on|off] and\n\
+            [dedup=on|off] toggle the fast solve paths)\n\
   common    addr=127.0.0.1:8787";
 
 /// How a successful command ended (drives the exit code).
@@ -99,7 +100,8 @@ fn run(args: &[String]) -> Result<Outcome, CliError> {
         "bench" => cmd_bench(Args::parse(
             rest,
             &[
-                "addr", "clients", "requests", "epsilon", "seed", "out", "n", "threads",
+                "addr", "clients", "requests", "epsilon", "seed", "out", "n", "threads", "micro",
+                "dedup",
             ],
         )?),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -263,6 +265,14 @@ fn cmd_bench(args: Args) -> Result<Outcome, CliError> {
         let threads = args.u64_or("threads", 1)? as usize;
         spec.base.server = spec.base.server.clone().with_estimator_threads(threads);
     }
+    // `micro=` / `dedup=` toggle the value-neutral fast solve paths for A/B
+    // timing; both default to on.
+    if let Some(micro) = args.toggle_opt("micro")? {
+        spec.base.server = spec.base.server.clone().with_estimator_micro(micro);
+    }
+    if let Some(dedup) = args.toggle_opt("dedup")? {
+        spec.base.server = spec.base.server.clone().with_estimator_dedup(dedup);
+    }
 
     let report = match args.opt("addr") {
         // Drive an already-running fleet.
@@ -391,6 +401,19 @@ impl Args {
     fn f64_req(&self, key: &'static str) -> Result<f64, CliError> {
         self.require(key)?;
         self.f64_or(key, f64::NAN)
+    }
+
+    /// `on|off` (also `true|false`, `1|0`) toggles; `None` when absent.
+    fn toggle_opt(&self, key: &'static str) -> Result<Option<bool>, CliError> {
+        match self.opt(key) {
+            None => Ok(None),
+            Some("on") | Some("true") | Some("1") => Ok(Some(true)),
+            Some("off") | Some("false") | Some("0") => Ok(Some(false)),
+            Some(v) => Err(CliError::BadArg {
+                key,
+                detail: format!("`{v}` is not on|off"),
+            }),
+        }
     }
 }
 

@@ -60,12 +60,13 @@ pub use ccdp_stream as stream;
 pub use ccdp_core::{
     measure_errors, CacheStats, CcdpError, ConfigError, CoreError, Diagnostics, DiagnosticsAccess,
     EdgeDpBaseline, ErrorStats, Estimator, EstimatorConfig, EvaluationPath, ExtensionCache,
-    ExtensionEvaluation, FixedDeltaBaseline, LipschitzExtension, NaiveNodeDpBaseline,
-    NonPrivateBaseline, Privacy, PrivateCcEstimator, PrivateSpanningForestEstimator, Release,
-    SolverBackend,
+    ExtensionEvaluation, FamilyOptions, FixedDeltaBaseline, LipschitzExtension,
+    NaiveNodeDpBaseline, NonPrivateBaseline, Privacy, PrivateCcEstimator,
+    PrivateSpanningForestEstimator, Release, SolverBackend,
 };
 pub use ccdp_dp::{BudgetExceeded, PrivacyBudget};
-pub use ccdp_graph::{Graph, GraphVersion};
+pub use ccdp_exec::{PhaseProfiler, PhaseReport};
+pub use ccdp_graph::{CsrGraph, Graph, GraphVersion};
 
 /// Everything an application needs in one import: the estimator API, the graph
 /// layer (including its submodules for generators, I/O, sensitivities, …) and
@@ -76,16 +77,19 @@ pub mod prelude {
         smallest_anchor_delta,
     };
     pub use ccdp_core::{
-        evaluate_family, evaluate_family_with, forest_polytope_max, forest_polytope_max_with,
-        measure_errors, CacheStats, CcdpError, ConfigError, CoreError, Diagnostics,
-        DiagnosticsAccess, EdgeDpBaseline, ErrorStats, Estimator, EstimatorConfig, EvaluationPath,
-        ExtensionCache, FixedDeltaBaseline, LipschitzExtension, NaiveNodeDpBaseline,
+        evaluate_family, evaluate_family_csr, evaluate_family_csr_with, evaluate_family_tuned,
+        evaluate_family_with, forest_polytope_max, forest_polytope_max_with, measure_errors,
+        CacheStats, CcdpError, ConfigError, CoreError, Diagnostics, DiagnosticsAccess,
+        EdgeDpBaseline, ErrorStats, Estimator, EstimatorConfig, EvaluationPath, ExtensionCache,
+        FamilyOptions, FixedDeltaBaseline, LipschitzExtension, NaiveNodeDpBaseline,
         NonPrivateBaseline, Privacy, PrivateCcEstimator, PrivateSpanningForestEstimator, Release,
         SolverBackend,
     };
     pub use ccdp_dp::{BudgetExceeded, PrivacyBudget};
+    pub use ccdp_exec::{PhaseProfiler, PhaseReport};
     pub use ccdp_graph::{
-        components, forest, generators, io, sensitivity, stars, subgraph, Graph, GraphVersion,
+        components, forest, generators, io, sensitivity, stars, subgraph, CsrGraph, Graph,
+        GraphVersion,
     };
     pub use ccdp_net::{
         NetClient, NetConfig, NetError, NetServer, NetStatsSnapshot, WireLoadReport, WireLoadSpec,

@@ -26,7 +26,7 @@ use crate::config::{ConfigError, EstimatorConfig};
 use crate::error::CcdpError;
 use crate::estimator::Estimator;
 use crate::extension::{
-    evaluate_family_csr_profiled, evaluate_family_tuned, EvaluationPath, ExtensionEvaluation,
+    evaluate_family_csr_profiled, evaluate_family_tuned_obs, EvaluationPath, ExtensionEvaluation,
 };
 use crate::release::{Diagnostics, Privacy, Release};
 use ccdp_dp::composition::{BudgetExceeded, PrivacyBudget};
@@ -101,17 +101,21 @@ impl PrivateSpanningForestEstimator {
         let backend = self.config.solver();
         let threads = self.config.resolved_threads();
         let options = self.config.family_options();
+        let obs = self.config.obs();
+        let profiler = obs.profiler.as_deref();
         match &self.family_cache {
-            Some(cache) => Ok(cache.evaluate_family_tuned(
+            Some(cache) => Ok(cache.evaluate_family_observed(
                 g,
                 grid,
                 backend,
                 self.config.graph_tag(),
                 threads,
                 options,
+                profiler,
+                obs.trace.as_ref(),
             )?),
-            None => Ok(std::sync::Arc::new(evaluate_family_tuned(
-                g, grid, backend, threads, options,
+            None => Ok(std::sync::Arc::new(evaluate_family_tuned_obs(
+                g, grid, backend, threads, options, profiler,
             )?)),
         }
     }
@@ -174,6 +178,9 @@ impl PrivateSpanningForestEstimator {
         // drawing from `rng` directly would produce, and the exhaustion
         // check below pins the draw count against accounting drift.
         let mut noise = NoiseBatch::prefetch(rng, 2);
+        if let Some(ctx) = &self.config.obs().trace {
+            ctx.event_full(ccdp_obs::SpanKind::NoiseDraw, std::time::Duration::ZERO, 2);
+        }
 
         // Step 1 of Algorithm 1: GEM with ε/2.
         let selection = generalized_exponential_mechanism(
@@ -249,7 +256,13 @@ impl PrivateSpanningForestEstimator {
         // degenerates to {1}, the extension value to 0.
         let plan = self.plan_release(g.num_vertices(), budget)?;
         let evals = self.family(g, &plan.grid)?;
-        let true_value = g.spanning_forest_size() as f64;
+        let profiler = self.config.obs().profiler.clone();
+        let profiler = profiler.as_deref();
+        let true_value = {
+            let _t = profiler.map(|p| p.phase("release/true-value"));
+            g.spanning_forest_size() as f64
+        };
+        let _t = profiler.map(|p| p.phase("release/mechanisms"));
         Ok(self.finish_release(&plan, &evals, true_value, budget, rng))
     }
 
@@ -292,6 +305,10 @@ impl PrivateSpanningForestEstimator {
         rng: &mut R,
         profiler: Option<&PhaseProfiler>,
     ) -> Result<Release, CcdpError> {
+        // An explicit profiler argument wins; otherwise the one threaded
+        // through the configuration (the serving tier's per-request handle).
+        let config_profiler = self.config.obs().profiler.clone();
+        let profiler = profiler.or(config_profiler.as_deref());
         let plan = self.plan_release(arena.num_vertices(), budget)?;
         let evals = evaluate_family_csr_profiled(
             arena,
@@ -431,6 +448,9 @@ impl PrivateCcEstimator {
         let mut budget = PrivacyBudget::new(epsilon);
         let eps_count = budget.spend("node-count", epsilon * self.config.node_count_fraction())?;
         let mut noise = NoiseBatch::prefetch(rng, 1);
+        if let Some(ctx) = &self.config.obs().trace {
+            ctx.event_full(ccdp_obs::SpanKind::NoiseDraw, std::time::Duration::ZERO, 1);
+        }
         let node_count_estimate = laplace_mechanism(n as f64, 1.0, eps_count, &mut noise);
         assert!(noise.is_exhausted());
         Ok((budget, node_count_estimate))

@@ -33,12 +33,14 @@
 //! request and vice versa.
 
 use crate::error::CoreError;
-use crate::extension::{evaluate_family_tuned, ExtensionEvaluation, FamilyOptions};
+use crate::extension::{evaluate_family_tuned_obs, ExtensionEvaluation, FamilyOptions};
+use ccdp_exec::PhaseProfiler;
 use ccdp_graph::{CsrGraph, GraphVersion};
 use ccdp_lp::SolverBackend;
+use ccdp_obs::{Counter, Gauge, MetricsRegistry, SpanKind, TraceCtx};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Default number of (graph, grid, backend) entries kept per cache.
 pub const DEFAULT_FAMILY_CACHE_CAPACITY: usize = 64;
@@ -205,25 +207,43 @@ impl CacheStats {
 pub struct ExtensionCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
-    evictions: AtomicU64,
-    invalidations: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    coalesced: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+    entries_gauge: Gauge,
 }
 
 impl ExtensionCache {
-    /// A cache holding at most `capacity` family evaluations (≥ 1).
+    /// A cache holding at most `capacity` family evaluations (≥ 1), with
+    /// detached counters (no registry; see
+    /// [`with_metrics`](Self::with_metrics)).
     pub fn new(capacity: usize) -> Self {
         ExtensionCache {
             inner: Mutex::new(CacheInner::default()),
             capacity: capacity.max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            coalesced: Counter::detached(),
+            evictions: Counter::detached(),
+            invalidations: Counter::detached(),
+            entries_gauge: Gauge::detached(),
         }
+    }
+
+    /// A cache whose counters are registered in `registry` as the
+    /// `ccdp_core_cache_*` island, so a `/metrics` scrape sees exactly what
+    /// [`stats`](Self::stats) reports.
+    pub fn with_metrics(capacity: usize, registry: &MetricsRegistry) -> Self {
+        let mut cache = Self::new(capacity);
+        cache.hits = registry.counter("ccdp_core_cache_hits_total");
+        cache.misses = registry.counter("ccdp_core_cache_misses_total");
+        cache.coalesced = registry.counter("ccdp_core_cache_coalesced_total");
+        cache.evictions = registry.counter("ccdp_core_cache_evictions_total");
+        cache.invalidations = registry.counter("ccdp_core_cache_invalidations_total");
+        cache.entries_gauge = registry.gauge("ccdp_core_cache_entries");
+        cache
     }
 
     /// Maximum number of entries.
@@ -234,11 +254,11 @@ impl ExtensionCache {
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            coalesced: self.coalesced.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
             entries: self.lock().map.len(),
         }
     }
@@ -246,6 +266,7 @@ impl ExtensionCache {
     /// Drops every stored entry (counters and in-flight evaluations are kept).
     pub fn clear(&self) {
         self.lock().map.clear();
+        self.entries_gauge.set(0);
     }
 
     /// Evicts every entry tagged with catalog id `graph_id`, whatever its
@@ -275,8 +296,8 @@ impl ExtensionCache {
             .map
             .retain(|key, _| !key.tag.as_ref().is_some_and(&victim));
         let dropped = before - inner.map.len();
-        self.invalidations
-            .fetch_add(dropped as u64, Ordering::Relaxed);
+        self.invalidations.add(dropped as u64);
+        self.entries_gauge.set(inner.map.len() as i64);
         dropped
     }
 
@@ -337,6 +358,27 @@ impl ExtensionCache {
         threads: usize,
         options: FamilyOptions,
     ) -> Result<Arc<Vec<ExtensionEvaluation>>, CoreError> {
+        self.evaluate_family_observed(g, grid, backend, tag, threads, options, None, None)
+    }
+
+    /// [`evaluate_family_tuned`](Self::evaluate_family_tuned) with optional
+    /// observability handles: the profiler records family phase timings on a
+    /// miss (leading or uncached evaluation), and the trace context receives
+    /// a `cache/hit`, `cache/miss` (timed over the evaluation) or
+    /// `cache/coalesced` (timed over the wait) span event for the lookup.
+    /// Observation only — values, keys and counters are unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_family_observed(
+        &self,
+        g: &ccdp_graph::Graph,
+        grid: &[usize],
+        backend: SolverBackend,
+        tag: Option<&GraphTag>,
+        threads: usize,
+        options: FamilyOptions,
+        profiler: Option<&PhaseProfiler>,
+        trace: Option<&TraceCtx>,
+    ) -> Result<Arc<Vec<ExtensionEvaluation>>, CoreError> {
         let csr = Arc::new(CsrGraph::from_graph(g));
         let key = CacheKey {
             num_vertices: g.num_vertices(),
@@ -346,6 +388,7 @@ impl ExtensionCache {
             tag: tag.cloned(),
         };
 
+        let started = trace.map(|_| Instant::now());
         let action = {
             let mut inner = self.lock();
             let tick = inner.next_tick();
@@ -355,7 +398,10 @@ impl ExtensionCache {
                 // graph's family.
                 if entry.witness.matches_graph(g) {
                     entry.last_used = tick;
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
+                    if let Some(ctx) = trace {
+                        ctx.event(SpanKind::CacheHit);
+                    }
                     return Ok(Arc::clone(&entry.evals));
                 }
             }
@@ -364,7 +410,7 @@ impl ExtensionCache {
                     // Someone else is already evaluating this exact graph:
                     // join their flight instead of racing a duplicate
                     // evaluation.
-                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    self.coalesced.inc();
                     LookupAction::Join(Arc::clone(&in_flight.flight))
                 }
                 Some(_) => {
@@ -385,11 +431,21 @@ impl ExtensionCache {
             }
         };
         match action {
-            LookupAction::Join(flight) => flight.wait(),
+            LookupAction::Join(flight) => {
+                let result = flight.wait();
+                if let Some(ctx) = trace {
+                    ctx.event_timed(SpanKind::CacheCoalesced, started.expect("timed").elapsed());
+                }
+                result
+            }
             LookupAction::EvaluateUncached => {
                 let result =
-                    evaluate_family_tuned(g, grid, backend, threads, options).map(Arc::new);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                    evaluate_family_tuned_obs(g, grid, backend, threads, options, profiler)
+                        .map(Arc::new);
+                self.misses.inc();
+                if let Some(ctx) = trace {
+                    ctx.event_timed(SpanKind::CacheMiss, started.expect("timed").elapsed());
+                }
                 result
             }
             LookupAction::Lead => {
@@ -406,9 +462,13 @@ impl ExtensionCache {
                     armed: true,
                 };
                 let result =
-                    evaluate_family_tuned(g, grid, backend, threads, options).map(Arc::new);
+                    evaluate_family_tuned_obs(g, grid, backend, threads, options, profiler)
+                        .map(Arc::new);
                 guard.finish(result.clone());
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
+                if let Some(ctx) = trace {
+                    ctx.event_timed(SpanKind::CacheMiss, started.expect("timed").elapsed());
+                }
                 result
             }
         }
@@ -438,7 +498,7 @@ impl ExtensionCache {
                     match victim {
                         Some(v) => {
                             inner.map.remove(&v);
-                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                            self.evictions.inc();
                         }
                         None => break,
                     }
@@ -453,6 +513,7 @@ impl ExtensionCache {
                     },
                 );
             }
+            self.entries_gauge.set(inner.map.len() as i64);
         }
         flight
     }

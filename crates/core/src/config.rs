@@ -9,10 +9,37 @@
 
 use crate::cache::{ExtensionCache, GraphTag};
 use crate::extension::FamilyOptions;
+use ccdp_exec::PhaseProfiler;
 use ccdp_graph::GraphVersion;
 use ccdp_lp::SolverBackend;
+use ccdp_obs::TraceCtx;
 use std::fmt;
 use std::sync::Arc;
+
+/// Per-request observability handles threaded through an estimator run:
+/// an optional trace context (span events land in its ring buffer) and an
+/// optional phase profiler (solver phase timings land in its report).
+///
+/// Both are pure observation — they never consume randomness or change a
+/// released value — and both default to `None`, which costs one branch per
+/// would-be event. Excluded from [`EstimatorConfig`] equality: two configs
+/// that differ only in who is watching are the same configuration.
+#[derive(Clone, Default)]
+pub struct ObsHandles {
+    /// Trace context events are emitted into, if this run is traced.
+    pub trace: Option<TraceCtx>,
+    /// Profiler solver phases are recorded into, if this run is profiled.
+    pub profiler: Option<Arc<PhaseProfiler>>,
+}
+
+impl fmt::Debug for ObsHandles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObsHandles")
+            .field("trace", &self.trace.as_ref().map(|t| t.id))
+            .field("profiler", &self.profiler.is_some())
+            .finish()
+    }
+}
 
 /// Typed validation errors produced by [`EstimatorConfig::validate`] and the
 /// estimator constructors.
@@ -109,6 +136,7 @@ pub struct EstimatorConfig {
     threads: Option<usize>,
     micro_solver: bool,
     solve_dedup: bool,
+    obs: ObsHandles,
 }
 
 impl PartialEq for EstimatorConfig {
@@ -151,7 +179,27 @@ impl EstimatorConfig {
             threads: None,
             micro_solver: true,
             solve_dedup: true,
+            obs: ObsHandles::default(),
         }
+    }
+
+    /// Attaches a trace context: estimator runs emit cache, phase, noise and
+    /// release span events into it. Observation only — never changes values.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.obs.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a phase profiler: solver phases record wall clock into it.
+    /// Observation only — never changes values.
+    pub fn with_profiler(mut self, profiler: Arc<PhaseProfiler>) -> Self {
+        self.obs.profiler = Some(profiler);
+        self
+    }
+
+    /// The observability handles threaded through this configuration.
+    pub fn obs(&self) -> &ObsHandles {
+        &self.obs
     }
 
     /// Enables or disables the micro-component fast paths of the large-graph

@@ -241,11 +241,31 @@ pub fn evaluate_family_tuned(
     threads: usize,
     options: FamilyOptions,
 ) -> Result<Vec<ExtensionEvaluation>, CoreError> {
+    evaluate_family_tuned_obs(g, grid, backend, threads, options, None)
+}
+
+/// [`evaluate_family_tuned`] with an optional [`PhaseProfiler`].
+///
+/// The CSR route records its usual `family/partition` / `family/anchor` /
+/// `family/lp` phases (see [`evaluate_family_csr_profiled`]); the small-graph
+/// and simplex routes — which have no internal phase structure — record the
+/// whole evaluation as one `family/direct` phase, so every profiled request
+/// carries at least one family phase regardless of which engine ran.
+/// Profiling never changes values.
+pub fn evaluate_family_tuned_obs(
+    g: &Graph,
+    grid: &[usize],
+    backend: SolverBackend,
+    threads: usize,
+    options: FamilyOptions,
+    profiler: Option<&PhaseProfiler>,
+) -> Result<Vec<ExtensionEvaluation>, CoreError> {
     let work = g.num_vertices() + g.num_edges();
     if backend == SolverBackend::Combinatorial && work >= PARALLEL_WORK_THRESHOLD {
         let arena = CsrGraph::from_graph(g);
-        return evaluate_family_csr_with(&arena, grid, threads, options);
+        return evaluate_family_csr_profiled(&arena, grid, threads, options, profiler);
     }
+    let _direct_timer = profiler.map(|p| p.phase("family/direct"));
     if threads <= 1 || work < PARALLEL_WORK_THRESHOLD {
         let mut out = Vec::with_capacity(grid.len());
         let mut running_max = 0.0f64;

@@ -87,7 +87,7 @@ pub use algorithm::{PrivateCcEstimator, PrivateSpanningForestEstimator};
 pub use anchor::{in_anchor_set, in_optimal_monotone_anchor_set, smallest_anchor_delta};
 pub use baselines::{EdgeDpBaseline, FixedDeltaBaseline, NaiveNodeDpBaseline, NonPrivateBaseline};
 pub use cache::{CacheStats, ExtensionCache, GraphTag};
-pub use config::{ConfigError, EstimatorConfig};
+pub use config::{ConfigError, EstimatorConfig, ObsHandles};
 pub use downsens_extension::{
     downsens_extension, downsens_extension_fdelta, downsens_extension_fsf,
 };
@@ -95,8 +95,8 @@ pub use error::{CcdpError, CoreError};
 pub use estimator::Estimator;
 pub use extension::{
     evaluate_family, evaluate_family_csr, evaluate_family_csr_profiled, evaluate_family_csr_with,
-    evaluate_family_threaded, evaluate_family_tuned, evaluate_family_with, EvaluationPath,
-    ExtensionEvaluation, FamilyOptions, LipschitzExtension,
+    evaluate_family_threaded, evaluate_family_tuned, evaluate_family_tuned_obs,
+    evaluate_family_with, EvaluationPath, ExtensionEvaluation, FamilyOptions, LipschitzExtension,
 };
 pub use polytope::{
     forest_polytope_max, forest_polytope_max_threaded, forest_polytope_max_with, PolytopeSolution,

@@ -452,6 +452,64 @@ impl PhaseProfiler {
             .collect()
     }
 
+    /// Walks every slot in first-use order without allocating:
+    /// `f(name, seconds, invocations, count)`. The slot lock is held for the
+    /// whole walk, so keep `f` cheap — this exists for per-request boundaries
+    /// (span emission) where [`report`](Self::report)'s per-slot `String`
+    /// clones and `Vec` are measurable.
+    pub fn visit(&self, mut f: impl FnMut(&str, f64, u64, u64)) {
+        for s in self.slots.lock().expect("profiler lock").iter() {
+            f(&s.name, s.seconds, s.invocations, s.count);
+        }
+    }
+
+    /// Snapshot of every slot in **stable name order** — the form to diff,
+    /// log, or assert on, independent of which phase happened to run first.
+    pub fn report_sorted(&self) -> Vec<PhaseReport> {
+        let mut report = self.report();
+        report.sort_by(|a, b| a.name.cmp(&b.name));
+        report
+    }
+
+    /// Folds another profiler's slots into this one (summing seconds,
+    /// invocations and counts per name). This is how per-thread or
+    /// per-request profilers aggregate without sharing a global mutex on the
+    /// hot path: each worker times into its own profiler, then merges once.
+    pub fn merge(&self, other: &PhaseProfiler) {
+        let theirs = other.report();
+        let mut slots = self.slots.lock().expect("profiler lock");
+        for r in theirs {
+            let slot = Self::slot(&mut slots, &r.name);
+            slot.seconds += r.seconds;
+            slot.invocations += r.invocations;
+            slot.count += r.count;
+        }
+    }
+
+    /// Adds this profiler's totals into a metrics registry as the
+    /// `ccdp_exec_phase_*` series (one `phase` label per slot). Counters are
+    /// monotone, so call this once per short-lived profiler (e.g. per
+    /// request, after [`merge`](Self::merge)-ing worker profilers) — not
+    /// repeatedly on one long-lived aggregate.
+    pub fn publish(&self, registry: &ccdp_obs::MetricsRegistry) {
+        for r in self.report() {
+            let labels = [("phase", r.name.as_str())];
+            if r.invocations > 0 {
+                registry
+                    .float_counter_with("ccdp_exec_phase_seconds_total", &labels)
+                    .add(r.seconds);
+                registry
+                    .counter_with("ccdp_exec_phase_invocations_total", &labels)
+                    .add(r.invocations);
+            }
+            if r.count > 0 {
+                registry
+                    .counter_with("ccdp_exec_phase_count_total", &labels)
+                    .add(r.count);
+            }
+        }
+    }
+
     /// Total seconds recorded for `name`, or 0.0 if the phase never ran.
     pub fn seconds(&self, name: &str) -> f64 {
         self.slots
@@ -624,6 +682,39 @@ mod tests {
         assert_eq!(report[1].invocations, 1);
         assert_eq!(prof.seconds("missing"), 0.0);
         assert!(prof.seconds("solve") > 0.0);
+    }
+
+    #[test]
+    fn profiler_sorted_report_and_merge_aggregate_per_thread_profilers() {
+        // Three "worker" profilers with overlapping phases in different
+        // first-use orders; the merged sorted report must be deterministic.
+        let workers: Vec<PhaseProfiler> = (0..3).map(|_| PhaseProfiler::new()).collect();
+        workers[0].add_seconds("solve", 1.0);
+        workers[0].add_count("solve", 4);
+        workers[1].add_seconds("noise", 0.5);
+        workers[1].add_seconds("solve", 2.0);
+        workers[2].add_count("anchor", 7);
+        let total = PhaseProfiler::new();
+        for w in &workers {
+            total.merge(w);
+        }
+        let sorted = total.report_sorted();
+        let names: Vec<&str> = sorted.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["anchor", "noise", "solve"]);
+        let solve = &sorted[2];
+        assert_eq!(solve.invocations, 2);
+        assert_eq!(solve.count, 4);
+        assert!((solve.seconds - 3.0).abs() < 1e-9);
+        assert_eq!(sorted[0].count, 7);
+        assert_eq!(sorted[0].invocations, 0);
+
+        // Publishing lands the totals in the registry under phase labels.
+        let registry = ccdp_obs::MetricsRegistry::new();
+        total.publish(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.sum("ccdp_exec_phase_invocations_total"), 3.0);
+        assert!((snap.sum("ccdp_exec_phase_seconds_total") - 3.5).abs() < 1e-9);
+        assert_eq!(snap.sum("ccdp_exec_phase_count_total"), 11.0);
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct EstimateResponse {
     pub version: Option<u64>,
     /// Server-side end-to-end latency in milliseconds (queue included).
     pub latency_ms: f64,
+    /// The request's trace id (the `X-Ccdp-Trace` header / `trace` body
+    /// field), when the server traced it. Feed it to
+    /// [`NetClient::trace`] / `GET /trace/{id}`.
+    pub trace: Option<String>,
 }
 
 /// The decoded answer of `POST /ingest`.
@@ -129,7 +133,9 @@ impl NetClient {
         if let Some(v) = version {
             w.field_u64("version", v);
         }
-        let body = self.post_json("/estimate", &w.finish())?;
+        let response = self.request("POST", "/estimate", Some(&w.finish()))?;
+        let trace = response.header("x-ccdp-trace").map(str::to_string);
+        let body = decode(response)?;
         Ok(EstimateResponse {
             request_id: field_u64(&body, "request_id")?,
             tenant: field_str(&body, "tenant")?,
@@ -139,6 +145,7 @@ impl NetClient {
             epsilon: body.get("epsilon").and_then(JsonValue::as_f64),
             version: body.get("version").and_then(JsonValue::as_u64),
             latency_ms: field_f64(&body, "latency_ms")?,
+            trace,
         })
     }
 
@@ -169,6 +176,18 @@ impl NetClient {
         self.get_json("/stats")
     }
 
+    /// `GET /metrics`: the Prometheus text exposition of every registered
+    /// series, verbatim.
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        self.get_text("/metrics")
+    }
+
+    /// `GET /trace/{id}`: the assembled span tree of one traced request,
+    /// as parsed JSON (`404 unknown_trace` once the ring has wrapped).
+    pub fn trace(&mut self, id: &str) -> Result<JsonValue, NetError> {
+        self.get_json(&format!("/trace/{id}"))
+    }
+
     /// `GET /healthz`: typed liveness/readiness.
     pub fn health(&mut self) -> Result<HealthResponse, NetError> {
         let body = self.get_json("/healthz")?;
@@ -185,6 +204,17 @@ impl NetClient {
     pub fn get_json(&mut self, path: &str) -> Result<JsonValue, NetError> {
         let response = self.request("GET", path, None)?;
         decode(response)
+    }
+
+    /// `GET` any path and return the raw 2xx body (non-JSON surfaces like
+    /// `/metrics`); non-2xx still decodes the typed error envelope.
+    pub fn get_text(&mut self, path: &str) -> Result<String, NetError> {
+        let response = self.request("GET", path, None)?;
+        if (200..300).contains(&response.status) {
+            Ok(response.body_str()?.to_string())
+        } else {
+            Err(decode_error(&response))
+        }
     }
 
     /// `POST` a JSON body to any path and decode the answer.
@@ -262,13 +292,22 @@ impl std::fmt::Debug for NetClient {
 /// 2xx → parsed body; anything else → [`NetError::Api`] decoded from the
 /// standard error envelope (or a protocol error if the envelope is absent).
 fn decode(response: Response) -> Result<JsonValue, NetError> {
-    let text = response.body_str()?;
     if (200..300).contains(&response.status) {
+        let text = response.body_str()?;
         return ccdp_serve::json::parse(text).map_err(|e| NetError::Protocol {
             detail: format!("2xx body is not JSON: {e}"),
         });
     }
-    let (code, message) = match ccdp_serve::json::parse(text) {
+    Err(decode_error(&response))
+}
+
+/// Decodes a non-2xx response's `{"error":{code,message,trace?}}` envelope.
+fn decode_error(response: &Response) -> NetError {
+    let text = match response.body_str() {
+        Ok(t) => t,
+        Err(e) => return e,
+    };
+    let (code, message, trace) = match ccdp_serve::json::parse(text) {
         Ok(body) => {
             let err = body.get("error");
             (
@@ -280,15 +319,19 @@ fn decode(response: Response) -> Result<JsonValue, NetError> {
                     .and_then(JsonValue::as_str)
                     .unwrap_or(text)
                     .to_string(),
+                err.and_then(|e| e.get("trace"))
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string),
             )
         }
-        Err(_) => ("unknown".to_string(), text.to_string()),
+        Err(_) => ("unknown".to_string(), text.to_string(), None),
     };
-    Err(NetError::Api {
+    NetError::Api {
         status: response.status,
         code,
         message,
-    })
+        trace: trace.or_else(|| response.header("x-ccdp-trace").map(str::to_string)),
+    }
 }
 
 fn field_str(body: &JsonValue, field: &'static str) -> Result<String, NetError> {

@@ -91,6 +91,12 @@ pub enum NetError {
         /// The offending path.
         path: String,
     },
+    /// `GET /trace/{id}` named a trace the span ring no longer (or never)
+    /// holds — ids expire as the bounded ring wraps.
+    UnknownTrace {
+        /// The requested id, as received.
+        id: String,
+    },
     /// The listener is at its connection cap; retry later.
     ConnectionCap {
         /// The cap.
@@ -121,6 +127,9 @@ pub enum NetError {
         code: String,
         /// The human-readable message.
         message: String,
+        /// The request's trace id, when the server attached one to the
+        /// refusal (refused requests are traced too).
+        trace: Option<String>,
     },
 }
 
@@ -137,7 +146,7 @@ impl NetError {
             | NetError::BadJson(_)
             | NetError::MissingField { .. }
             | NetError::BadField { .. } => 400,
-            NetError::UnknownRoute { .. } => 404,
+            NetError::UnknownRoute { .. } | NetError::UnknownTrace { .. } => 404,
             NetError::MethodNotAllowed { .. } => 405,
             NetError::BodyTooLarge { .. } => 413,
             NetError::HeadersTooLarge { .. } | NetError::TooManyHeaders { .. } => 431,
@@ -169,6 +178,7 @@ impl NetError {
             NetError::MissingField { .. } => "missing_field",
             NetError::BadField { .. } => "bad_field",
             NetError::UnknownRoute { .. } => "unknown_route",
+            NetError::UnknownTrace { .. } => "unknown_trace",
             NetError::ConnectionCap { .. } => "connection_cap",
             NetError::Draining => "draining",
             NetError::Serve(e) => serve_error_status(e).1,
@@ -230,6 +240,9 @@ impl std::fmt::Display for NetError {
             NetError::MissingField { field } => write!(f, "missing required field `{field}`"),
             NetError::BadField { field, detail } => write!(f, "field `{field}`: {detail}"),
             NetError::UnknownRoute { path } => write!(f, "no route for `{path}`"),
+            NetError::UnknownTrace { id } => {
+                write!(f, "no trace `{id}` (ids expire as the span ring wraps)")
+            }
             NetError::ConnectionCap { limit } => {
                 write!(f, "connection cap of {limit} reached; retry later")
             }
@@ -241,6 +254,7 @@ impl std::fmt::Display for NetError {
                 status,
                 code,
                 message,
+                ..
             } => write!(f, "server refused ({status} {code}): {message}"),
         }
     }

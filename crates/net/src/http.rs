@@ -240,15 +240,37 @@ pub fn write_response(
     body: &str,
     close: bool,
 ) -> std::io::Result<()> {
+    write_response_with(writer, status, body, "application/json", &[], close)
+}
+
+/// Writes one response with an explicit content type and extra headers
+/// (`X-Ccdp-Trace`, …). Header names and values must already be
+/// wire-legal — this writer frames, it does not sanitize.
+pub fn write_response_with(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    close: bool,
+) -> std::io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
     // One buffered frame, one write: `write!` straight onto a TcpStream
     // issues a small segment per format fragment, and the Nagle/delayed-ACK
     // interaction turns that into ~40 ms stalls per response.
-    let frame = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+    let mut frame = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         reason(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        frame.push_str(name);
+        frame.push_str(": ");
+        frame.push_str(value);
+        frame.push_str("\r\n");
+    }
+    frame.push_str("\r\n");
+    frame.push_str(body);
     writer.write_all(frame.as_bytes())?;
     writer.flush()
 }

@@ -23,11 +23,12 @@
 use crate::error::NetError;
 use crate::http::{self, ReadOutcome, Request, WireLimits};
 use ccdp_graph::GraphVersion;
+use ccdp_obs::{Counter, MetricsRegistry, Span, TraceId, TraceTree};
 use ccdp_serve::json::{self, JsonValue, JsonWriter};
 use ccdp_serve::{ServeRequest, Server};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -92,16 +93,33 @@ impl Default for NetConfig {
     }
 }
 
-/// Wire-tier counters (all relaxed atomics; see [`NetStatsSnapshot`]).
-#[derive(Debug, Default)]
+/// Wire-tier counters. Each lives in the backing server's
+/// [`MetricsRegistry`] as a `ccdp_net_*` series, so `GET /metrics` exposes
+/// the wire island alongside serve/cache/budget/phase; [`NetStatsSnapshot`]
+/// reads the same handles.
+#[derive(Debug)]
 struct NetCounters {
-    accepted: AtomicU64,
-    refused_cap: AtomicU64,
-    refused_draining: AtomicU64,
-    requests: AtomicU64,
-    responses_ok: AtomicU64,
-    responses_client_error: AtomicU64,
-    responses_server_error: AtomicU64,
+    accepted: Counter,
+    refused_cap: Counter,
+    refused_draining: Counter,
+    requests: Counter,
+    responses_ok: Counter,
+    responses_client_error: Counter,
+    responses_server_error: Counter,
+}
+
+impl NetCounters {
+    fn registered(registry: &MetricsRegistry) -> Self {
+        NetCounters {
+            accepted: registry.counter("ccdp_net_connections_accepted_total"),
+            refused_cap: registry.counter("ccdp_net_connections_refused_cap_total"),
+            refused_draining: registry.counter("ccdp_net_connections_refused_draining_total"),
+            requests: registry.counter("ccdp_net_requests_total"),
+            responses_ok: registry.counter("ccdp_net_responses_ok_total"),
+            responses_client_error: registry.counter("ccdp_net_responses_client_error_total"),
+            responses_server_error: registry.counter("ccdp_net_responses_server_error_total"),
+        }
+    }
 }
 
 /// Point-in-time wire-tier counters.
@@ -137,22 +155,22 @@ impl Shared {
     fn snapshot(&self) -> NetStatsSnapshot {
         let c = &self.counters;
         NetStatsSnapshot {
-            accepted: c.accepted.load(Ordering::Relaxed),
-            refused_cap: c.refused_cap.load(Ordering::Relaxed),
-            refused_draining: c.refused_draining.load(Ordering::Relaxed),
-            requests: c.requests.load(Ordering::Relaxed),
-            responses_ok: c.responses_ok.load(Ordering::Relaxed),
-            responses_client_error: c.responses_client_error.load(Ordering::Relaxed),
-            responses_server_error: c.responses_server_error.load(Ordering::Relaxed),
+            accepted: c.accepted.get(),
+            refused_cap: c.refused_cap.get(),
+            refused_draining: c.refused_draining.get(),
+            requests: c.requests.get(),
+            responses_ok: c.responses_ok.get(),
+            responses_client_error: c.responses_client_error.get(),
+            responses_server_error: c.responses_server_error.get(),
         }
     }
 
     fn count_response(&self, status: u16) {
         let c = &self.counters;
         match status {
-            200..=299 => c.responses_ok.fetch_add(1, Ordering::Relaxed),
-            400..=499 => c.responses_client_error.fetch_add(1, Ordering::Relaxed),
-            _ => c.responses_server_error.fetch_add(1, Ordering::Relaxed),
+            200..=299 => c.responses_ok.inc(),
+            400..=499 => c.responses_client_error.inc(),
+            _ => c.responses_server_error.inc(),
         };
     }
 }
@@ -184,13 +202,14 @@ impl NetServer {
     pub fn start(config: NetConfig, server: Arc<Server>) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let counters = NetCounters::registered(server.metrics());
         let shared = Arc::new(Shared {
             server,
             config,
             draining: AtomicBool::new(false),
             active: Mutex::new(0),
             idle: Condvar::new(),
-            counters: NetCounters::default(),
+            counters,
         });
         let loop_shared = Arc::clone(&shared);
         let listener_thread = std::thread::spawn(move || accept_loop(&listener, &loop_shared));
@@ -305,7 +324,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             }
             *active += 1;
         }
-        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.counters.accepted.inc();
         let conn_shared = Arc::clone(shared);
         std::thread::spawn(move || {
             let _guard = ActiveGuard(Arc::clone(&conn_shared));
@@ -321,7 +340,7 @@ fn refuse(mut stream: TcpStream, shared: &Shared, error: NetError) {
         NetError::Draining => &shared.counters.refused_draining,
         _ => &shared.counters.refused_cap,
     }
-    .fetch_add(1, Ordering::Relaxed);
+    .inc();
     let body = json::error_body(error.code(), &error.to_string());
     let _ = http::write_response(&mut stream, error.http_status(), &body, true);
 }
@@ -359,7 +378,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             Err(e) => {
                 // A malformed wire leaves the connection unframed: answer
                 // typed and close — never guess where the next request starts.
-                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                shared.counters.requests.inc();
                 let status = e.http_status();
                 shared.count_response(status);
                 let body = json::error_body(e.code(), &e.to_string());
@@ -367,43 +386,150 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 return;
             }
         };
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        shared.counters.requests.inc();
         // A request already parsed is in-flight: draining lets it complete
         // but closes the connection behind it.
         let close = request.wants_close() || draining;
-        let (status, body) = match route(&request, shared) {
-            Ok(body) => (200, body),
-            Err(e) => (e.http_status(), json::error_body(e.code(), &e.to_string())),
-        };
-        shared.count_response(status);
-        if http::write_response(&mut writer, status, &body, close).is_err() || close {
+        let reply = route(&request, shared);
+        shared.count_response(reply.status);
+        let written = http::write_response_with(
+            &mut writer,
+            reply.status,
+            &reply.body,
+            reply.content_type,
+            &reply.headers,
+            close,
+        );
+        if written.is_err() || close {
             return;
         }
     }
 }
 
+/// One routed answer: status, body, content type and extra headers
+/// (`X-Ccdp-Trace` on traced `/estimate` answers, successes and refusals
+/// alike).
+struct Reply {
+    status: u16,
+    body: String,
+    content_type: &'static str,
+    headers: Vec<(String, String)>,
+}
+
+impl Reply {
+    fn json(body: String) -> Self {
+        Reply {
+            status: 200,
+            body,
+            content_type: "application/json",
+            headers: Vec::new(),
+        }
+    }
+
+    /// Prometheus text exposition (the content type its scrapers expect).
+    fn exposition(body: String) -> Self {
+        Reply {
+            status: 200,
+            body,
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+        }
+    }
+
+    fn error(e: &NetError) -> Self {
+        Reply {
+            status: e.http_status(),
+            body: json::error_body(e.code(), &e.to_string()),
+            content_type: "application/json",
+            headers: Vec::new(),
+        }
+    }
+
+    /// An error envelope that names the request's trace id — a refused
+    /// request (429/403) is traced too, and the peer needs the id to pull
+    /// the trace.
+    fn error_traced(e: &NetError, trace: Option<TraceId>) -> Self {
+        let mut reply = match trace {
+            Some(id) => {
+                let mut w = JsonWriter::object();
+                w.begin_object("error")
+                    .field_str("code", e.code())
+                    .field_str("message", &e.to_string())
+                    .field_str("trace", &id.to_string())
+                    .end();
+                Reply {
+                    status: e.http_status(),
+                    body: w.finish(),
+                    content_type: "application/json",
+                    headers: Vec::new(),
+                }
+            }
+            None => Reply::error(e),
+        };
+        reply.attach_trace(trace);
+        reply
+    }
+
+    fn attach_trace(&mut self, trace: Option<TraceId>) {
+        if let Some(id) = trace {
+            self.headers.push(("X-Ccdp-Trace".into(), id.to_string()));
+        }
+    }
+}
+
 /// Dispatches one parsed request to its route.
-fn route(request: &Request, shared: &Shared) -> Result<String, NetError> {
-    match (request.method.as_str(), request.path()) {
-        ("POST", "/estimate") => route_estimate(request, shared),
-        ("POST", "/ingest") => route_ingest(request, shared),
-        ("GET", "/stats") => Ok(stats_body(shared)),
-        ("GET", "/healthz") => Ok(healthz_body(shared)),
-        (_, path @ ("/estimate" | "/ingest" | "/stats" | "/healthz")) => {
+fn route(request: &Request, shared: &Shared) -> Reply {
+    let result = match (request.method.as_str(), request.path()) {
+        ("POST", "/estimate") => return route_estimate(request, shared),
+        ("POST", "/ingest") => route_ingest(request, shared).map(Reply::json),
+        ("GET", "/stats") => Ok(Reply::json(stats_body(shared))),
+        ("GET", "/healthz") => Ok(Reply::json(healthz_body(shared))),
+        ("GET", "/metrics") => Ok(Reply::exposition(
+            shared.server.metrics().render_prometheus(),
+        )),
+        ("GET", path) if path.starts_with("/trace/") => route_trace(path, shared).map(Reply::json),
+        (_, path @ ("/estimate" | "/ingest" | "/stats" | "/healthz" | "/metrics")) => {
             Err(NetError::MethodNotAllowed {
                 method: request.method.clone(),
                 path: path.to_string(),
             })
         }
+        (_, path) if path.starts_with("/trace/") => Err(NetError::MethodNotAllowed {
+            method: request.method.clone(),
+            path: path.to_string(),
+        }),
         (_, path) => Err(NetError::UnknownRoute {
             path: path.to_string(),
         }),
-    }
+    };
+    result.unwrap_or_else(|e| Reply::error(&e))
 }
 
 /// `POST /estimate` — `{"tenant", "graph", "epsilon", "version"?}` through
-/// the worker pool; blocks this connection until the release arrives.
-fn route_estimate(request: &Request, shared: &Shared) -> Result<String, NetError> {
+/// the worker pool; blocks this connection until the release arrives. When
+/// tracing is on, the trace id is minted *here*, before submission, so even
+/// a `429`/`403` refusal carries `X-Ccdp-Trace` and its trace is pullable.
+fn route_estimate(request: &Request, shared: &Shared) -> Reply {
+    let trace = shared
+        .server
+        .tracer()
+        .enabled()
+        .then(|| shared.server.mint_trace());
+    match estimate_body(request, shared, trace) {
+        Ok(body) => {
+            let mut reply = Reply::json(body);
+            reply.attach_trace(trace);
+            reply
+        }
+        Err(e) => Reply::error_traced(&e, trace),
+    }
+}
+
+fn estimate_body(
+    request: &Request,
+    shared: &Shared,
+    trace: Option<TraceId>,
+) -> Result<String, NetError> {
     let body = parse_body(request)?;
     let tenant = require_str(&body, "tenant")?;
     let graph = require_str(&body, "graph")?;
@@ -415,6 +541,9 @@ fn route_estimate(request: &Request, shared: &Shared) -> Result<String, NetError
             detail: "must be a non-negative integer".into(),
         })?;
         serve_request = serve_request.at_version(GraphVersion::new(v));
+    }
+    if let Some(id) = trace {
+        serve_request = serve_request.with_trace(id);
     }
     // QueueFull / ShuttingDown surface here, before anything was enqueued.
     let pending = shared.server.submit(serve_request)?;
@@ -433,7 +562,55 @@ fn route_estimate(request: &Request, shared: &Shared) -> Result<String, NetError
         w.field_u64("version", version.value());
     }
     w.field_f64_rounded("latency_ms", response.latency.as_secs_f64() * 1e3, 3);
+    if let Some(id) = trace {
+        w.field_str("trace", &id.to_string());
+    }
     Ok(w.finish())
+}
+
+/// `GET /trace/{id}` — the assembled span tree of one request, while the
+/// bounded ring still holds its events.
+fn route_trace(path: &str, shared: &Shared) -> Result<String, NetError> {
+    let raw = &path["/trace/".len()..];
+    let id: TraceId = raw.parse().map_err(|()| NetError::BadField {
+        field: "trace",
+        detail: "must be a hex trace id".into(),
+    })?;
+    let tree = shared
+        .server
+        .tracer()
+        .assemble(id)
+        .ok_or_else(|| NetError::UnknownTrace {
+            id: raw.to_string(),
+        })?;
+    Ok(trace_body(&tree))
+}
+
+fn trace_body(tree: &TraceTree) -> String {
+    fn write_span(w: &mut JsonWriter, span: &Span) {
+        w.begin_element_object()
+            .field_str("name", &span.name)
+            .field_u64("start_micros", span.start_micros)
+            .field_u64("duration_nanos", span.duration_nanos);
+        if let Some(detail) = &span.detail {
+            w.field_str("detail", detail);
+        }
+        w.begin_array("children");
+        for child in &span.children {
+            write_span(w, child);
+        }
+        w.end().end();
+    }
+    let mut w = JsonWriter::object();
+    w.field_str("trace", &tree.id.to_string())
+        .field_u64("start_micros", tree.start_micros)
+        .field_u64("total_nanos", tree.total_nanos)
+        .begin_array("spans");
+    for span in &tree.spans {
+        write_span(&mut w, span);
+    }
+    w.end();
+    w.finish()
 }
 
 /// `POST /ingest` — `{"graph", "edges", "version"?}` publishes an edge-list

@@ -23,6 +23,7 @@
 
 use crate::error::ServeError;
 use ccdp_dp::PrivacyBudget;
+use ccdp_obs::{Counter, FloatCounter, MetricsRegistry};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -48,15 +49,58 @@ pub struct TenantAccount {
 /// The tenant map is guarded by an `RwLock` (registration is rare, spending
 /// is hot), and each tenant's [`PrivacyBudget`] sits behind its own `Mutex`,
 /// so tenants never contend with each other on the spend path.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BudgetLedger {
     tenants: RwLock<HashMap<TenantId, Arc<Mutex<PrivacyBudget>>>>,
+    /// Granted spends across all tenants (detached until
+    /// [`publish_metrics`](Self::publish_metrics) adopts it into a registry).
+    charges: Counter,
+    /// Spends refused for an exhausted quota.
+    refusals: Counter,
+    /// Total ε granted across all tenants.
+    epsilon_spent: FloatCounter,
+}
+
+impl Default for BudgetLedger {
+    fn default() -> Self {
+        BudgetLedger {
+            tenants: RwLock::new(HashMap::new()),
+            charges: Counter::detached(),
+            refusals: Counter::detached(),
+            epsilon_spent: FloatCounter::detached(),
+        }
+    }
 }
 
 impl BudgetLedger {
     /// An empty ledger.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Registers the ledger's counters in `registry` as the
+    /// `ccdp_dp_budget_*` island. The ledger is typically constructed before
+    /// any registry exists, so the counters start detached and are *adopted*
+    /// here — grants recorded before publication stay visible in the scrape.
+    pub fn publish_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter("ccdp_dp_budget_charges_total", &self.charges);
+        registry.adopt_counter("ccdp_dp_budget_refusals_total", &self.refusals);
+        registry.adopt_float_counter("ccdp_dp_budget_epsilon_spent_total", &self.epsilon_spent);
+    }
+
+    /// Granted spends across all tenants so far.
+    pub fn charges(&self) -> u64 {
+        self.charges.get()
+    }
+
+    /// Spends refused for an exhausted quota so far.
+    pub fn refusals(&self) -> u64 {
+        self.refusals.get()
+    }
+
+    /// Total ε granted across all tenants so far.
+    pub fn epsilon_spent(&self) -> f64 {
+        self.epsilon_spent.get()
     }
 
     /// Registers `tenant` with a total ε quota.
@@ -102,12 +146,20 @@ impl BudgetLedger {
         }
         let budget = self.account(tenant)?;
         let mut budget = budget.lock().unwrap_or_else(|p| p.into_inner());
-        budget
-            .spend(stage, epsilon)
-            .map_err(|exceeded| ServeError::BudgetExhausted {
-                tenant: tenant.clone(),
-                exceeded,
-            })
+        match budget.spend(stage, epsilon) {
+            Ok(granted) => {
+                self.charges.inc();
+                self.epsilon_spent.add(granted);
+                Ok(granted)
+            }
+            Err(exceeded) => {
+                self.refusals.inc();
+                Err(ServeError::BudgetExhausted {
+                    tenant: tenant.clone(),
+                    exceeded,
+                })
+            }
+        }
     }
 
     /// Whether `tenant` could fund a spend of `epsilon` right now (advisory:
@@ -234,6 +286,34 @@ mod tests {
             ledger.account_view(&t).unwrap_err(),
             ServeError::UnknownTenant { .. }
         ));
+    }
+
+    #[test]
+    fn counters_track_charges_refusals_and_epsilon_and_survive_adoption() {
+        let ledger = BudgetLedger::new();
+        ledger.register("t", 1.0).unwrap();
+        let t = TenantId::new("t");
+        // Grants and an exhausted-quota refusal recorded while detached.
+        ledger.try_spend(&t, "a", 0.25).unwrap();
+        ledger.try_spend(&t, "b", 0.25).unwrap();
+        assert!(ledger.try_spend(&t, "c", 0.75).is_err());
+        // Invalid ε and unknown tenants are malformed requests, not budget
+        // refusals — they must not count.
+        let _ = ledger.try_spend(&t, "x", -1.0);
+        let _ = ledger.try_spend(&TenantId::new("ghost"), "x", 0.1);
+        assert_eq!((ledger.charges(), ledger.refusals()), (2, 1));
+        assert!((ledger.epsilon_spent() - 0.5).abs() < 1e-12);
+        // Adoption into a registry preserves the pre-publication history.
+        let registry = MetricsRegistry::new();
+        ledger.publish_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("ccdp_dp_budget_charges_total"), Some(2.0));
+        assert_eq!(snap.value("ccdp_dp_budget_refusals_total"), Some(1.0));
+        // And post-publication spends land in the same series.
+        ledger.try_spend(&t, "d", 0.25).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("ccdp_dp_budget_charges_total"), Some(3.0));
+        assert!((snap.value("ccdp_dp_budget_epsilon_spent_total").unwrap() - 0.75).abs() < 1e-12);
     }
 
     #[test]

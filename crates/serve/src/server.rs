@@ -30,7 +30,9 @@ use ccdp_core::SolverBackend;
 use ccdp_core::{
     CacheStats, Estimator, EstimatorConfig, ExtensionCache, PrivateCcEstimator, Release,
 };
+use ccdp_exec::PhaseProfiler;
 use ccdp_graph::GraphVersion;
+use ccdp_obs::{MetricsRegistry, SpanKind, TraceCtx, TraceId, TraceIdGen, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,6 +54,7 @@ pub struct ServeConfig {
     estimator_threads: Option<usize>,
     estimator_micro: bool,
     estimator_dedup: bool,
+    tracing: bool,
 }
 
 impl ServeConfig {
@@ -68,7 +71,22 @@ impl ServeConfig {
             estimator_threads: None,
             estimator_micro: true,
             estimator_dedup: true,
+            tracing: false,
         }
+    }
+
+    /// Enables request-scoped tracing (default off). Off, every would-be
+    /// span emission costs exactly one branch; on, requests get a minted
+    /// [`TraceId`] and their span events land in the server's [`Tracer`]
+    /// ring for `GET /trace/{id}` / `ccdp trace` assembly.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
+    /// Whether request-scoped tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
     }
 
     /// Number of worker threads (clamped to ≥ 1).
@@ -166,6 +184,10 @@ pub struct ServeRequest {
     pub version: Option<GraphVersion>,
     /// The ε of this release (spent from the tenant's quota).
     pub epsilon: f64,
+    /// The request's trace id: pre-minted by a boundary (the net tier mints
+    /// before submission so even refusals carry an id), or `None` to let
+    /// [`Server::submit`] mint one when tracing is on.
+    pub trace: Option<TraceId>,
 }
 
 impl ServeRequest {
@@ -176,6 +198,7 @@ impl ServeRequest {
             graph: graph.into(),
             version: None,
             epsilon,
+            trace: None,
         }
     }
 
@@ -184,6 +207,12 @@ impl ServeRequest {
     /// version.
     pub fn at_version(mut self, version: GraphVersion) -> Self {
         self.version = Some(version);
+        self
+    }
+
+    /// Attaches a pre-minted trace id (see [`Server::mint_trace`]).
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -203,6 +232,8 @@ pub struct ServeResponse {
     pub result: Result<Release, ServeError>,
     /// End-to-end latency (accepted → answered), including queue time.
     pub latency: Duration,
+    /// The request's trace id, when tracing was on.
+    pub trace: Option<TraceId>,
 }
 
 /// A handle to a response that has not necessarily been produced yet.
@@ -242,6 +273,18 @@ struct Job {
     reply: SyncSender<ServeResponse>,
 }
 
+/// The state every worker shares: catalog, ledger, cache, stats, config and
+/// the observability tier (one bundle so the loop signature stays legible).
+struct WorkerShared {
+    registry: Arc<GraphRegistry>,
+    ledger: Arc<BudgetLedger>,
+    cache: Arc<ExtensionCache>,
+    stats: Arc<ServeStats>,
+    config: ServeConfig,
+    metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
+}
+
 /// A multi-tenant serving instance: shared graph catalog, shared budget
 /// ledger, shared family cache, fixed worker pool.
 pub struct Server {
@@ -253,6 +296,9 @@ pub struct Server {
     queue: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
     next_request_id: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
+    trace_ids: TraceIdGen,
 }
 
 impl Server {
@@ -262,23 +308,36 @@ impl Server {
         registry: Arc<GraphRegistry>,
         ledger: Arc<BudgetLedger>,
     ) -> Self {
-        let cache = Arc::new(ExtensionCache::new(config.cache_capacity.max(1)));
-        let stats = Arc::new(ServeStats::new());
+        // One registry per server: every telemetry island registers into it,
+        // so a single scrape covers serve, cache, budget and phase series.
+        let metrics = Arc::new(MetricsRegistry::new());
+        let cache = Arc::new(ExtensionCache::with_metrics(
+            config.cache_capacity.max(1),
+            &metrics,
+        ));
+        let stats = Arc::new(ServeStats::with_metrics(&metrics));
+        ledger.publish_metrics(&metrics);
+        let tracer = Arc::new(Tracer::new());
+        tracer.set_enabled(config.tracing);
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity());
         let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(WorkerShared {
+            registry: Arc::clone(&registry),
+            ledger: Arc::clone(&ledger),
+            cache: Arc::clone(&cache),
+            stats: Arc::clone(&stats),
+            config: config.clone(),
+            metrics: Arc::clone(&metrics),
+            tracer: Arc::clone(&tracer),
+        });
         let workers = (0..config.workers())
             .map(|_| {
                 let rx = Arc::clone(&rx);
-                let registry = Arc::clone(&registry);
-                let ledger = Arc::clone(&ledger);
-                let cache = Arc::clone(&cache);
-                let stats = Arc::clone(&stats);
-                let config = config.clone();
-                std::thread::spawn(move || {
-                    worker_loop(&rx, &registry, &ledger, &cache, &stats, &config)
-                })
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&rx, &shared))
             })
             .collect();
+        let trace_ids = TraceIdGen::new(config.seed);
         Server {
             registry,
             ledger,
@@ -288,7 +347,27 @@ impl Server {
             queue: Some(tx),
             workers,
             next_request_id: AtomicU64::new(0),
+            metrics,
+            tracer,
+            trace_ids,
         }
+    }
+
+    /// The server's unified metrics registry (the `GET /metrics` source).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The server's span ring (the `GET /trace/{id}` / `ccdp top` source).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Mints the next trace id from the server's deterministic generator.
+    /// Boundaries (the net tier) mint *before* submission so refusals carry
+    /// an id too; [`Server::submit`] mints automatically otherwise.
+    pub fn mint_trace(&self) -> TraceId {
+        self.trace_ids.mint()
     }
 
     /// Submits a request without blocking.
@@ -297,7 +376,7 @@ impl Server {
     /// [`ServeError::QueueFull`] when the bounded queue is at capacity
     /// (typed backpressure — nothing was enqueued) and
     /// [`ServeError::ShuttingDown`] after [`Server::shutdown`] began.
-    pub fn submit(&self, request: ServeRequest) -> Result<PendingResponse, ServeError> {
+    pub fn submit(&self, mut request: ServeRequest) -> Result<PendingResponse, ServeError> {
         if !(request.epsilon.is_finite() && request.epsilon > 0.0) {
             // Reject malformed requests before they consume queue space (and
             // long before the budget accountant could panic on them).
@@ -305,6 +384,15 @@ impl Server {
                 value: request.epsilon,
             });
         }
+        // Tracing on and no boundary-minted id yet: mint here, so direct
+        // submitters (tests, the release scheduler) get traced for free.
+        if request.trace.is_none() && self.tracer.enabled() {
+            request.trace = Some(self.trace_ids.mint());
+        }
+        // Emit boundary events straight through the tracer: a TraceCtx here
+        // would clone the tracer Arc per submission, and its refcount line
+        // bounces between the submitting core and the workers.
+        let trace = request.trace;
         let queue = self.queue.as_ref().ok_or(ServeError::ShuttingDown)?;
         let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = sync_channel(1);
@@ -320,7 +408,11 @@ impl Server {
                 // never inflate the depth gauge or its peak; the gauge is
                 // signed because a worker may record the matching dequeue
                 // first.
-                self.stats.on_enqueue();
+                let depth = self.stats.on_enqueue();
+                if let Some(id) = trace {
+                    self.tracer
+                        .emit(id, SpanKind::Queued, Duration::ZERO, depth.max(0) as u64);
+                }
                 Ok(PendingResponse {
                     request_id,
                     rx: reply_rx,
@@ -328,6 +420,10 @@ impl Server {
             }
             Err(TrySendError::Full(_)) => {
                 self.stats.on_queue_full();
+                if let Some(id) = trace {
+                    self.tracer
+                        .emit(id, SpanKind::QueueRefused, Duration::ZERO, 0);
+                }
                 Err(ServeError::QueueFull {
                     capacity: self.config.queue_capacity(),
                 })
@@ -411,14 +507,12 @@ impl std::fmt::Debug for Server {
 
 /// Pulls jobs until the queue closes. The mutex is held only for the `recv`
 /// itself, so workers hand off jobs one at a time but process in parallel.
-fn worker_loop(
-    rx: &Mutex<Receiver<Job>>,
-    registry: &GraphRegistry,
-    ledger: &BudgetLedger,
-    cache: &Arc<ExtensionCache>,
-    stats: &ServeStats,
-    config: &ServeConfig,
-) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &WorkerShared) {
+    // Phase-name → interned span-name id, cached per worker: the same few
+    // phase names repeat every request, and skipping the tracer's interner
+    // lock keeps the traced hot path within its overhead budget.
+    let mut phase_name_ids: std::collections::HashMap<String, u32> =
+        std::collections::HashMap::new();
     loop {
         let job = {
             let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
@@ -428,11 +522,27 @@ fn worker_loop(
             Ok(job) => job,
             Err(_) => return, // queue closed and drained: graceful exit
         };
-        stats.on_dequeue();
+        shared.stats.on_dequeue();
+        // The worker emits through `shared.tracer` directly and materializes
+        // a TraceCtx only to hand the estimator config an owned handle: every
+        // tracer-Arc clone is a refcount bump on a line every worker shares.
+        let trace_id = job.request.trace;
+        if let Some(id) = trace_id {
+            shared
+                .tracer
+                .emit(id, SpanKind::Dequeued, job.accepted.elapsed(), 0);
+        }
+        // Every request gets a fresh profiler: its per-phase wall clock is
+        // published into the registry afterwards (fresh-then-publish keeps
+        // the `ccdp_exec_phase_*` series monotone) and, when traced, its
+        // phases become `phase/*` spans of this trace.
+        let profiler = Arc::new(PhaseProfiler::new());
+        let handle_started = Instant::now();
         // Contain panics: a pathological request must cost its caller a typed
         // error, never a worker (a shrinking pool would be a silent brownout).
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_request(&job, registry, ledger, cache, config)
+            let trace = trace_id.map(|id| TraceCtx::new(id, Arc::clone(&shared.tracer)));
+            handle_request(&job, shared, trace, Arc::clone(&profiler))
         }))
         .unwrap_or_else(|panic| {
             let msg = panic
@@ -444,18 +554,46 @@ fn worker_loop(
                 ccdp_core::CoreError::InvalidParameter(msg),
             )))
         });
+        let handle_time = handle_started.elapsed();
+        profiler.publish(&shared.metrics);
+        if let Some(id) = trace_id {
+            // No-alloc walk: cloning and sorting the report per request is
+            // measurable against the 5% tracing budget.
+            profiler.visit(|name, seconds, _invocations, _count| {
+                let name_id = match phase_name_ids.get(name) {
+                    Some(&id) => id,
+                    None => {
+                        let id = shared.tracer.intern_name(name);
+                        phase_name_ids.insert(name.to_string(), id);
+                        id
+                    }
+                };
+                shared
+                    .tracer
+                    .emit_phase_id(id, name_id, Duration::from_secs_f64(seconds));
+            });
+            let kind = match &result {
+                Ok(_) => SpanKind::Release,
+                // The budget refusal span was already emitted at the ledger;
+                // the trace still terminates with a typed failure marker so
+                // `slowest`/assembly see a finished trace.
+                Err(_) => SpanKind::Failed,
+            };
+            shared.tracer.emit(id, kind, handle_time, 0);
+        }
         let outcome = match &result {
             Ok(_) => RequestOutcome::Completed,
             Err(ServeError::BudgetExhausted { .. }) => RequestOutcome::BudgetRefused,
             Err(_) => RequestOutcome::Failed,
         };
         let latency = job.accepted.elapsed();
-        stats.on_done(latency, outcome);
+        shared.stats.on_done(latency, outcome);
         let version = result.as_ref().ok().map(|(_, v)| *v);
         // A dropped PendingResponse just means nobody is listening; the
         // request was still served and accounted.
         let _ = job.reply.try_send(ServeResponse {
             request_id: job.request_id,
+            trace: job.request.trace,
             request: job.request,
             version,
             result: result.map(|(release, _)| release),
@@ -467,11 +605,13 @@ fn worker_loop(
 /// The per-request pipeline: resolve snapshot → reserve budget → estimate.
 fn handle_request(
     job: &Job,
-    registry: &GraphRegistry,
-    ledger: &BudgetLedger,
-    cache: &Arc<ExtensionCache>,
-    config: &ServeConfig,
+    shared: &WorkerShared,
+    trace: Option<TraceCtx>,
+    profiler: Arc<PhaseProfiler>,
 ) -> Result<(Release, GraphVersion), ServeError> {
+    let registry = &shared.registry;
+    let ledger = &shared.ledger;
+    let config = &shared.config;
     // A pinned version resolves exactly or fails typed; an unpinned request
     // binds to the latest snapshot *now*, and the bound version is what the
     // cache is tagged with and what the response reports.
@@ -485,15 +625,28 @@ fn handle_request(
     // can only over-count, never under-count, a tenant's exposure. The stage
     // name is the graph id (borrowed, not formatted — this is the hot path),
     // so the tenant ledger records which graph each grant funded.
-    ledger.try_spend(
+    let spend = ledger.try_spend(
         &job.request.tenant,
         job.request.graph.as_str(),
         job.request.epsilon,
-    )?;
+    );
+    if let Some(ctx) = &trace {
+        let kind = match &spend {
+            Ok(_) => SpanKind::BudgetCharge,
+            Err(ServeError::BudgetExhausted { .. }) => SpanKind::BudgetRefusal,
+            Err(_) => SpanKind::BudgetRefusal, // unknown tenant / bad ε
+        };
+        ctx.event_full(kind, Duration::ZERO, job.request.epsilon.to_bits());
+    }
+    spend?;
     let mut est_config = EstimatorConfig::new(job.request.epsilon)
         .with_solver(config.solver)
-        .with_shared_family_cache(Arc::clone(cache))
-        .with_graph_tag(job.request.graph.as_str(), version);
+        .with_shared_family_cache(Arc::clone(&shared.cache))
+        .with_graph_tag(job.request.graph.as_str(), version)
+        .with_profiler(profiler);
+    if let Some(ctx) = trace {
+        est_config = est_config.with_trace(ctx);
+    }
     if let Some(delta_max) = config.delta_max {
         est_config = est_config.with_delta_max(delta_max);
     }
@@ -753,6 +906,144 @@ mod tests {
             run(),
             "per-request seeding must make runs replayable"
         );
+    }
+
+    #[test]
+    fn tracing_off_records_nothing_and_mints_no_ids() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(ServeConfig::new().with_workers(1), registry, ledger);
+        let response = server
+            .submit(ServeRequest::new("acme", "stars", 0.5))
+            .unwrap()
+            .wait();
+        assert!(response.result.is_ok());
+        assert_eq!(response.trace, None);
+        assert_eq!(server.tracer().recorded(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_requests_assemble_a_full_span_tree() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(
+            ServeConfig::new()
+                .with_workers(1)
+                .with_seed(5)
+                .with_tracing(true),
+            registry,
+            ledger,
+        );
+        let response = server
+            .submit(ServeRequest::new("acme", "stars", 0.5))
+            .unwrap()
+            .wait();
+        assert!(response.result.is_ok());
+        let id = response.trace.expect("tracing on must mint an id");
+        let tree = server.tracer().assemble(id).expect("trace must assemble");
+        let names = tree.span_names();
+        for expected in [
+            "queued",
+            "dequeued",
+            "budget/charge",
+            "cache/miss",
+            "noise/draw",
+            "release",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected}: {names:?}"
+            );
+        }
+        // Solver phases from the per-request profiler ride along: the small
+        // graph takes the direct family route plus the two release phases.
+        for expected in [
+            "phase/family/direct",
+            "phase/release/true-value",
+            "phase/release/mechanisms",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected}: {names:?}"
+            );
+        }
+        // A budget refusal still produces a finished trace (the 403 path).
+        let t = TenantId::new("acme");
+        let view = server.ledger().account_view(&t).unwrap();
+        let refused = server
+            .submit(ServeRequest::new(
+                "acme",
+                "stars",
+                view.remaining_epsilon + 1.0,
+            ))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            refused.result,
+            Err(ServeError::BudgetExhausted { .. })
+        ));
+        let refused_tree = server
+            .tracer()
+            .assemble(refused.trace.unwrap())
+            .expect("refusal trace must assemble");
+        let refused_names = refused_tree.span_names();
+        for expected in ["queued", "dequeued", "budget/refusal", "failed"] {
+            assert!(
+                refused_names.iter().any(|n| n == expected),
+                "missing {expected}: {refused_names:?}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_registry_agrees_with_the_island_snapshots() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(
+            ServeConfig::new().with_workers(2),
+            registry,
+            Arc::clone(&ledger),
+        );
+        let pending: Vec<_> = (0..6)
+            .map(|_| {
+                server
+                    .submit(ServeRequest::new("acme", "stars", 0.25))
+                    .unwrap()
+            })
+            .collect();
+        for p in pending {
+            assert!(p.wait().result.is_ok());
+        }
+        let snap = server.metrics().snapshot();
+        let stats = server.stats();
+        let cache = server.cache_stats();
+        assert_eq!(
+            snap.value("ccdp_serve_requests_total"),
+            Some(stats.received as f64)
+        );
+        assert_eq!(
+            snap.value("ccdp_serve_completed_total"),
+            Some(stats.completed as f64)
+        );
+        assert_eq!(
+            snap.value("ccdp_core_cache_hits_total").unwrap()
+                + snap.value("ccdp_core_cache_coalesced_total").unwrap(),
+            (cache.hits + cache.coalesced) as f64
+        );
+        assert_eq!(
+            snap.value("ccdp_core_cache_misses_total"),
+            Some(cache.misses as f64)
+        );
+        assert_eq!(
+            snap.value("ccdp_dp_budget_charges_total"),
+            Some(ledger.charges() as f64)
+        );
+        // The per-request profilers published solver phases into the
+        // registry even with tracing off.
+        assert!(
+            snap.sum("ccdp_exec_phase_invocations_total") > 0.0,
+            "exec phase island missing from the scrape"
+        );
+        server.shutdown();
     }
 
     #[test]

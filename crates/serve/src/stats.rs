@@ -2,149 +2,121 @@
 //!
 //! [`ServeStats`] is the server's always-on instrument panel: lock-free
 //! counters on the hot path (one atomic bump per event), a queue-depth gauge
-//! with a high-water mark, and a fixed-bucket [`LatencyHistogram`] of
-//! per-request latencies from which [`StatsSnapshot`] computes p50/p99.
-//! Recording a latency is one atomic increment into a log-spaced bucket — no
-//! lock, no allocation, no reservoir to contend on — so the instrument costs
-//! the same at the millionth request as at the first. Snapshots are
-//! point-in-time and cheap enough to take mid-run.
+//! with a high-water mark, and a log-bucket latency histogram (the
+//! [`ccdp_obs::LogHistogram`] bucketing) from which [`StatsSnapshot`]
+//! computes p50/p99. Recording a latency is one atomic increment into a
+//! log-spaced bucket — no lock, no allocation, no reservoir to contend on —
+//! so the instrument costs the same at the millionth request as at the
+//! first.
+//!
+//! Since the observability tier, the counters are [`ccdp_obs`] registry
+//! handles: built with [`ServeStats::with_metrics`], the same atomics back
+//! both [`snapshot`](ServeStats::snapshot) (`GET /stats`) and the
+//! `ccdp_serve_*` series of the Prometheus exposition (`GET /metrics`), so
+//! the two surfaces can never disagree about a counter.
+//!
+//! # Snapshot coherence
+//!
+//! A snapshot is taken while recorders race it, and it is **racy by
+//! design**: it never stops the world, so the set of counters it reads is
+//! not a single atomic cut. What *is* guaranteed is a one-sided invariant:
+//! outcome counters never run ahead of `received`. Every recorder publishes
+//! its outcome increment behind a release fence, and the snapshot reads all
+//! outcome counters **before** one acquire fence and `received` **after**
+//! it; if the snapshot observes an outcome increment, the matching
+//! `received` increment (which happens-before it via the queue handoff) is
+//! guaranteed visible. So `completed + budget_refusals + failed ≤ received`
+//! always holds in a snapshot, and `/stats` and `/metrics` can never report
+//! more answered requests than accepted ones. The converse is deliberately
+//! weak — a snapshot may see `received` bumps whose outcomes land a
+//! microsecond later; that skew is the in-flight window, not an error.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use ccdp_obs::{Counter, Gauge, LogHistogram, MetricsRegistry};
+use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Number of octaves (powers of two of microseconds) the histogram spans:
-/// 1 µs up to ~2^40 µs ≈ 12.7 days, far beyond any serving latency.
-const OCTAVES: usize = 40;
-
-/// Sub-buckets per octave: log-spaced resolution of one eighth of an octave,
-/// bounding the relative quantile error at 12.5%.
-const SUBS: usize = 8;
-
-const NUM_BUCKETS: usize = OCTAVES * SUBS;
-
 /// A fixed-size, lock-free histogram of microsecond latencies with
-/// log-spaced buckets.
-///
-/// Bucket `i = octave · 8 + sub` covers
-/// `[2^octave · (1 + sub/8), 2^octave · (1 + (sub+1)/8))` microseconds;
-/// quantiles report a bucket's upper edge, so they are conservative (never
-/// under-report) and within 12.5% of the exact sample quantile above ~8 µs.
-/// Below 8 µs the integer-microsecond bucket edges dominate: the error is
-/// bounded by 1 µs absolute instead (e.g. all-1 µs samples report 2 µs).
-#[derive(Debug)]
+/// log-spaced buckets — a thin serving-tier wrapper over the shared
+/// [`ccdp_obs::LogHistogram`] bucketing (40 octaves × 8 sub-buckets;
+/// quantiles report bucket upper edges, conservative and within 12.5% above
+/// ~8 µs).
+#[derive(Debug, Default)]
 pub struct LatencyHistogram {
-    buckets: Vec<AtomicU64>,
+    inner: LogHistogram,
 }
 
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-        }
+        Self::default()
     }
 
-    /// Records one latency (sub-microsecond values land in the first
-    /// bucket; values beyond the range land in the last). Lock-free: one
-    /// relaxed atomic increment.
+    /// Records one latency. Lock-free: one relaxed atomic increment (plus
+    /// the running sum).
     pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        self.buckets[Self::index(us)].fetch_add(1, Ordering::Relaxed);
+        self.inner.record(latency);
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`) of everything recorded so far:
-    /// the upper edge of the bucket where the cumulative count crosses the
-    /// rank — conservative (never under-reports) and within 12.5% of the
-    /// exact sample quantile above ~8 µs (1 µs absolute below).
+    /// The `q`-quantile (`q` in `[0, 1]`) of everything recorded so far.
     /// `Duration::ZERO` when nothing was recorded.
     pub fn quantile(&self, q: f64) -> Duration {
-        bucket_percentile(&self.counts(), q)
+        self.inner.quantile(q)
     }
 
-    fn index(us: u64) -> usize {
-        let us = us.max(1);
-        let octave = 63 - us.leading_zeros() as usize;
-        if octave >= OCTAVES {
-            return NUM_BUCKETS - 1;
-        }
-        let base = 1u64 << octave;
-        // (us - base) * SUBS / base, exact in u64: us - base < 2^40.
-        let sub = (((us - base) * SUBS as u64) >> octave) as usize;
-        octave * SUBS + sub.min(SUBS - 1)
-    }
-
-    /// Exclusive upper edge of bucket `idx` in microseconds. The division
-    /// rounds up so the edge stays exclusive even in the lowest octaves,
-    /// where an eighth of the octave is below one microsecond.
-    fn upper_edge_us(idx: usize) -> u64 {
-        let (octave, sub) = (idx / SUBS, idx % SUBS);
-        let base = 1u64 << octave;
-        base + ((sub as u64 + 1) * base).div_ceil(SUBS as u64)
-    }
-
-    /// Point-in-time copy of the bucket counts.
-    fn counts(&self) -> Vec<u64> {
-        self.buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect()
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
     }
 }
 
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Nearest-rank percentile over a bucket-count vector: the upper edge of the
-/// bucket where the cumulative count crosses the rank.
-fn bucket_percentile(counts: &[u64], q: f64) -> Duration {
-    let total: u64 = counts.iter().sum();
-    if total == 0 {
-        return Duration::ZERO;
-    }
-    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
-    let mut seen = 0u64;
-    for (idx, &c) in counts.iter().enumerate() {
-        seen += c;
-        if seen >= rank {
-            return Duration::from_micros(LatencyHistogram::upper_edge_us(idx));
-        }
-    }
-    Duration::from_micros(LatencyHistogram::upper_edge_us(NUM_BUCKETS - 1))
-}
-
-/// Live counters of a running server.
+/// Live counters of a running server, backed by [`ccdp_obs`] instruments.
 #[derive(Debug)]
 pub struct ServeStats {
     started: Instant,
-    received: AtomicU64,
-    completed: AtomicU64,
-    rejected_queue_full: AtomicU64,
-    budget_refusals: AtomicU64,
-    failed: AtomicU64,
+    received: Counter,
+    completed: Counter,
+    rejected_queue_full: Counter,
+    budget_refusals: Counter,
+    failed: Counter,
     /// Signed: a worker may record its dequeue before the submitting thread
     /// records the matching enqueue, so the gauge can transiently dip below
     /// zero (snapshots clamp it).
-    queue_depth: AtomicI64,
-    peak_queue_depth: AtomicI64,
-    latencies: LatencyHistogram,
+    queue_depth: Gauge,
+    peak_queue_depth: Gauge,
+    latencies: Arc<LogHistogram>,
 }
 
 impl ServeStats {
-    /// Fresh counters with the clock started now.
+    /// Fresh detached counters (not visible in any registry) with the clock
+    /// started now.
     pub fn new() -> Self {
         ServeStats {
             started: Instant::now(),
-            received: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected_queue_full: AtomicU64::new(0),
-            budget_refusals: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            queue_depth: AtomicI64::new(0),
-            peak_queue_depth: AtomicI64::new(0),
-            latencies: LatencyHistogram::new(),
+            received: Counter::detached(),
+            completed: Counter::detached(),
+            rejected_queue_full: Counter::detached(),
+            budget_refusals: Counter::detached(),
+            failed: Counter::detached(),
+            queue_depth: Gauge::detached(),
+            peak_queue_depth: Gauge::detached(),
+            latencies: Arc::new(LogHistogram::new()),
+        }
+    }
+
+    /// Counters registered into `registry` as the `ccdp_serve_*` series:
+    /// the snapshot and the Prometheus exposition share one set of atomics.
+    pub fn with_metrics(registry: &MetricsRegistry) -> Self {
+        ServeStats {
+            started: Instant::now(),
+            received: registry.counter("ccdp_serve_requests_total"),
+            completed: registry.counter("ccdp_serve_completed_total"),
+            rejected_queue_full: registry.counter("ccdp_serve_rejected_queue_full_total"),
+            budget_refusals: registry.counter("ccdp_serve_budget_refusals_total"),
+            failed: registry.counter("ccdp_serve_failed_total"),
+            queue_depth: registry.gauge("ccdp_serve_queue_depth"),
+            peak_queue_depth: registry.gauge("ccdp_serve_queue_depth_peak"),
+            latencies: registry.histogram("ccdp_serve_latency_seconds"),
         }
     }
 
@@ -152,59 +124,80 @@ impl ServeStats {
     /// depth gauge or the peak, so backpressure storms cannot inflate them);
     /// returns the new queue depth.
     pub(crate) fn on_enqueue(&self) -> i64 {
-        self.received.fetch_add(1, Ordering::Relaxed);
-        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.received.inc();
+        let depth = self.queue_depth.add(1);
+        self.peak_queue_depth.raise_to(depth);
         depth
     }
 
     /// Records a dequeue by a worker.
     pub(crate) fn on_dequeue(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.add(-1);
     }
 
     /// Records a queue-full rejection.
     pub(crate) fn on_queue_full(&self) {
-        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+        self.rejected_queue_full.inc();
     }
 
-    /// Records a finished request and its latency.
+    /// Records a finished request and its latency. The release fence orders
+    /// this outcome increment after everything the request did — in
+    /// particular after its `received` increment, whose visibility the
+    /// snapshot's acquire fence relies on (see the module docs).
     pub(crate) fn on_done(&self, latency: Duration, outcome: RequestOutcome) {
+        fence(Ordering::Release);
         match outcome {
-            RequestOutcome::Completed => self.completed.fetch_add(1, Ordering::Relaxed),
-            RequestOutcome::BudgetRefused => self.budget_refusals.fetch_add(1, Ordering::Relaxed),
-            RequestOutcome::Failed => self.failed.fetch_add(1, Ordering::Relaxed),
+            RequestOutcome::Completed => self.completed.inc(),
+            RequestOutcome::BudgetRefused => self.budget_refusals.inc(),
+            RequestOutcome::Failed => self.failed.inc(),
         };
         self.latencies.record(latency);
     }
 
     /// Current queue depth (requests accepted but not yet picked up).
     pub fn queue_depth(&self) -> u64 {
-        self.queue_depth.load(Ordering::Relaxed).max(0) as u64
+        self.queue_depth.get().max(0) as u64
     }
 
     /// Point-in-time snapshot (percentiles computed from the latency
     /// histogram buckets).
+    ///
+    /// Racy by design — recorders are never paused — but one-sided
+    /// coherent: all outcome counters are loaded **before** a single
+    /// acquire fence and `received` **after** it, so the snapshot can never
+    /// report more outcomes than accepted requests (module docs have the
+    /// full argument).
     pub fn snapshot(&self) -> StatsSnapshot {
-        let counts = self.latencies.counts();
         let elapsed = self.started.elapsed();
-        let completed = self.completed.load(Ordering::Relaxed);
+        // Outcome counters first…
+        let completed = self.completed.get();
+        let budget_refusals = self.budget_refusals.get();
+        let failed = self.failed.get();
+        let rejected_queue_full = self.rejected_queue_full.get();
+        let p50_latency = self.latencies.quantile(0.50);
+        let p99_latency = self.latencies.quantile(0.99);
+        // …then the single acquire fence pairing with `on_done`'s release
+        // fence…
+        fence(Ordering::Acquire);
+        // …then the acceptance counter, guaranteed to include the enqueue of
+        // every outcome observed above.
+        let received = self.received.get();
         StatsSnapshot {
             elapsed,
-            received: self.received.load(Ordering::Relaxed),
+            received,
             completed,
-            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
-            budget_refusals: self.budget_refusals.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
-            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            rejected_queue_full,
+            budget_refusals,
+            failed,
+            queue_depth: self.queue_depth.get().max(0) as u64,
+            peak_queue_depth: self.peak_queue_depth.get().max(0) as u64,
             throughput_rps: if elapsed.as_secs_f64() > 0.0 {
                 completed as f64 / elapsed.as_secs_f64()
             } else {
                 0.0
             },
-            p50_latency: bucket_percentile(&counts, 0.50),
-            p99_latency: bucket_percentile(&counts, 0.99),
+            p50_latency,
+            p99_latency,
         }
     }
 }
@@ -291,27 +284,18 @@ mod tests {
     }
 
     #[test]
-    fn bucket_index_and_edges_are_consistent() {
-        // Every recordable value lands in a bucket whose range contains it.
-        for us in [0u64, 1, 2, 3, 7, 8, 100, 1000, 2048, 3000, 1 << 20, 1 << 45] {
-            let idx = LatencyHistogram::index(us);
-            let hi = LatencyHistogram::upper_edge_us(idx);
-            if (1..1 << OCTAVES).contains(&us) {
-                assert!(us < hi, "us {us} must fall below its bucket edge {hi}");
-                assert!(
-                    hi as f64 <= (us.max(1) as f64) * 1.125 + 1.0,
-                    "edge {hi} too far above {us}"
-                );
-            }
-            assert!(idx < NUM_BUCKETS);
-        }
-        // Buckets are monotone: larger latencies never map to earlier buckets.
-        let mut last = 0;
-        for us in 1..10_000u64 {
-            let idx = LatencyHistogram::index(us);
-            assert!(idx >= last, "bucket index regressed at {us}");
-            last = idx;
-        }
+    fn registry_backed_stats_share_atomics_with_the_exposition() {
+        let registry = MetricsRegistry::new();
+        let stats = ServeStats::with_metrics(&registry);
+        stats.on_enqueue();
+        stats.on_dequeue();
+        stats.on_done(Duration::from_millis(2), RequestOutcome::Completed);
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("ccdp_serve_requests_total"), Some(1.0));
+        assert_eq!(snap.value("ccdp_serve_completed_total"), Some(1.0));
+        assert_eq!(snap.value("ccdp_serve_latency_seconds"), Some(1.0));
+        let text = registry.render_prometheus();
+        assert!(text.contains("ccdp_serve_requests_total 1"));
     }
 
     #[test]
@@ -323,7 +307,7 @@ mod tests {
         assert_within_bucket(hist.quantile(0.50), Duration::from_micros(50));
         assert_within_bucket(hist.quantile(0.99), Duration::from_micros(99));
         assert_within_bucket(hist.quantile(1.0), Duration::from_micros(100));
-        assert_eq!(bucket_percentile(&[0; NUM_BUCKETS], 0.5), Duration::ZERO);
+        assert_eq!(hist.count(), 100);
         assert_eq!(LatencyHistogram::default().quantile(0.5), Duration::ZERO);
     }
 
@@ -365,9 +349,57 @@ mod tests {
         }
         let snap = stats.snapshot();
         assert_eq!(snap.completed, 8000);
-        let total: u64 = stats.latencies.counts().iter().sum();
-        assert_eq!(total, 8000, "no sample may be dropped");
+        assert_eq!(stats.latencies.count(), 8000, "no sample may be dropped");
         assert!(snap.p50_latency > Duration::ZERO);
         assert!(snap.p99_latency >= snap.p50_latency);
+    }
+
+    #[test]
+    fn snapshot_never_reports_more_outcomes_than_received() {
+        // Racing recorders: each worker thread runs the full lifecycle in a
+        // tight loop while the main thread snapshots continuously. Any
+        // snapshot observing `outcomes > received` would mean the acquire
+        // fence ordering is broken.
+        let stats = std::sync::Arc::new(ServeStats::new());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let stats = std::sync::Arc::clone(&stats);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        stats.on_enqueue();
+                        stats.on_dequeue();
+                        let outcome = match (w + i) % 3 {
+                            0 => RequestOutcome::Completed,
+                            1 => RequestOutcome::BudgetRefused,
+                            _ => RequestOutcome::Failed,
+                        };
+                        stats.on_done(Duration::from_micros(1), outcome);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..20_000 {
+            let snap = stats.snapshot();
+            let outcomes = snap.completed + snap.budget_refusals + snap.failed;
+            assert!(
+                outcomes <= snap.received,
+                "snapshot incoherent: {outcomes} outcomes > {} received",
+                snap.received
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in workers {
+            h.join().unwrap();
+        }
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.completed + snap.budget_refusals + snap.failed,
+            snap.received,
+            "quiescent snapshot must balance exactly"
+        );
     }
 }

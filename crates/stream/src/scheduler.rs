@@ -41,6 +41,7 @@ use crate::error::StreamError;
 use crate::stream::{GraphSnapshot, GraphStream};
 use ccdp_core::{Estimator, EstimatorConfig, ExtensionCache, PrivateCcEstimator, SolverBackend};
 use ccdp_graph::GraphVersion;
+use ccdp_obs::{Counter, MetricsRegistry};
 use ccdp_serve::{
     BudgetLedger, GraphId, GraphRegistry, ServeError, ServeRequest, Server, TenantId,
 };
@@ -193,6 +194,10 @@ pub struct ReleaseScheduler {
     server: Option<Arc<Server>>,
     state: Mutex<HashMap<GraphId, TriggerState>>,
     log: Mutex<Vec<ReleaseRecord>>,
+    /// Successful releases, as `ccdp_stream_releases_total` once published
+    /// into a [`MetricsRegistry`] (automatic under
+    /// [`ReleaseScheduler::with_server`]).
+    releases_total: Counter,
 }
 
 impl ReleaseScheduler {
@@ -212,6 +217,7 @@ impl ReleaseScheduler {
             server: None,
             state: Mutex::new(HashMap::new()),
             log: Mutex::new(Vec::new()),
+            releases_total: Counter::detached(),
         }
     }
 
@@ -232,15 +238,29 @@ impl ReleaseScheduler {
     /// * The ledger stage name is the graph id (the worker pool's hot-path
     ///   naming), not the inline path's `id@version`.
     pub fn with_server(config: SchedulerConfig, server: Arc<Server>) -> Self {
-        ReleaseScheduler {
+        let mut scheduler = ReleaseScheduler {
             config,
             registry: Arc::clone(server.registry()),
             ledger: Arc::clone(server.ledger()),
             cache: Arc::clone(server.cache()),
+            releases_total: Counter::detached(),
             server: Some(server),
             state: Mutex::new(HashMap::new()),
             log: Mutex::new(Vec::new()),
-        }
+        };
+        let metrics = Arc::clone(scheduler.server.as_ref().expect("just set").metrics());
+        scheduler.publish_metrics(&metrics);
+        scheduler
+    }
+
+    /// Registers the scheduler's counters into `registry` (as
+    /// `ccdp_stream_releases_total`), carrying over any releases already
+    /// recorded. [`ReleaseScheduler::with_server`] does this automatically
+    /// against the server's registry; the inline constructor leaves it to
+    /// the caller, who owns the registry there.
+    pub fn publish_metrics(&mut self, registry: &MetricsRegistry) {
+        self.releases_total =
+            registry.adopt_counter("ccdp_stream_releases_total", &self.releases_total);
     }
 
     /// The configuration the scheduler fires with.
@@ -387,6 +407,7 @@ impl ReleaseScheduler {
             trigger,
         };
         self.lock_log().push(record.clone());
+        self.releases_total.inc();
         Ok(record)
     }
 
@@ -463,6 +484,7 @@ impl ReleaseScheduler {
             trigger,
         };
         self.lock_log().push(record.clone());
+        self.releases_total.inc();
         Ok(record)
     }
 

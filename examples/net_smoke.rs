@@ -12,6 +12,11 @@
 //! * `/healthz` answers `ready` while serving;
 //! * shutdown drains cleanly and reports consistent wire counters.
 //!
+//! The pool runs with tracing on, so at drain the example also prints the
+//! five slowest traces (each id resolvable while the server lives via
+//! `GET /trace/{id}` / `ccdp trace`) and the solver phase table from the
+//! unified metrics registry — the same series `GET /metrics` exposes.
+//!
 //! With `--json PATH`, writes the metrics JSON archived as `BENCH_net.json`.
 //!
 //! ```text
@@ -56,7 +61,11 @@ fn main() {
     let ledger = Arc::new(BudgetLedger::new());
     spec.provision(&registry, &ledger);
     let server = Arc::new(Server::start(
-        spec.base.server.clone().with_seed(spec.base.seed),
+        spec.base
+            .server
+            .clone()
+            .with_seed(spec.base.seed)
+            .with_tracing(true),
         registry,
         ledger,
     ));
@@ -109,6 +118,59 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("wrote {path}");
     }
+
+    // Where did the time go? The tracer ranks whole requests, the registry
+    // attributes solver wall-clock per phase across the whole workload.
+    let slowest = net.server().tracer().slowest(5);
+    assert!(
+        !slowest.is_empty(),
+        "a traced workload must leave spans in the ring"
+    );
+    println!("slowest traces:");
+    for t in &slowest {
+        println!(
+            "  {}  {:>9.3} ms  ({} spans)",
+            t.id,
+            t.total_nanos as f64 / 1e6,
+            t.events
+        );
+    }
+    let snapshot = net.server().metrics().snapshot();
+    println!("solver phases (whole workload):");
+    let mut rows: Vec<(String, f64, f64)> = snapshot
+        .series
+        .iter()
+        .filter(|s| s.name == "ccdp_exec_phase_seconds_total")
+        .filter_map(|s| {
+            let phase = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "phase")
+                .map(|(_, v)| v.clone())?;
+            let seconds = match s.value {
+                ccdp::obs::SeriesValue::Float(v) => v,
+                _ => return None,
+            };
+            let calls = snapshot
+                .series
+                .iter()
+                .find(|o| o.name == "ccdp_exec_phase_invocations_total" && o.labels == s.labels)
+                .map(|o| match o.value {
+                    ccdp::obs::SeriesValue::Counter(v) => v as f64,
+                    _ => 0.0,
+                })
+                .unwrap_or(0.0);
+            Some((phase, seconds, calls))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (phase, seconds, calls) in &rows {
+        println!("  {phase:<24} {:>9.3} s  ({calls:.0} calls)", seconds);
+    }
+    assert!(
+        !rows.is_empty(),
+        "the registry must hold per-phase series after a served workload"
+    );
 
     let stats = net.shutdown();
     assert_eq!(

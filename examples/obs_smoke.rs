@@ -1,0 +1,361 @@
+//! Observability acceptance smoke: the unified registry and the tracing
+//! layer, exercised over real sockets and gated on their own overhead.
+//!
+//! Runs the deterministic net-smoke workload against a traced listener and
+//! asserts the invariants the CI `obs-smoke` job relies on:
+//!
+//! * `GET /metrics` is scraped before and after the load; every counter
+//!   series is monotone between the two scrapes, and the after-scrape
+//!   spans all five islands (net, serve, core-cache, dp-budget,
+//!   exec-phase) with ≥ 20 named series;
+//! * cross-island consistency: the registry's `ccdp_serve_*` counters
+//!   equal the serve tier's own [`StatsSnapshot`], and the
+//!   `ccdp_core_cache_*` counters equal [`CacheStats`] — one set of
+//!   numbers, two surfaces;
+//! * the tracer kept whole-request spans: the slowest-traces ranking is
+//!   non-empty and its ids resolve through `GET /trace/{id}`;
+//! * tracing stays within its 5% budget: the serve smoke's schedule runs
+//!   in-process against one long-lived pool, toggling only the tracer
+//!   between fine-grained request chunks (loopback TCP jitter, thread
+//!   re-placement and ambient machine noise would drown the 5% being
+//!   measured), and the median of the per-chunk-pair on/off throughput
+//!   ratios must be ≥ 0.95.
+//!
+//! With `--json PATH`, writes the measurements archived as
+//! `BENCH_obs.json` — the ratio in that file is the number the budget is
+//! gated on, not an aspiration.
+//!
+//! ```text
+//! cargo run --release --example obs_smoke
+//! cargo run --release --example obs_smoke -- --requests 1024 --json BENCH_obs.json
+//! ```
+
+use ccdp::obs::parse_exposition;
+use ccdp::prelude::*;
+use std::sync::Arc;
+
+/// Overhead passes (each pass runs the whole overhead schedule once, with
+/// tracing toggled chunk by chunk); the gate takes the median over every
+/// pass's per-chunk-pair ratios.
+const OVERHEAD_RUNS: usize = 9;
+/// Requests per tracing toggle. Modes must interleave well below the
+/// timescale of ambient machine noise (CPU stolen by neighbors moves
+/// throughput ±15% on a ~100 ms scale, dwarfing the 5% being measured):
+/// at ~1.5 ms per 64-request chunk, any noise burst lands on both modes
+/// almost equally and cancels out of the ratio.
+const OVERHEAD_CHUNK: usize = 64;
+/// The overhead passes run a longer schedule than the scrape run so each
+/// pass holds enough chunks per mode for the interleaving to average over.
+const OVERHEAD_REQUEST_FACTOR: usize = 16;
+/// Floor on the tracing-on/off throughput ratio (the "≤ 5% overhead"
+/// acceptance budget).
+const MIN_THROUGHPUT_RATIO: f64 = 0.95;
+
+/// Median of a sample set (mutates order).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Measures the tracing throughput ratio on ONE long-lived server,
+/// interleaving the two modes at [`OVERHEAD_CHUNK`]-request granularity.
+/// Returns `(median_off, median_on, ratio)` where the ratio is the median
+/// over every adjacent (off, on) chunk pair's throughput ratio — roughly
+/// a thousand pairs per measurement.
+///
+/// The shape is all about the noise floor — the effect being gated is 5%
+/// and ambient machine noise is ±15%:
+///
+/// * modes toggle every ~1.5 ms chunk (parity swapped between passes, so
+///   every schedule position runs both modes), and a per-pass ratio
+///   compares time the two modes spent *interleaved through the same
+///   seconds* — noise bursts hit both sides of the ratio and cancel;
+/// * the gate runs in-process (loopback TCP jitter dwarfs the effect),
+///   single-client (a 32-thread storm against a small pool measures the
+///   scheduler's mood, not the pipeline), and against one pool
+///   (restarting the server re-rolls thread placement) — so the only
+///   thing that differs between chunks is [`Tracer::set_enabled`].
+fn measure_tracing_ratio(spec: &LoadSpec, passes: usize) -> (f64, f64, f64) {
+    let mut base = spec.clone();
+    base.requests *= OVERHEAD_REQUEST_FACTOR;
+    // Fund every tenant far beyond what the whole measurement can spend:
+    // refusals are cheaper than releases, so a quota exhausted partway
+    // through would flatter whichever mode hit it.
+    for t in &mut base.tenants {
+        t.quota_epsilon = 1e12;
+    }
+    let registry = Arc::new(GraphRegistry::new());
+    let ledger = Arc::new(BudgetLedger::new());
+    let graph_ids = base.provision(&registry, &ledger);
+    let schedule = base.schedule(&graph_ids);
+    let server = Server::start(
+        base.server.clone().with_seed(base.seed).with_tracing(true),
+        registry,
+        ledger,
+    );
+    // One pass: the whole schedule, chunk parity choosing the mode. Each
+    // adjacent (off, on) chunk pair yields one on/off throughput ratio —
+    // the pair spans ~3 ms of the same machine seconds, so ambient noise
+    // cancels inside it, and a scheduler stall skews one pair, which the
+    // median over all pairs then discards as an outlier.
+    let mut pair_ratios: Vec<f64> = Vec::new();
+    let run_pass = |parity: usize, pairs: Option<&mut Vec<f64>>| -> (f64, f64) {
+        let (mut secs, mut reqs) = ([0.0f64; 2], [0usize; 2]);
+        let mut chunk_rps = Vec::with_capacity(schedule.len() / OVERHEAD_CHUNK + 1);
+        for (c, chunk) in schedule.chunks(OVERHEAD_CHUNK).enumerate() {
+            let tracing = (c + parity) % 2 == 1;
+            server.tracer().set_enabled(tracing);
+            let started = std::time::Instant::now();
+            for request in chunk {
+                let response = server
+                    .submit(request.clone())
+                    .expect("sequential submissions never overflow the queue")
+                    .wait();
+                assert!(
+                    response.result.is_ok(),
+                    "overhead chunk request failed: {:?}",
+                    response.result.err()
+                );
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            secs[tracing as usize] += elapsed;
+            reqs[tracing as usize] += chunk.len();
+            chunk_rps.push((tracing, chunk.len() as f64 / elapsed));
+        }
+        if let Some(pairs) = pairs {
+            for w in chunk_rps.chunks_exact(2) {
+                let ((a_traced, a_rps), (_, b_rps)) = (w[0], w[1]);
+                let (off_rps, on_rps) = if a_traced {
+                    (b_rps, a_rps)
+                } else {
+                    (a_rps, b_rps)
+                };
+                pairs.push(on_rps / off_rps);
+            }
+        }
+        (reqs[0] as f64 / secs[0], reqs[1] as f64 / secs[1])
+    };
+    run_pass(0, None); // warm the family cache so no mode leads evaluations
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for pass in 0..passes {
+        let (off_rps, on_rps) = run_pass(pass % 2, Some(&mut pair_ratios));
+        println!(
+            "pass {pass}: tracing off {off_rps:.0} req/s, on {on_rps:.0} req/s, ratio {:.3}",
+            on_rps / off_rps
+        );
+        off.push(off_rps);
+        on.push(on_rps);
+    }
+    (median(&mut off), median(&mut on), median(&mut pair_ratios))
+}
+
+/// Sum of every series named `name` in a parsed exposition, labeled
+/// variants (`name{...}`) included.
+fn series_sum(series: &[(String, f64)], name: &str) -> f64 {
+    series
+        .iter()
+        .filter(|(n, _)| n == name || (n.starts_with(name) && n[name.len()..].starts_with('{')))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// Whether a series key is a monotone counter (`*_total`, with or without
+/// a label block) rather than a gauge or a quantile sample.
+fn is_counter_key(key: &str) -> bool {
+    let base = key.split('{').next().unwrap_or(key);
+    base.ends_with("_total")
+}
+
+fn main() {
+    let mut spec = WireLoadSpec::ci_smoke();
+    let mut json_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("flag {} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--requests" => {
+                spec.base.requests = value(i).parse().expect("--requests takes a count");
+                i += 2;
+            }
+            "--clients" => {
+                spec.base.clients = value(i).parse().expect("--clients takes a count");
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(value(i).to_string());
+                i += 2;
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    println!(
+        "obs-smoke: {} clients x {} requests, tracing gated at ratio ≥ {MIN_THROUGHPUT_RATIO}",
+        spec.base.clients, spec.base.requests
+    );
+
+    // ------------------------------------------------------------------
+    // Part 1: one traced run, scraped before and after the load.
+    // ------------------------------------------------------------------
+    let registry = Arc::new(GraphRegistry::new());
+    let ledger = Arc::new(BudgetLedger::new());
+    spec.provision(&registry, &ledger);
+    let server = Arc::new(Server::start(
+        spec.base
+            .server
+            .clone()
+            .with_seed(spec.base.seed)
+            .with_tracing(true),
+        registry,
+        ledger,
+    ));
+    let net = NetServer::start(
+        NetConfig::new().with_max_connections(spec.base.clients + 8),
+        server,
+    )
+    .expect("loopback listener must bind");
+    let addr = net.local_addr();
+    let mut probe = NetClient::connect(addr);
+
+    let before = parse_exposition(&probe.metrics().expect("/metrics before load"));
+    let report = spec.run(addr);
+    assert!(report.is_complete(), "workload incomplete: {report:?}");
+    assert_eq!(report.failed, 0, "hard failures over the wire: {report:?}");
+    let after = parse_exposition(&probe.metrics().expect("/metrics after load"));
+    println!(
+        "traced run: {}/{} completed, {} budget refusals, {:.0} req/s",
+        report.completed, report.spec_requests, report.budget_refusals, report.throughput_rps
+    );
+
+    // Monotonicity: no counter moved backwards between the two scrapes.
+    let mut counters_checked = 0;
+    for (key, before_v) in before.iter().filter(|(k, _)| is_counter_key(k)) {
+        let after_v = after
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("counter `{key}` vanished between scrapes"));
+        assert!(
+            after_v >= *before_v,
+            "counter `{key}` moved backwards: {before_v} -> {after_v}"
+        );
+        counters_checked += 1;
+    }
+    assert!(
+        counters_checked >= 10,
+        "expected ≥10 counter series in the pre-load scrape, got {counters_checked}"
+    );
+    println!("monotone: {counters_checked} counter series, none moved backwards");
+
+    // Coverage: ≥ 20 named series across every island.
+    let names: std::collections::BTreeSet<&str> = after
+        .iter()
+        .map(|(k, _)| k.split('{').next().unwrap_or(k))
+        .collect();
+    assert!(
+        names.len() >= 20,
+        "expected ≥20 series, got {}",
+        names.len()
+    );
+    for island in [
+        "ccdp_net_",
+        "ccdp_serve_",
+        "ccdp_core_cache_",
+        "ccdp_dp_budget_",
+        "ccdp_exec_phase_",
+    ] {
+        assert!(
+            names.iter().any(|n| n.starts_with(island)),
+            "no `{island}*` series in the exposition"
+        );
+    }
+
+    // Cross-island consistency: the registry and the tier-native snapshots
+    // are the same numbers on two surfaces.
+    let stats = net.server().stats();
+    let cache = net.server().cache_stats();
+    for (series, tier_value) in [
+        ("ccdp_serve_requests_total", stats.received),
+        ("ccdp_serve_completed_total", stats.completed),
+        ("ccdp_serve_budget_refusals_total", stats.budget_refusals),
+        (
+            "ccdp_serve_rejected_queue_full_total",
+            stats.rejected_queue_full,
+        ),
+        ("ccdp_dp_budget_refusals_total", stats.budget_refusals),
+        ("ccdp_core_cache_hits_total", cache.hits),
+        ("ccdp_core_cache_misses_total", cache.misses),
+        ("ccdp_core_cache_coalesced_total", cache.coalesced),
+    ] {
+        assert_eq!(
+            series_sum(&after, series),
+            tier_value as f64,
+            "registry `{series}` disagrees with the tier snapshot"
+        );
+    }
+    println!(
+        "consistent: serve received={} completed={} refusals={}; cache hits={} misses={} coalesced={}",
+        stats.received, stats.completed, stats.budget_refusals, cache.hits, cache.misses,
+        cache.coalesced
+    );
+
+    // The tracer kept whole requests, and its ids resolve over the wire.
+    let slowest = net.server().tracer().slowest(5);
+    assert!(!slowest.is_empty(), "traced run left no spans in the ring");
+    for t in &slowest {
+        let tree = probe.trace(&t.id.to_string()).expect("slowest id resolves");
+        assert!(
+            tree.get("spans").is_some(),
+            "trace {} resolved without spans",
+            t.id
+        );
+    }
+    println!(
+        "tracer: {} slowest ids all resolve (worst {:.3} ms over {} spans)",
+        slowest.len(),
+        slowest[0].total_nanos as f64 / 1e6,
+        slowest[0].events
+    );
+    net.shutdown();
+
+    // ------------------------------------------------------------------
+    // Part 2: the overhead gate.
+    // ------------------------------------------------------------------
+    let (median_off, median_on, ratio) = measure_tracing_ratio(&spec.base, OVERHEAD_RUNS);
+    println!(
+        "overhead: median off {median_off:.0} req/s, median on {median_on:.0} req/s, \
+median paired ratio {ratio:.3}"
+    );
+
+    if let Some(path) = &json_path {
+        let json = format!(
+            "{{\"requests\":{},\"overhead_requests\":{},\"clients\":{},\"series\":{},\
+\"counters_monotone\":{},\
+\"throughput_off_rps\":{:.1},\"throughput_on_rps\":{:.1},\"tracing_ratio\":{:.4},\
+\"min_ratio\":{},\"completed\":{},\"budget_refusals\":{}}}",
+            spec.base.requests,
+            spec.base.requests * OVERHEAD_REQUEST_FACTOR,
+            spec.base.clients,
+            names.len(),
+            counters_checked,
+            median_off,
+            median_on,
+            ratio,
+            MIN_THROUGHPUT_RATIO,
+            report.completed,
+            report.budget_refusals,
+        );
+        std::fs::write(path, format!("{json}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    assert!(
+        ratio >= MIN_THROUGHPUT_RATIO,
+        "tracing overhead over budget: on/off throughput ratio {ratio:.3} < {MIN_THROUGHPUT_RATIO}"
+    );
+    println!("obs smoke OK");
+}

@@ -17,8 +17,10 @@
 //!   count (a loose, noise-tolerant sanity band — not an accuracy claim).
 //!
 //! With `--json PATH`, writes the measurements (including the per-phase
-//! wall-clock breakdown from [`PhaseProfiler`] and the micro/dedup ablation
-//! timings) archived as `BENCH_scale.json`. With `--baseline PATH`, loads a
+//! wall-clock breakdown from [`PhaseProfiler`], published through the
+//! unified [`MetricsRegistry`](ccdp::MetricsRegistry) as the same
+//! `ccdp_exec_phase_*` series the serving tier scrapes, and the micro/dedup
+//! ablation timings) archived as `BENCH_scale.json`. With `--baseline PATH`, loads a
 //! committed phase baseline and fails if any phase regressed more than 3×
 //! against it — the CI regression gate.
 //!
@@ -96,6 +98,55 @@ fn baseline_phases(raw: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Renders a registry snapshot's `ccdp_exec_phase_*` series: timed phases
+/// sorted by wall-clock spent, bare counts after.
+fn print_phase_table(snapshot: &MetricsSnapshot) {
+    use ccdp::obs::{SeriesSnapshot, SeriesValue};
+    let phase_label = |s: &SeriesSnapshot| -> Option<String> {
+        s.labels
+            .iter()
+            .find(|(k, _)| k == "phase")
+            .map(|(_, v)| v.clone())
+    };
+    let mut timed: Vec<(String, f64, u64)> = Vec::new();
+    for s in &snapshot.series {
+        let SeriesValue::Float(seconds) = &s.value else {
+            continue;
+        };
+        if s.name != "ccdp_exec_phase_seconds_total" {
+            continue;
+        }
+        let Some(phase) = phase_label(s) else {
+            continue;
+        };
+        let calls = snapshot
+            .series
+            .iter()
+            .find(|o| o.name == "ccdp_exec_phase_invocations_total" && o.labels == s.labels)
+            .map(|o| match o.value {
+                SeriesValue::Counter(v) => v,
+                _ => 0,
+            })
+            .unwrap_or(0);
+        timed.push((phase, *seconds, calls));
+    }
+    timed.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (phase, seconds, calls) in &timed {
+        println!("  phase {phase:<24} {seconds:>9.3}s ({calls} calls)");
+    }
+    for s in &snapshot.series {
+        if s.name != "ccdp_exec_phase_count_total" {
+            continue;
+        }
+        let SeriesValue::Counter(count) = s.value else {
+            continue;
+        };
+        if let Some(phase) = phase_label(s) {
+            println!("  count {phase:<24} {count:>12}");
+        }
+    }
+}
+
 fn main() {
     let mut n: usize = 100_000;
     let mut json_path: Option<String> = None;
@@ -153,17 +204,12 @@ fn main() {
         "sequential and 8-thread releases must be bit-for-bit identical"
     );
 
+    // The breakdown flows through the same registry the serving tier
+    // scrapes as `ccdp_exec_phase_*`: publish once, print from the snapshot.
     let phases = profiler.report();
-    for ph in &phases {
-        if ph.invocations > 0 {
-            println!(
-                "  phase {:<24} {:>9.3}s ({} calls)",
-                ph.name, ph.seconds, ph.invocations
-            );
-        } else {
-            println!("  count {:<24} {:>12}", ph.name, ph.count);
-        }
-    }
+    let registry = MetricsRegistry::new();
+    profiler.publish(&registry);
+    print_phase_table(&registry.snapshot());
 
     // Value-neutrality of the fast paths: every toggle combination must
     // release the same bits. (micro=off, dedup=off) is the pre-optimization

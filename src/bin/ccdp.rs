@@ -9,10 +9,13 @@
 //! ```text
 //! ccdp serve    [addr=127.0.0.1:8787] [fleet=smoke|empty] [workers=4]
 //!               [queue=256] [seed=0] [max_connections=64] [duration_s=0]
+//!               [tracing=on|off]
 //! ccdp estimate [addr=..] tenant=alpha graph=fleet/g0 epsilon=0.25 [version=3]
 //! ccdp ingest   [addr=..] graph=g (file=edges.txt | edges='0 1\n1 2') [version=0]
 //! ccdp stats    [addr=..]
 //! ccdp health   [addr=..]
+//! ccdp top      [addr=..]
+//! ccdp trace    [addr=..] id=<hex trace id>
 //! ccdp bench    [addr=..] [clients=32] [requests=512] [epsilon=0.25]
 //!               [seed=2023] [out=BENCH_net.json] [n=100000] [threads=8]
 //! ```
@@ -49,12 +52,17 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: ccdp <serve|estimate|ingest|stats|health|bench> [KEY=VALUE]...\n\
-  serve     start a listener (fleet=smoke provisions the CI fleet)\n\
+const USAGE: &str =
+    "usage: ccdp <serve|estimate|ingest|stats|health|top|trace|bench> [KEY=VALUE]...\n\
+  serve     start a listener (fleet=smoke provisions the CI fleet;\n\
+            tracing=on records per-request span traces)\n\
   estimate  one private release: tenant= graph= epsilon= [version=]\n\
   ingest    publish an edge list: graph= file=|edges= [version=]\n\
   stats     print the server's counter tree as JSON\n\
   health    readiness probe (exit 0 ready, 2 degraded)\n\
+  top       scrape /metrics and print the fleet dashboard (headline\n\
+            counters plus the solver phase table)\n\
+  trace     render one request's span tree: id=<hex, from X-Ccdp-Trace>\n\
   bench     drive the wire load workload ([out=] writes the report JSON;\n\
             [n=] swaps in one ER graph of that size, [threads=] pins the\n\
             per-request estimator thread budget, [micro=on|off] and\n\
@@ -85,6 +93,7 @@ fn run(args: &[String]) -> Result<Outcome, CliError> {
                 "seed",
                 "max_connections",
                 "duration_s",
+                "tracing",
             ],
         )?),
         "estimate" => cmd_estimate(Args::parse(
@@ -97,6 +106,8 @@ fn run(args: &[String]) -> Result<Outcome, CliError> {
         )?),
         "stats" => cmd_stats(Args::parse(rest, &["addr"])?),
         "health" => cmd_health(Args::parse(rest, &["addr"])?),
+        "top" => cmd_top(Args::parse(rest, &["addr"])?),
+        "trace" => cmd_trace(Args::parse(rest, &["addr", "id"])?),
         "bench" => cmd_bench(Args::parse(
             rest,
             &[
@@ -141,7 +152,8 @@ fn cmd_serve(args: Args) -> Result<Outcome, CliError> {
     let config = ServeConfig::new()
         .with_workers(args.u64_or("workers", 4)? as usize)
         .with_queue_capacity(args.u64_or("queue", 256)? as usize)
-        .with_seed(args.u64_or("seed", 0)?);
+        .with_seed(args.u64_or("seed", 0)?)
+        .with_tracing(args.toggle_opt("tracing")?.unwrap_or(false));
     let server = Arc::new(Server::start(config, registry, ledger));
     let net_config = NetConfig::new()
         .with_addr(addr)
@@ -185,6 +197,9 @@ fn cmd_estimate(args: Args) -> Result<Outcome, CliError> {
         est.estimator,
         est.latency_ms,
     );
+    if let Some(trace) = &est.trace {
+        println!("trace: {trace}  (ccdp trace id={trace})");
+    }
     Ok(Outcome::Done)
 }
 
@@ -235,6 +250,125 @@ fn cmd_health(args: Args) -> Result<Outcome, CliError> {
     } else {
         Outcome::Degraded
     })
+}
+
+fn cmd_top(args: Args) -> Result<Outcome, CliError> {
+    let addr = args.str_or("addr", DEFAULT_ADDR);
+    let mut service = OpsService::connect(addr)?;
+    let series = ccdp::obs::parse_exposition(&service.client.metrics()?);
+    // A series name in the exposition may carry labels (`name{k="v"}`);
+    // headline numbers sum across them.
+    let sum = |name: &str| -> f64 {
+        series
+            .iter()
+            .filter(|(n, _)| n == name || (n.starts_with(name) && n[name.len()..].starts_with('{')))
+            .map(|(_, v)| v)
+            .sum()
+    };
+    println!("== ccdp top @ {addr} ==");
+    println!(
+        "serve    requests={:.0} completed={:.0} failed={:.0} budget_refusals={:.0} queue_depth={:.0} (peak {:.0})",
+        sum("ccdp_serve_requests_total"),
+        sum("ccdp_serve_completed_total"),
+        sum("ccdp_serve_failed_total"),
+        sum("ccdp_serve_budget_refusals_total"),
+        sum("ccdp_serve_queue_depth"),
+        sum("ccdp_serve_queue_depth_peak"),
+    );
+    let hits = sum("ccdp_core_cache_hits_total");
+    let misses = sum("ccdp_core_cache_misses_total");
+    let lookups = hits + misses + sum("ccdp_core_cache_coalesced_total");
+    println!(
+        "cache    hits={hits:.0} misses={misses:.0} coalesced={:.0} entries={:.0} (hit ratio {:.0}%)",
+        sum("ccdp_core_cache_coalesced_total"),
+        sum("ccdp_core_cache_entries"),
+        if lookups > 0.0 { 100.0 * (lookups - misses) / lookups } else { 0.0 },
+    );
+    println!(
+        "budget   charges={:.0} refusals={:.0} epsilon_spent={:.4}",
+        sum("ccdp_dp_budget_charges_total"),
+        sum("ccdp_dp_budget_refusals_total"),
+        sum("ccdp_dp_budget_epsilon_spent_total"),
+    );
+    println!(
+        "net      requests={:.0} 2xx={:.0} 4xx={:.0} 5xx={:.0} refused_cap={:.0}",
+        sum("ccdp_net_requests_total"),
+        sum("ccdp_net_responses_ok_total"),
+        sum("ccdp_net_responses_client_error_total"),
+        sum("ccdp_net_responses_server_error_total"),
+        sum("ccdp_net_connections_refused_cap_total"),
+    );
+    let releases = sum("ccdp_stream_releases_total");
+    if releases > 0.0 {
+        println!("stream   releases={releases:.0}");
+    }
+
+    // The solver phase table: seconds and invocations per `phase` label,
+    // hottest first.
+    let mut phases: Vec<(String, f64, f64)> = Vec::new();
+    for (name, seconds) in &series {
+        let Some(label) = name
+            .strip_prefix("ccdp_exec_phase_seconds_total{phase=\"")
+            .and_then(|rest| rest.strip_suffix("\"}"))
+        else {
+            continue;
+        };
+        let invocations = sum(&format!(
+            "ccdp_exec_phase_invocations_total{{phase=\"{label}\"}}"
+        ));
+        phases.push((label.to_string(), *seconds, invocations));
+    }
+    phases.sort_by(|a, b| b.1.total_cmp(&a.1));
+    if !phases.is_empty() {
+        println!("phases   (seconds, invocations):");
+        for (name, seconds, invocations) in &phases {
+            println!("  {name:<28} {seconds:>10.4} s {invocations:>8.0}");
+        }
+    }
+    Ok(Outcome::Done)
+}
+
+fn cmd_trace(args: Args) -> Result<Outcome, CliError> {
+    let id = args.require("id")?;
+    let mut service = OpsService::connect(args.str_or("addr", DEFAULT_ADDR))?;
+    let tree = service.client.trace(id)?;
+    let total_ms = tree
+        .get("total_nanos")
+        .and_then(ccdp::serve::json::JsonValue::as_f64)
+        .unwrap_or(0.0)
+        / 1e6;
+    println!("trace {id}  ({total_ms:.3} ms end to end)");
+    fn render(span: &ccdp::serve::json::JsonValue, depth: usize) {
+        use ccdp::serve::json::JsonValue;
+        let name = span.get("name").and_then(JsonValue::as_str).unwrap_or("?");
+        let ms = span
+            .get("duration_nanos")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0)
+            / 1e6;
+        let detail = span
+            .get("detail")
+            .and_then(JsonValue::as_str)
+            .map(|d| format!("  [{d}]"))
+            .unwrap_or_default();
+        let indent = "  ".repeat(depth + 1);
+        if ms > 0.0 {
+            println!("{indent}{name:<30} {ms:>9.3} ms{detail}");
+        } else {
+            println!("{indent}{name}{detail}");
+        }
+        if let Some(JsonValue::Array(children)) = span.get("children") {
+            for child in children {
+                render(child, depth + 1);
+            }
+        }
+    }
+    if let Some(ccdp::serve::json::JsonValue::Array(spans)) = tree.get("spans") {
+        for span in spans {
+            render(span, 0);
+        }
+    }
+    Ok(Outcome::Done)
 }
 
 fn cmd_bench(args: Args) -> Result<Outcome, CliError> {

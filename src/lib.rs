@@ -53,6 +53,7 @@ pub use ccdp_core as core;
 pub use ccdp_dp as dp;
 pub use ccdp_graph as graph;
 pub use ccdp_net as net;
+pub use ccdp_obs as obs;
 pub use ccdp_serve as serve;
 pub use ccdp_stream as stream;
 
@@ -67,6 +68,9 @@ pub use ccdp_core::{
 pub use ccdp_dp::{BudgetExceeded, PrivacyBudget};
 pub use ccdp_exec::{PhaseProfiler, PhaseReport};
 pub use ccdp_graph::{CsrGraph, Graph, GraphVersion};
+pub use ccdp_obs::{
+    MetricsRegistry, MetricsSnapshot, SpanKind, TraceCtx, TraceId, TraceTree, Tracer,
+};
 
 /// Everything an application needs in one import: the estimator API, the graph
 /// layer (including its submodules for generators, I/O, sensitivities, …) and
@@ -93,6 +97,10 @@ pub mod prelude {
     };
     pub use ccdp_net::{
         NetClient, NetConfig, NetError, NetServer, NetStatsSnapshot, WireLoadReport, WireLoadSpec,
+    };
+    pub use ccdp_obs::{
+        Counter, FloatCounter, Gauge, MetricsRegistry, MetricsSnapshot, SpanKind, TraceCtx,
+        TraceId, TraceTree, Tracer,
     };
     pub use ccdp_serve::{
         BudgetLedger, GraphId, GraphRegistry, LoadReport, LoadSpec, PendingResponse, ServeConfig,

@@ -23,7 +23,7 @@
 use crate::error::NetError;
 use crate::http::{self, ReadOutcome, Request, WireLimits};
 use ccdp_graph::GraphVersion;
-use ccdp_obs::{Counter, MetricsRegistry, Span, TraceId, TraceTree};
+use ccdp_obs::{replay_tenant, AuditEvent, Counter, MetricsRegistry, Span, TraceId, TraceTree};
 use ccdp_serve::json::{self, JsonValue, JsonWriter};
 use ccdp_serve::{ServeRequest, Server};
 use std::io::BufReader;
@@ -484,20 +484,24 @@ fn route(request: &Request, shared: &Shared) -> Reply {
         ("POST", "/ingest") => route_ingest(request, shared).map(Reply::json),
         ("GET", "/stats") => Ok(Reply::json(stats_body(shared))),
         ("GET", "/healthz") => Ok(Reply::json(healthz_body(shared))),
-        ("GET", "/metrics") => Ok(Reply::exposition(
-            shared.server.metrics().render_prometheus(),
-        )),
+        // render_metrics (not the raw registry) so ring-drop counters are
+        // refreshed on every scrape.
+        ("GET", "/metrics") => Ok(Reply::exposition(shared.server.render_metrics())),
+        ("GET", "/slo") => Ok(Reply::json(slo_body(shared))),
         ("GET", path) if path.starts_with("/trace/") => route_trace(path, shared).map(Reply::json),
-        (_, path @ ("/estimate" | "/ingest" | "/stats" | "/healthz" | "/metrics")) => {
+        ("GET", path) if path.starts_with("/audit/") => route_audit(path, shared).map(Reply::json),
+        (_, path @ ("/estimate" | "/ingest" | "/stats" | "/healthz" | "/metrics" | "/slo")) => {
             Err(NetError::MethodNotAllowed {
                 method: request.method.clone(),
                 path: path.to_string(),
             })
         }
-        (_, path) if path.starts_with("/trace/") => Err(NetError::MethodNotAllowed {
-            method: request.method.clone(),
-            path: path.to_string(),
-        }),
+        (_, path) if path.starts_with("/trace/") || path.starts_with("/audit/") => {
+            Err(NetError::MethodNotAllowed {
+                method: request.method.clone(),
+                path: path.to_string(),
+            })
+        }
         (_, path) => Err(NetError::UnknownRoute {
             path: path.to_string(),
         }),
@@ -608,6 +612,132 @@ fn trace_body(tree: &TraceTree) -> String {
         .begin_array("spans");
     for span in &tree.spans {
         write_span(&mut w, span);
+    }
+    w.end();
+    w.finish()
+}
+
+/// `GET /audit/{tenant}` — the tenant's retained audit events, their live
+/// account, and the replay verdict: whether folding the journaled events
+/// reconstructs the ledger's accountant bit-for-bit.
+fn route_audit(path: &str, shared: &Shared) -> Result<String, NetError> {
+    let raw = &path["/audit/".len()..];
+    if raw.is_empty() {
+        return Err(NetError::BadField {
+            field: "tenant",
+            detail: "must be a tenant id".into(),
+        });
+    }
+    let tenant = ccdp_serve::TenantId::new(raw);
+    let account = shared.server.ledger().audit_snapshot(&tenant)?;
+    let journal = shared.server.journal();
+    let events = journal.events_for_tenant(raw);
+    let replay = replay_tenant(raw, &events);
+    // Replay equality is only claimable while the ring has dropped nothing
+    // of this tenant's history; a wrapped ring reports `complete: false`
+    // rather than a spurious mismatch.
+    let complete = journal.dropped() == 0;
+    let matches = complete
+        && replay.quota_epsilon.to_bits() == account.quota_epsilon.to_bits()
+        && replay.spent_epsilon.to_bits() == account.spent_epsilon.to_bits()
+        && replay.charges == account.charges
+        && replay.refusals == account.refusals;
+    let mut w = JsonWriter::object();
+    w.field_str("tenant", raw)
+        .begin_object("account")
+        .field_f64("quota_epsilon", account.quota_epsilon)
+        .field_f64("spent_epsilon", account.spent_epsilon)
+        .field_f64_rounded("utilization", account.utilization, 6)
+        .field_u64("charges", account.charges)
+        .field_u64("refusals", account.refusals)
+        .end()
+        .begin_object("replay")
+        .field_f64("quota_epsilon", replay.quota_epsilon)
+        .field_f64("spent_epsilon", replay.spent_epsilon)
+        .field_u64("charges", replay.charges)
+        .field_u64("refusals", replay.refusals)
+        .field_bool("complete", complete)
+        .field_bool("matches", matches)
+        .end()
+        .begin_array("events");
+    for event in &events {
+        write_audit_event(&mut w, event);
+    }
+    w.end();
+    Ok(w.finish())
+}
+
+fn write_audit_event(w: &mut JsonWriter, event: &AuditEvent) {
+    w.begin_element_object()
+        .field_u64("seq", event.seq)
+        .field_u64("at_micros", event.at_micros)
+        .field_str("kind", event.kind.name());
+    if !event.graph.is_empty() {
+        w.field_str("graph", &event.graph);
+    }
+    if let Some(version) = event.version {
+        w.field_u64("version", version);
+    }
+    if !event.stage.is_empty() {
+        w.field_str("stage", &event.stage);
+    }
+    w.field_f64("epsilon_requested", event.epsilon_requested)
+        .field_f64("epsilon_granted", event.epsilon_granted);
+    if let Some(trace) = event.trace {
+        w.field_str("trace", &trace.to_string());
+    }
+    if !event.detail.is_empty() {
+        w.field_str("detail", &event.detail);
+    }
+    w.end();
+}
+
+/// `GET /slo` — evaluates every spec now (newly fired alerts land in the
+/// audit journal as a side effect, exactly as a scrape-driven alerting
+/// pipeline expects), then reports the declared specs, every
+/// `(spec, tenant, window)` status and the full alert history.
+fn slo_body(shared: &Shared) -> String {
+    let fired = shared.server.evaluate_slos();
+    let statuses = shared.server.slo_statuses();
+    let alerts = shared.server.slo().alerts();
+    let mut w = JsonWriter::object();
+    w.begin_array("specs");
+    for spec in shared.server.slo().specs() {
+        w.begin_element_object()
+            .field_str("name", &spec.name)
+            .field_str("objective", spec.objective.name())
+            .begin_array("windows_micros");
+        for window in &spec.windows_micros {
+            w.element_f64(*window as f64);
+        }
+        w.end().end();
+    }
+    w.end().field_u64("fired_now", fired.len() as u64);
+    w.begin_array("statuses");
+    for s in &statuses {
+        w.begin_element_object()
+            .field_str("spec", &s.spec)
+            .field_str("tenant", &s.tenant)
+            .field_str("objective", s.objective)
+            .field_u64("window_micros", s.window_micros)
+            .field_f64("measured", s.measured)
+            .field_f64("threshold", s.threshold)
+            .field_bool("breached", s.breached)
+            .field_u64("samples", s.samples)
+            .end();
+    }
+    w.end().begin_array("alerts");
+    for a in &alerts {
+        w.begin_element_object()
+            .field_str("spec", &a.spec)
+            .field_str("tenant", &a.tenant)
+            .field_str("objective", a.objective)
+            .field_u64("window_micros", a.window_micros)
+            .field_f64("measured", a.measured)
+            .field_f64("threshold", a.threshold)
+            .field_u64("at_micros", a.at_micros)
+            .field_str("message", &a.message)
+            .end();
     }
     w.end();
     w.finish()
@@ -849,6 +979,105 @@ mod tests {
         let stats = net.shutdown();
         assert_eq!(stats.responses_ok, 0);
         assert!(stats.responses_client_error >= 5);
+    }
+
+    #[test]
+    fn audit_journal_and_slo_surfaces_round_trip() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("stars", generators::planted_star_forest(10, 2, 3));
+        let ledger = Arc::new(BudgetLedger::new());
+        ledger.register("acme", 2.5).unwrap();
+        let serve = Arc::new(Server::start(
+            ServeConfig::new().with_workers(2).with_seed(7),
+            registry,
+            ledger,
+        ));
+        // A generous hourly horizon: any spend at all breaches burn 0.001,
+        // so the alert fires deterministically on the first /slo scrape.
+        serve.slo().add_spec(ccdp_obs::SloSpec::new(
+            "budget-burn",
+            ccdp_obs::SloObjective::BurnRate {
+                horizon_micros: 3_600_000_000,
+                max_burn: 0.001,
+            },
+            10_000_000,
+        ));
+        let net = NetServer::start(NetConfig::new(), Arc::clone(&serve)).unwrap();
+        let mut client = NetClient::connect(net.local_addr());
+        client.estimate("acme", "stars", 2.0, None).unwrap();
+        let err = client.estimate("acme", "stars", 1.0, None).unwrap_err();
+        assert!(matches!(&err, NetError::Api { status: 403, .. }));
+
+        let audit = client.audit("acme").unwrap();
+        let account = audit.get("account").unwrap();
+        assert_eq!(account.get("charges").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(account.get("refusals").and_then(JsonValue::as_u64), Some(1));
+        let replay = audit.get("replay").unwrap();
+        assert_eq!(
+            replay.get("matches").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            replay.get("spent_epsilon").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        let events = match audit.get("events") {
+            Some(JsonValue::Array(events)) => events,
+            other => panic!("events must be an array, got {other:?}"),
+        };
+        let kind = |e: &JsonValue| {
+            e.get("kind")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+        };
+        assert!(events
+            .iter()
+            .any(|e| kind(e).as_deref() == Some("budget_charge")));
+        assert!(events
+            .iter()
+            .any(|e| kind(e).as_deref() == Some("budget_refusal")));
+
+        // The scrape evaluates: the burn breach fires and is visible both
+        // in the /slo alert history and as an slo_alert audit event.
+        let slo = client.slo().unwrap();
+        let alerts = match slo.get("alerts") {
+            Some(JsonValue::Array(alerts)) => alerts.clone(),
+            other => panic!("alerts must be an array, got {other:?}"),
+        };
+        assert!(
+            alerts.iter().any(|a| {
+                a.get("spec").and_then(JsonValue::as_str) == Some("budget-burn")
+                    && a.get("tenant").and_then(JsonValue::as_str) == Some("acme")
+            }),
+            "burn-rate alert must fire on the scrape: {alerts:?}"
+        );
+        let audit = client.audit("acme").unwrap();
+        let events = match audit.get("events") {
+            Some(JsonValue::Array(events)) => events.clone(),
+            other => panic!("events must be an array, got {other:?}"),
+        };
+        assert!(events
+            .iter()
+            .any(|e| kind(e).as_deref() == Some("slo_alert")));
+
+        // Unknown tenants are a typed 404; wrong methods a typed 405.
+        let err = client.audit("ghost").unwrap_err();
+        assert!(
+            matches!(&err, NetError::Api { status: 404, code, .. } if code == "unknown_tenant")
+        );
+        let err = client.post_json("/slo", "{}").unwrap_err();
+        assert!(matches!(&err, NetError::Api { status: 405, .. }));
+        let err = client.post_json("/audit/acme", "{}").unwrap_err();
+        assert!(matches!(&err, NetError::Api { status: 405, .. }));
+
+        // The exposition satellite: versioned content type, drop counters,
+        // per-tenant spend series, `# EOF` terminator.
+        let metrics = client.metrics().unwrap();
+        assert!(metrics.contains("ccdp_obs_trace_dropped_total"));
+        assert!(metrics.contains("ccdp_obs_audit_dropped_total"));
+        assert!(metrics.contains("ccdp_serve_budget_spent_total{tenant=\"acme\"}"));
+        assert!(metrics.ends_with("# EOF\n"));
+        net.shutdown();
     }
 
     #[test]

@@ -19,21 +19,35 @@
 //!   [`TraceCtx`], emitting typed [`SpanKind`] events into the bounded
 //!   lock-free ring of a [`Tracer`], assembled on demand into a
 //!   [`TraceTree`] (`GET /trace/{id}`, `ccdp trace`).
+//! * [`audit`] — the privacy-budget audit journal: typed [`AuditEvent`]s
+//!   recorded at every budget decision point into a bounded
+//!   [`AuditJournal`] ring (optional JSONL file sink), with
+//!   [`replay_tenant`] reconstructing a tenant's budget accountant
+//!   bit-for-bit from their events (`GET /audit/{tenant}`, `ccdp audit`).
+//! * [`slo`] — per-tenant SLOs: declarative [`SloSpec`]s (availability,
+//!   p99 latency, ε burn rate vs. quota horizon) evaluated over
+//!   multi-window rolling counters by an [`SloEngine`], firing
+//!   [`SloAlert`]s into the audit journal (`GET /slo`, `ccdp slo`).
 //!
 //! The layer is std-only and dependency-free so every crate in the
 //! workspace can sit on top of it, and its hot-path costs are explicit:
 //! one relaxed atomic per counter bump, one branch per span emission when
-//! tracing is off.
+//! tracing is off (and one branch per audit event when the journal is
+//! off).
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod metrics;
+pub mod slo;
 pub mod trace;
 
+pub use audit::{replay_tenant, AuditEvent, AuditJournal, AuditKind, BudgetReplay};
 pub use metrics::{
     bucket_percentile, parse_exposition, Counter, FloatCounter, Gauge, HistogramSnapshot,
     LogHistogram, MetricsRegistry, MetricsSnapshot, SeriesSnapshot, SeriesValue,
 };
+pub use slo::{SloAlert, SloEngine, SloObjective, SloObservation, SloSpec, SloStatus};
 pub use trace::{
     Span, SpanEvent, SpanKind, TraceCtx, TraceId, TraceIdGen, TraceSummary, TraceTree, Tracer,
 };

@@ -403,7 +403,9 @@ impl MetricsRegistry {
 
     /// Prometheus-style text exposition (the `GET /metrics` body): one
     /// `# TYPE` line per metric name, histograms rendered as summaries
-    /// (`{quantile=...}`, `_count`, `_sum`).
+    /// (`{quantile=...}`, `_count`, `_sum`), terminated by the `# EOF`
+    /// marker strict scrapers require (served with
+    /// `Content-Type: text/plain; version=0.0.4`).
     pub fn render_prometheus(&self) -> String {
         let snapshot = self.snapshot();
         let mut out = String::new();
@@ -461,6 +463,7 @@ impl MetricsRegistry {
                 }
             }
         }
+        out.push_str("# EOF\n");
         out
     }
 }
@@ -681,6 +684,10 @@ mod tests {
         assert!(text.contains("ccdp_c_total{phase=\"anchor\"} 2"));
         assert!(text.contains("# TYPE ccdp_f_latency_seconds summary"));
         assert!(text.contains("ccdp_f_latency_seconds_count 1"));
+        assert!(
+            text.ends_with("# EOF\n"),
+            "exposition must terminate with the `# EOF` marker"
+        );
 
         let parsed = parse_exposition(&text);
         let lookup: HashMap<_, _> = parsed.into_iter().collect();

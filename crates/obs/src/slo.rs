@@ -1,0 +1,709 @@
+//! Per-tenant SLOs: declarative objectives, multi-window rolling
+//! counters, and burn-rate alerting.
+//!
+//! An [`SloSpec`] declares one objective — availability, p99 latency, or
+//! the DP-native one, **budget burn rate vs. quota horizon** — evaluated
+//! over one or more rolling windows. The [`SloEngine`] keeps per-tenant
+//! time-bucketed counters (requests, failures, granted ε, a log-bucket
+//! latency histogram), evaluates every `(spec, tenant, window)` triple on
+//! demand, and emits a typed [`SloAlert`] the moment a triple breaches —
+//! deduplicated, so a continuously-breached objective fires once until it
+//! recovers. Fired alerts are appended to the engine's history and, when
+//! a journal is attached, recorded as [`AuditKind::SloAlert`] events so
+//! `GET /audit/{tenant}` shows a tenant's alerts next to their spends.
+//!
+//! Burn rate is the SRE multi-window construction transplanted to ε:
+//! a tenant with quota `Q` and horizon `H` sustains burn rate 1.0 when
+//! they spend `Q / H` per unit time; the measured rate over a window `W`
+//! is `(ε spent in W) / W ÷ (Q / H)`. Burning at 14× over a short window
+//! is how "this tenant exhausts their quota today" is caught while the
+//! quota is still mostly intact.
+//!
+//! Time is injectable — every entry point takes explicit microseconds —
+//! so property tests drive the windows deterministically; the serving
+//! tier passes wall-clock micros.
+
+use crate::audit::{AuditEvent, AuditJournal, AuditKind};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Latency histogram log-buckets per time bucket (micros, powers of two).
+const LAT_BUCKETS: usize = 40;
+
+/// Minimum request samples in a window before availability / latency
+/// objectives are judged (no alerting on one unlucky request).
+const MIN_WINDOW_SAMPLES: u64 = 10;
+
+/// What one SLO promises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloObjective {
+    /// Fraction of requests (completed / all finished) must stay at or
+    /// above this ratio.
+    Availability {
+        /// Minimum acceptable success ratio in `[0, 1]`.
+        min_success_ratio: f64,
+    },
+    /// The p99 request latency must stay at or below this bound.
+    LatencyP99 {
+        /// Maximum acceptable p99, in microseconds.
+        max_micros: u64,
+    },
+    /// ε spend rate, normalized by the tenant's quota-per-horizon pace,
+    /// must stay at or below `max_burn`.
+    BurnRate {
+        /// The quota amortization horizon, in microseconds.
+        horizon_micros: u64,
+        /// Maximum acceptable burn-rate multiplier (1.0 = exactly on
+        /// pace to exhaust the quota at the horizon).
+        max_burn: f64,
+    },
+}
+
+impl SloObjective {
+    /// The stable snake_case name of this objective kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloObjective::Availability { .. } => "availability",
+            SloObjective::LatencyP99 { .. } => "latency_p99",
+            SloObjective::BurnRate { .. } => "burn_rate",
+        }
+    }
+}
+
+/// One declared SLO: a named objective over one or more rolling windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Stable name, used in alerts and surfaces (e.g. `"burn-fast"`).
+    pub name: String,
+    /// The promise being evaluated.
+    pub objective: SloObjective,
+    /// Rolling windows to evaluate over, in microseconds. Multi-window
+    /// is the standard burn-rate construction: a short window catches
+    /// spikes, a long one catches slow leaks.
+    pub windows_micros: Vec<u64>,
+}
+
+impl SloSpec {
+    /// A spec with one window.
+    pub fn new(name: impl Into<String>, objective: SloObjective, window_micros: u64) -> Self {
+        SloSpec {
+            name: name.into(),
+            objective,
+            windows_micros: vec![window_micros],
+        }
+    }
+
+    /// Adds another evaluation window.
+    pub fn with_window(mut self, window_micros: u64) -> Self {
+        self.windows_micros.push(window_micros);
+        self
+    }
+}
+
+/// One fired SLO breach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloAlert {
+    /// The breaching spec's name.
+    pub spec: String,
+    /// The tenant that breached.
+    pub tenant: String,
+    /// The objective kind (`availability`, `latency_p99`, `burn_rate`).
+    pub objective: &'static str,
+    /// The window that breached, in microseconds.
+    pub window_micros: u64,
+    /// The measured value (ratio, p99 micros, or burn multiplier).
+    pub measured: f64,
+    /// The declared threshold it crossed.
+    pub threshold: f64,
+    /// When the breach was evaluated, in micros since the epoch.
+    pub at_micros: u64,
+    /// Human-readable summary.
+    pub message: String,
+}
+
+/// The current reading of one `(spec, tenant, window)` triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The spec's name.
+    pub spec: String,
+    /// The tenant evaluated.
+    pub tenant: String,
+    /// The objective kind name.
+    pub objective: &'static str,
+    /// The window evaluated, in microseconds.
+    pub window_micros: u64,
+    /// The measured value (see [`SloAlert::measured`]).
+    pub measured: f64,
+    /// The declared threshold.
+    pub threshold: f64,
+    /// Whether the triple is currently in breach.
+    pub breached: bool,
+    /// Finished requests observed in the window.
+    pub samples: u64,
+}
+
+/// One request-path observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloObservation {
+    /// A request finished successfully.
+    Success {
+        /// End-to-end latency in microseconds.
+        latency_micros: u64,
+    },
+    /// A request failed (estimator failure — budget refusals are *not*
+    /// availability failures; refusing an over-budget tenant is the
+    /// service working).
+    Failure {
+        /// End-to-end latency in microseconds.
+        latency_micros: u64,
+    },
+    /// ε was granted to the tenant.
+    BudgetSpend {
+        /// The granted ε.
+        epsilon: f64,
+    },
+}
+
+/// One time bucket of a tenant's rolling window.
+#[derive(Debug, Clone)]
+struct Bucket {
+    /// Absolute bucket index this slot currently holds (`micros / width`).
+    stamp: u64,
+    ok: u64,
+    err: u64,
+    epsilon: f64,
+    latency: [u32; LAT_BUCKETS],
+}
+
+impl Bucket {
+    fn empty() -> Self {
+        Bucket {
+            stamp: u64::MAX,
+            ok: 0,
+            err: 0,
+            epsilon: 0.0,
+            latency: [0; LAT_BUCKETS],
+        }
+    }
+
+    fn reset(&mut self, stamp: u64) {
+        self.stamp = stamp;
+        self.ok = 0;
+        self.err = 0;
+        self.epsilon = 0.0;
+        self.latency = [0; LAT_BUCKETS];
+    }
+}
+
+/// Per-tenant state: the declared quota and the bucket ring.
+struct TenantTrack {
+    quota_epsilon: f64,
+    buckets: Vec<Bucket>,
+}
+
+/// Aggregate of the buckets inside one window.
+#[derive(Debug, Clone, Copy)]
+struct WindowSum {
+    ok: u64,
+    err: u64,
+    epsilon: f64,
+    latency: [u64; LAT_BUCKETS],
+}
+
+/// The per-tenant SLO evaluator.
+///
+/// `observe_at` is the hot path (one mutex, a few adds); `evaluate_at`
+/// and `statuses_at` walk every `(spec, tenant, window)` triple and are
+/// meant for scrape-rate callers (`GET /slo`, the CLI, CI smokes).
+pub struct SloEngine {
+    bucket_micros: u64,
+    specs: Mutex<Vec<SloSpec>>,
+    tenants: Mutex<HashMap<String, TenantTrack>>,
+    /// `(spec, tenant, window)` triples currently in breach — the dedup
+    /// set: an alert fires on the healthy→breached edge only.
+    active: Mutex<Vec<(String, String, u64)>>,
+    alerts: Mutex<Vec<SloAlert>>,
+    journal: Mutex<Option<Arc<AuditJournal>>>,
+    num_buckets: usize,
+}
+
+/// Default bucket width: 250 ms.
+pub const DEFAULT_SLO_BUCKET_MICROS: u64 = 250_000;
+/// Default ring length: 256 buckets (64 s of history at the default
+/// width).
+pub const DEFAULT_SLO_BUCKETS: usize = 256;
+
+impl SloEngine {
+    /// An engine with the default bucket geometry and no specs.
+    pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_SLO_BUCKET_MICROS, DEFAULT_SLO_BUCKETS)
+    }
+
+    /// An engine with explicit bucket width and ring length; the longest
+    /// evaluable window is `bucket_micros * num_buckets`.
+    pub fn with_geometry(bucket_micros: u64, num_buckets: usize) -> Self {
+        SloEngine {
+            bucket_micros: bucket_micros.max(1),
+            specs: Mutex::new(Vec::new()),
+            tenants: Mutex::new(HashMap::new()),
+            active: Mutex::new(Vec::new()),
+            alerts: Mutex::new(Vec::new()),
+            journal: Mutex::new(None),
+            num_buckets: num_buckets.max(2),
+        }
+    }
+
+    /// Attaches the audit journal fired alerts are recorded into.
+    pub fn set_journal(&self, journal: Arc<AuditJournal>) {
+        *self.journal.lock().unwrap_or_else(|p| p.into_inner()) = Some(journal);
+    }
+
+    /// Declares (or replaces, by name) one SLO.
+    pub fn add_spec(&self, spec: SloSpec) {
+        let mut specs = self.specs.lock().unwrap_or_else(|p| p.into_inner());
+        specs.retain(|s| s.name != spec.name);
+        specs.push(spec);
+    }
+
+    /// The currently declared specs.
+    pub fn specs(&self) -> Vec<SloSpec> {
+        self.specs.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Declares a tenant's ε quota (the burn-rate denominator). Also
+    /// creates the tenant's window state so `/slo` shows them before
+    /// their first request.
+    pub fn set_quota(&self, tenant: &str, quota_epsilon: f64) {
+        let mut tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        let track = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantTrack {
+                quota_epsilon: 0.0,
+                buckets: vec![Bucket::empty(); self.num_buckets],
+            });
+        track.quota_epsilon = quota_epsilon;
+    }
+
+    /// Records one observation for `tenant` at the given wall-clock
+    /// microseconds.
+    pub fn observe_at(&self, tenant: &str, at_micros: u64, observation: SloObservation) {
+        let stamp = at_micros / self.bucket_micros;
+        let mut tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        let num_buckets = self.num_buckets;
+        let track = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantTrack {
+                quota_epsilon: 0.0,
+                buckets: vec![Bucket::empty(); num_buckets],
+            });
+        let slot = (stamp % track.buckets.len() as u64) as usize;
+        let bucket = &mut track.buckets[slot];
+        if bucket.stamp != stamp {
+            bucket.reset(stamp);
+        }
+        match observation {
+            SloObservation::Success { latency_micros } => {
+                bucket.ok += 1;
+                bucket.latency[latency_bucket(latency_micros)] += 1;
+            }
+            SloObservation::Failure { latency_micros } => {
+                bucket.err += 1;
+                bucket.latency[latency_bucket(latency_micros)] += 1;
+            }
+            SloObservation::BudgetSpend { epsilon } => bucket.epsilon += epsilon,
+        }
+    }
+
+    /// Sums a tenant's buckets falling inside `[now - window, now]`.
+    fn window_sum(&self, track: &TenantTrack, at_micros: u64, window_micros: u64) -> WindowSum {
+        let now_stamp = at_micros / self.bucket_micros;
+        let window_buckets = (window_micros / self.bucket_micros)
+            .max(1)
+            .min(track.buckets.len() as u64);
+        let oldest = now_stamp.saturating_sub(window_buckets - 1);
+        let mut sum = WindowSum {
+            ok: 0,
+            err: 0,
+            epsilon: 0.0,
+            latency: [0; LAT_BUCKETS],
+        };
+        for bucket in &track.buckets {
+            if bucket.stamp >= oldest && bucket.stamp <= now_stamp {
+                sum.ok += bucket.ok;
+                sum.err += bucket.err;
+                sum.epsilon += bucket.epsilon;
+                for (acc, v) in sum.latency.iter_mut().zip(bucket.latency.iter()) {
+                    *acc += *v as u64;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Measures one `(spec, tenant, window)` triple. Returns
+    /// `(measured, threshold, breached, samples)`, or `None` when the
+    /// triple is not judgeable yet (too few samples, or no quota for a
+    /// burn-rate objective).
+    fn measure(
+        &self,
+        spec: &SloSpec,
+        track: &TenantTrack,
+        at_micros: u64,
+        window_micros: u64,
+    ) -> Option<(f64, f64, bool, u64)> {
+        let sum = self.window_sum(track, at_micros, window_micros);
+        let samples = sum.ok + sum.err;
+        match spec.objective {
+            SloObjective::Availability { min_success_ratio } => {
+                if samples < MIN_WINDOW_SAMPLES {
+                    return None;
+                }
+                let measured = sum.ok as f64 / samples as f64;
+                Some((
+                    measured,
+                    min_success_ratio,
+                    measured < min_success_ratio,
+                    samples,
+                ))
+            }
+            SloObjective::LatencyP99 { max_micros } => {
+                if samples < MIN_WINDOW_SAMPLES {
+                    return None;
+                }
+                let measured = latency_percentile(&sum.latency, 0.99) as f64;
+                Some((
+                    measured,
+                    max_micros as f64,
+                    measured > max_micros as f64,
+                    samples,
+                ))
+            }
+            SloObjective::BurnRate {
+                horizon_micros,
+                max_burn,
+            } => {
+                if track.quota_epsilon <= 0.0 || horizon_micros == 0 {
+                    return None;
+                }
+                let window = window_micros.max(1) as f64;
+                let pace = track.quota_epsilon / horizon_micros as f64; // ε per µs at burn 1.0
+                let measured = (sum.epsilon / window) / pace;
+                Some((measured, max_burn, measured > max_burn, samples))
+            }
+        }
+    }
+
+    /// Evaluates every `(spec, tenant, window)` triple at the given
+    /// time; returns the alerts that fired *on this call* (healthy →
+    /// breached edges). Recovered triples re-arm silently.
+    pub fn evaluate_at(&self, at_micros: u64) -> Vec<SloAlert> {
+        let specs = self.specs();
+        let tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        let mut active = self.active.lock().unwrap_or_else(|p| p.into_inner());
+        let mut fired = Vec::new();
+        for spec in &specs {
+            for (tenant, track) in tenants.iter() {
+                for &window in &spec.windows_micros {
+                    let Some((measured, threshold, breached, _)) =
+                        self.measure(spec, track, at_micros, window)
+                    else {
+                        continue;
+                    };
+                    let key = (spec.name.clone(), tenant.clone(), window);
+                    let was_active = active.contains(&key);
+                    if breached && !was_active {
+                        active.push(key);
+                        let alert = SloAlert {
+                            spec: spec.name.clone(),
+                            tenant: tenant.clone(),
+                            objective: spec.objective.name(),
+                            window_micros: window,
+                            measured,
+                            threshold,
+                            at_micros,
+                            message: format!(
+                                "slo `{}` breached for tenant `{tenant}`: {} {measured:.4} \
+                                 vs threshold {threshold:.4} over {:.1}s window",
+                                spec.name,
+                                spec.objective.name(),
+                                window as f64 / 1e6,
+                            ),
+                        };
+                        fired.push(alert);
+                    } else if !breached && was_active {
+                        active.retain(|k| k != &key);
+                    }
+                }
+            }
+        }
+        drop(tenants);
+        drop(active);
+        if !fired.is_empty() {
+            let journal = self
+                .journal
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone();
+            let mut alerts = self.alerts.lock().unwrap_or_else(|p| p.into_inner());
+            for alert in &fired {
+                if let Some(journal) = &journal {
+                    journal.record(
+                        AuditEvent::new(AuditKind::SloAlert)
+                            .tenant(&alert.tenant)
+                            .stage(&alert.spec)
+                            .epsilon(alert.threshold, alert.measured)
+                            .detail(&alert.message),
+                    );
+                }
+                alerts.push(alert.clone());
+            }
+        }
+        fired
+    }
+
+    /// The current reading of every judgeable `(spec, tenant, window)`
+    /// triple, tenants and specs in sorted order.
+    pub fn statuses_at(&self, at_micros: u64) -> Vec<SloStatus> {
+        let mut specs = self.specs();
+        specs.sort_by(|a, b| a.name.cmp(&b.name));
+        let tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        let mut names: Vec<&String> = tenants.keys().collect();
+        names.sort();
+        let mut out = Vec::new();
+        for spec in &specs {
+            for tenant in &names {
+                let track = &tenants[*tenant];
+                for &window in &spec.windows_micros {
+                    if let Some((measured, threshold, breached, samples)) =
+                        self.measure(spec, track, at_micros, window)
+                    {
+                        out.push(SloStatus {
+                            spec: spec.name.clone(),
+                            tenant: (*tenant).clone(),
+                            objective: spec.objective.name(),
+                            window_micros: window,
+                            measured,
+                            threshold,
+                            breached,
+                            samples,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every alert fired over the engine's lifetime, in firing order.
+    pub fn alerts(&self) -> Vec<SloAlert> {
+        self.alerts
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+}
+
+impl Default for SloEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SloEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloEngine")
+            .field("bucket_micros", &self.bucket_micros)
+            .field("num_buckets", &self.num_buckets)
+            .field("specs", &self.specs())
+            .finish()
+    }
+}
+
+/// The log₂ bucket a latency belongs to.
+fn latency_bucket(micros: u64) -> usize {
+    (64 - micros.max(1).leading_zeros() as usize - 1).min(LAT_BUCKETS - 1)
+}
+
+/// Percentile from the log-bucket histogram, reported as the upper bound
+/// of the bucket the percentile lands in (never under-reports).
+fn latency_percentile(latency: &[u64; LAT_BUCKETS], q: f64) -> u64 {
+    let total: u64 = latency.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    let mut seen = 0;
+    for (idx, count) in latency.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << (idx + 1);
+        }
+    }
+    1u64 << LAT_BUCKETS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000;
+
+    #[test]
+    fn burn_rate_fires_once_and_rearms_after_recovery() {
+        let engine = SloEngine::with_geometry(SEC, 64);
+        engine.add_spec(SloSpec::new(
+            "burn-fast",
+            SloObjective::BurnRate {
+                horizon_micros: 3600 * SEC,
+                max_burn: 2.0,
+            },
+            10 * SEC,
+        ));
+        engine.set_quota("alpha", 36.0); // pace: 0.01 ε/s at burn 1.0
+                                         // Spend 1 ε in a 10 s window: rate 0.1 ε/s = burn 10 > 2.
+        let t0 = 1000 * SEC;
+        engine.observe_at("alpha", t0, SloObservation::BudgetSpend { epsilon: 1.0 });
+        let fired = engine.evaluate_at(t0);
+        assert_eq!(fired.len(), 1, "burn breach fires one alert");
+        assert_eq!(fired[0].objective, "burn_rate");
+        assert!(fired[0].measured > fired[0].threshold);
+        // Still breached: deduped.
+        assert!(engine.evaluate_at(t0 + SEC).is_empty());
+        // The spend ages out of the window: recovered, re-armed.
+        assert!(engine.evaluate_at(t0 + 30 * SEC).is_empty());
+        engine.observe_at(
+            "alpha",
+            t0 + 40 * SEC,
+            SloObservation::BudgetSpend { epsilon: 1.0 },
+        );
+        assert_eq!(
+            engine.evaluate_at(t0 + 40 * SEC).len(),
+            1,
+            "re-fires after recovery"
+        );
+        assert_eq!(engine.alerts().len(), 2);
+    }
+
+    #[test]
+    fn availability_needs_samples_and_judges_the_ratio() {
+        let engine = SloEngine::with_geometry(SEC, 64);
+        engine.add_spec(SloSpec::new(
+            "avail",
+            SloObjective::Availability {
+                min_success_ratio: 0.9,
+            },
+            10 * SEC,
+        ));
+        let t0 = 500 * SEC;
+        // 5 failures alone: below MIN_WINDOW_SAMPLES, not judged.
+        for _ in 0..5 {
+            engine.observe_at(
+                "a",
+                t0,
+                SloObservation::Failure {
+                    latency_micros: 100,
+                },
+            );
+        }
+        assert!(engine.evaluate_at(t0).is_empty());
+        assert!(engine.statuses_at(t0).is_empty());
+        // 15 successes + 5 failures = 0.75 < 0.9: breach.
+        for _ in 0..15 {
+            engine.observe_at(
+                "a",
+                t0,
+                SloObservation::Success {
+                    latency_micros: 100,
+                },
+            );
+        }
+        let fired = engine.evaluate_at(t0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].objective, "availability");
+        assert!((fired[0].measured - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_p99_uses_bucket_upper_bounds() {
+        let engine = SloEngine::with_geometry(SEC, 64);
+        engine.add_spec(SloSpec::new(
+            "p99",
+            SloObjective::LatencyP99 { max_micros: 1000 },
+            10 * SEC,
+        ));
+        let t0 = 100 * SEC;
+        for _ in 0..99 {
+            engine.observe_at(
+                "a",
+                t0,
+                SloObservation::Success {
+                    latency_micros: 100,
+                },
+            );
+        }
+        assert!(engine.evaluate_at(t0).is_empty(), "fast tail: no breach");
+        for _ in 0..20 {
+            engine.observe_at(
+                "a",
+                t0,
+                SloObservation::Success {
+                    latency_micros: 50_000,
+                },
+            );
+        }
+        let fired = engine.evaluate_at(t0);
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].measured >= 50_000.0, "p99 covers the slow cohort");
+    }
+
+    #[test]
+    fn alerts_land_in_the_attached_journal() {
+        let engine = SloEngine::with_geometry(SEC, 64);
+        let journal = Arc::new(AuditJournal::with_capacity(32));
+        engine.set_journal(Arc::clone(&journal));
+        engine.add_spec(SloSpec::new(
+            "burn",
+            SloObjective::BurnRate {
+                horizon_micros: 3600 * SEC,
+                max_burn: 1.0,
+            },
+            10 * SEC,
+        ));
+        engine.set_quota("alpha", 1.0);
+        engine.observe_at("alpha", SEC, SloObservation::BudgetSpend { epsilon: 0.5 });
+        assert_eq!(engine.evaluate_at(SEC).len(), 1);
+        let events = journal.events_for_tenant("alpha");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AuditKind::SloAlert);
+        assert!(events[0].detail.contains("burn"));
+    }
+
+    #[test]
+    fn multi_window_judges_each_window_independently() {
+        let engine = SloEngine::with_geometry(SEC, 128);
+        engine.add_spec(
+            SloSpec::new(
+                "burn",
+                SloObjective::BurnRate {
+                    horizon_micros: 1000 * SEC,
+                    max_burn: 1.5,
+                },
+                5 * SEC,
+            )
+            .with_window(60 * SEC),
+        );
+        engine.set_quota("a", 100.0); // pace 0.1 ε/s
+                                      // One 2 ε spike: 5 s window sees 0.4 ε/s = burn 4 (breach);
+                                      // 60 s window sees 0.033 ε/s = burn 0.33 (healthy).
+        let t0 = 200 * SEC;
+        engine.observe_at("a", t0, SloObservation::BudgetSpend { epsilon: 2.0 });
+        let fired = engine.evaluate_at(t0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].window_micros, 5 * SEC);
+        let statuses = engine.statuses_at(t0);
+        assert_eq!(statuses.len(), 2);
+        assert!(statuses
+            .iter()
+            .any(|s| s.window_micros == 60 * SEC && !s.breached));
+    }
+}

@@ -23,9 +23,13 @@
 
 use crate::error::ServeError;
 use ccdp_dp::PrivacyBudget;
-use ccdp_obs::{Counter, FloatCounter, MetricsRegistry};
+use ccdp_obs::{
+    replay_tenant, AuditEvent, AuditJournal, AuditKind, Counter, FloatCounter, Gauge,
+    MetricsRegistry, TraceId,
+};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 pub use crate::ids::TenantId;
 
@@ -44,14 +48,67 @@ pub struct TenantAccount {
     pub grants: usize,
 }
 
+/// One tenant's full auditable state: everything the audit journal must
+/// be able to reconstruct (compared bit-for-bit by
+/// [`BudgetLedger::verify_replay`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantAuditSnapshot {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// The tenant's total ε quota.
+    pub quota_epsilon: f64,
+    /// ε spent so far (the accountant's exact running sum).
+    pub spent_epsilon: f64,
+    /// Quota utilization in `[0, 1]` (the accountant's exact expression).
+    pub utilization: f64,
+    /// Granted spends.
+    pub charges: u64,
+    /// Refused spends (exhausted quota; malformed requests don't count).
+    pub refusals: u64,
+    /// One `(stage, ε)` entry per grant, in grant order.
+    pub stages: Vec<(String, f64)>,
+}
+
+/// Per-tenant ledger state: the accountant, the refusal tally, and the
+/// tenant's labeled metric series (created when metrics are published).
+#[derive(Debug)]
+struct TenantEntry {
+    budget: Mutex<PrivacyBudget>,
+    refusals: AtomicU64,
+    series: OnceLock<TenantSeries>,
+}
+
+/// The per-tenant labeled series in the unified registry.
+#[derive(Debug)]
+struct TenantSeries {
+    /// `ccdp_serve_budget_spent_total{tenant=...}`.
+    spent: FloatCounter,
+    /// `ccdp_serve_budget_utilization_ppm{tenant=...}` (parts-per-million,
+    /// integer-encoded so a gauge can carry it).
+    utilization_ppm: Gauge,
+}
+
 /// A thread-safe map from tenant to privacy-budget accountant.
 ///
 /// The tenant map is guarded by an `RwLock` (registration is rare, spending
 /// is hot), and each tenant's [`PrivacyBudget`] sits behind its own `Mutex`,
 /// so tenants never contend with each other on the spend path.
+///
+/// # Audit journal
+///
+/// With a journal attached ([`set_journal`](Self::set_journal)), every
+/// decision this ledger makes is recorded as a typed [`AuditEvent`]
+/// *inside the tenant's lock*: registrations (carrying the quota), grants
+/// (carrying the granted ε and the request's [`TraceId`]) and
+/// exhausted-quota refusals. Because the events are emitted under the same
+/// lock that orders the spends, one tenant's journal is a linearization of
+/// their account history — replaying it with [`ccdp_obs::replay_tenant`]
+/// reconstructs the accountant bit-for-bit
+/// ([`verify_replay`](Self::verify_replay) checks exactly that, and the
+/// serve tier's property tests drive it under concurrent load).
 #[derive(Debug)]
 pub struct BudgetLedger {
-    tenants: RwLock<HashMap<TenantId, Arc<Mutex<PrivacyBudget>>>>,
+    tenants: RwLock<HashMap<TenantId, Arc<TenantEntry>>>,
     /// Granted spends across all tenants (detached until
     /// [`publish_metrics`](Self::publish_metrics) adopts it into a registry).
     charges: Counter,
@@ -59,6 +116,10 @@ pub struct BudgetLedger {
     refusals: Counter,
     /// Total ε granted across all tenants.
     epsilon_spent: FloatCounter,
+    /// The audit journal decisions are recorded into, once attached.
+    journal: RwLock<Option<Arc<AuditJournal>>>,
+    /// The registry per-tenant labeled series are created in, once shared.
+    metrics: RwLock<Option<Arc<MetricsRegistry>>>,
 }
 
 impl Default for BudgetLedger {
@@ -68,6 +129,8 @@ impl Default for BudgetLedger {
             charges: Counter::detached(),
             refusals: Counter::detached(),
             epsilon_spent: FloatCounter::detached(),
+            journal: RwLock::new(None),
+            metrics: RwLock::new(None),
         }
     }
 }
@@ -86,6 +149,92 @@ impl BudgetLedger {
         registry.adopt_counter("ccdp_dp_budget_charges_total", &self.charges);
         registry.adopt_counter("ccdp_dp_budget_refusals_total", &self.refusals);
         registry.adopt_float_counter("ccdp_dp_budget_epsilon_spent_total", &self.epsilon_spent);
+    }
+
+    /// [`publish_metrics`](Self::publish_metrics), plus per-tenant labeled
+    /// series: keeps the registry handle so every current *and future*
+    /// tenant gets `ccdp_serve_budget_spent_total{tenant=...}` (granted ε)
+    /// and `ccdp_serve_budget_utilization_ppm{tenant=...}` (quota
+    /// utilization in parts-per-million).
+    pub fn publish_metrics_shared(&self, registry: &Arc<MetricsRegistry>) {
+        self.publish_metrics(registry);
+        *self.metrics.write().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(registry));
+        for (tenant, entry) in self.read().iter() {
+            Self::ensure_series(registry, tenant, entry);
+            if let Some(series) = entry.series.get() {
+                // Backfill spends recorded before publication so the scrape
+                // agrees with the account view from the first scrape on.
+                let budget = entry.budget.lock().unwrap_or_else(|p| p.into_inner());
+                let already = series.spent.get();
+                series.spent.add(budget.spent_epsilon() - already);
+                series
+                    .utilization_ppm
+                    .set((budget.utilization() * 1e6) as i64);
+            }
+        }
+    }
+
+    /// Attaches the audit journal every subsequent ledger decision is
+    /// recorded into.
+    ///
+    /// Accounts that already exist are *checkpointed* into the journal
+    /// first — one `tenant_registered` event carrying the quota, one
+    /// `budget_charge` per already-granted stage (in grant order) and one
+    /// `budget_refusal` per past refusal — so replaying the journal
+    /// reconstructs every account exactly even when the journal arrives
+    /// after traffic (the seed path for attaching a replica mid-flight).
+    pub fn set_journal(&self, journal: Arc<AuditJournal>) {
+        for (tenant, entry) in self.read().iter() {
+            let budget = entry.budget.lock().unwrap_or_else(|p| p.into_inner());
+            journal.record(
+                AuditEvent::new(AuditKind::TenantRegistered)
+                    .tenant(tenant.as_str())
+                    .epsilon(budget.total_epsilon(), 0.0)
+                    .detail("checkpoint: account predates journal"),
+            );
+            for (stage, granted) in budget.ledger() {
+                let (graph, version) = split_stage(stage);
+                journal.record(
+                    AuditEvent::new(AuditKind::BudgetCharge)
+                        .tenant(tenant.as_str())
+                        .graph(graph, version)
+                        .stage(stage.as_str())
+                        .epsilon(*granted, *granted)
+                        .detail("checkpoint: grant predates journal"),
+                );
+            }
+            for _ in 0..entry.refusals.load(Ordering::Relaxed) {
+                journal.record(
+                    AuditEvent::new(AuditKind::BudgetRefusal)
+                        .tenant(tenant.as_str())
+                        .epsilon(0.0, 0.0)
+                        .detail("checkpoint: refusal predates journal"),
+                );
+            }
+        }
+        *self.journal.write().unwrap_or_else(|p| p.into_inner()) = Some(journal);
+    }
+
+    /// The attached audit journal, if any.
+    pub fn journal(&self) -> Option<Arc<AuditJournal>> {
+        self.journal
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Creates (idempotently) the tenant's labeled series in `registry`.
+    fn ensure_series(registry: &MetricsRegistry, tenant: &TenantId, entry: &TenantEntry) {
+        let _ = entry.series.set(TenantSeries {
+            spent: registry.float_counter_with(
+                "ccdp_serve_budget_spent_total",
+                &[("tenant", tenant.as_str())],
+            ),
+            utilization_ppm: registry.gauge_with(
+                "ccdp_serve_budget_utilization_ppm",
+                &[("tenant", tenant.as_str())],
+            ),
+        });
     }
 
     /// Granted spends across all tenants so far.
@@ -119,12 +268,34 @@ impl BudgetLedger {
         quota_epsilon: f64,
     ) -> Result<(), ServeError> {
         let tenant = tenant.into();
-        let budget = Arc::new(Mutex::new(PrivacyBudget::new(quota_epsilon)));
-        let mut map = self.write();
-        if map.contains_key(&tenant) {
-            return Err(ServeError::TenantAlreadyRegistered { tenant });
+        let entry = Arc::new(TenantEntry {
+            budget: Mutex::new(PrivacyBudget::new(quota_epsilon)),
+            refusals: AtomicU64::new(0),
+            series: OnceLock::new(),
+        });
+        {
+            let mut map = self.write();
+            if map.contains_key(&tenant) {
+                return Err(ServeError::TenantAlreadyRegistered { tenant });
+            }
+            map.insert(tenant.clone(), Arc::clone(&entry));
         }
-        map.insert(tenant, budget);
+        if let Some(registry) = self
+            .metrics
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .as_ref()
+        {
+            Self::ensure_series(registry, &tenant, &entry);
+        }
+        if let Some(journal) = self.journal() {
+            journal.record(
+                AuditEvent::new(AuditKind::TenantRegistered)
+                    .tenant(tenant.as_str())
+                    .epsilon(quota_epsilon, 0.0)
+                    .detail("quota granted"),
+            );
+        }
         Ok(())
     }
 
@@ -139,21 +310,71 @@ impl BudgetLedger {
         stage: &str,
         epsilon: f64,
     ) -> Result<f64, ServeError> {
+        self.try_spend_traced(tenant, stage, epsilon, None)
+    }
+
+    /// [`try_spend`](Self::try_spend), carrying the request's [`TraceId`]
+    /// into the audit event for cross-correlation with the span trace.
+    ///
+    /// The audit event (grant or refusal) is recorded while the tenant's
+    /// budget lock is held, so a tenant's journal sequence numbers strictly
+    /// follow their spend order — the property replay depends on.
+    pub fn try_spend_traced(
+        &self,
+        tenant: &TenantId,
+        stage: &str,
+        epsilon: f64,
+        trace: Option<TraceId>,
+    ) -> Result<f64, ServeError> {
         if !(epsilon.is_finite() && epsilon > 0.0) {
             // PrivacyBudget::spend would panic on this; a serving tier must
-            // refuse it as a typed error instead.
+            // refuse it as a typed error instead. Malformed requests are not
+            // budget decisions, so nothing lands in the journal either.
             return Err(ServeError::InvalidEpsilon { value: epsilon });
         }
-        let budget = self.account(tenant)?;
-        let mut budget = budget.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = self.account(tenant)?;
+        let mut budget = entry.budget.lock().unwrap_or_else(|p| p.into_inner());
         match budget.spend(stage, epsilon) {
             Ok(granted) => {
                 self.charges.inc();
                 self.epsilon_spent.add(granted);
+                if let Some(series) = entry.series.get() {
+                    series.spent.add(granted);
+                    series
+                        .utilization_ppm
+                        .set((budget.utilization() * 1e6) as i64);
+                }
+                if let Some(journal) = self.journal() {
+                    let (graph, version) = split_stage(stage);
+                    journal.record(
+                        AuditEvent::new(AuditKind::BudgetCharge)
+                            .tenant(tenant.as_str())
+                            .graph(graph, version)
+                            .stage(stage)
+                            .epsilon(epsilon, granted)
+                            .trace(trace),
+                    );
+                }
                 Ok(granted)
             }
             Err(exceeded) => {
                 self.refusals.inc();
+                entry.refusals.fetch_add(1, Ordering::Relaxed);
+                if let Some(journal) = self.journal() {
+                    let (graph, version) = split_stage(stage);
+                    journal.record(
+                        AuditEvent::new(AuditKind::BudgetRefusal)
+                            .tenant(tenant.as_str())
+                            .graph(graph, version)
+                            .stage(stage)
+                            .epsilon(epsilon, 0.0)
+                            .trace(trace)
+                            .detail(format!(
+                                "requested {} with {} remaining",
+                                exceeded.requested, exceeded.remaining
+                            )),
+                    );
+                }
                 Err(ServeError::BudgetExhausted {
                     tenant: tenant.clone(),
                     exceeded,
@@ -165,15 +386,15 @@ impl BudgetLedger {
     /// Whether `tenant` could fund a spend of `epsilon` right now (advisory:
     /// another request may win the budget between this check and a spend).
     pub fn can_spend(&self, tenant: &TenantId, epsilon: f64) -> Result<bool, ServeError> {
-        let budget = self.account(tenant)?;
-        let budget = budget.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = self.account(tenant)?;
+        let budget = entry.budget.lock().unwrap_or_else(|p| p.into_inner());
         Ok(budget.can_spend(epsilon))
     }
 
     /// Point-in-time account view for `tenant`.
     pub fn account_view(&self, tenant: &TenantId) -> Result<TenantAccount, ServeError> {
-        let budget = self.account(tenant)?;
-        let budget = budget.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = self.account(tenant)?;
+        let budget = entry.budget.lock().unwrap_or_else(|p| p.into_inner());
         Ok(TenantAccount {
             tenant: tenant.clone(),
             quota_epsilon: budget.total_epsilon(),
@@ -181,6 +402,81 @@ impl BudgetLedger {
             remaining_epsilon: budget.remaining_epsilon(),
             grants: budget.num_stages(),
         })
+    }
+
+    /// The full auditable state of `tenant`'s account: quota, exact spent
+    /// sum, utilization, grant/refusal tallies and the per-stage ledger —
+    /// the live side of the replay-equality contract.
+    pub fn audit_snapshot(&self, tenant: &TenantId) -> Result<TenantAuditSnapshot, ServeError> {
+        let entry = self.account(tenant)?;
+        let budget = entry.budget.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(TenantAuditSnapshot {
+            tenant: tenant.clone(),
+            quota_epsilon: budget.total_epsilon(),
+            spent_epsilon: budget.spent_epsilon(),
+            utilization: budget.utilization(),
+            charges: budget.num_stages() as u64,
+            refusals: entry.refusals.load(Ordering::Relaxed),
+            stages: budget.ledger().to_vec(),
+        })
+    }
+
+    /// Verifies that replaying every tenant's journal reconstructs their
+    /// live account **bit-for-bit** (spent sum, utilization, per-stage
+    /// spends, grant and refusal counts). Returns the number of tenants
+    /// verified, or a description of the first divergence.
+    ///
+    /// Only sound while the journal has not wrapped past any of the
+    /// ledger's events (`journal.dropped() == 0` for the ledger's lifetime,
+    /// or a complete JSONL sink replayed externally).
+    pub fn verify_replay(&self, journal: &AuditJournal) -> Result<usize, String> {
+        let tenants = self.tenants();
+        for tenant in &tenants {
+            let live = self
+                .audit_snapshot(tenant)
+                .map_err(|e| format!("tenant `{tenant}` vanished mid-verify: {e}"))?;
+            let replay =
+                replay_tenant(tenant.as_str(), &journal.events_for_tenant(tenant.as_str()));
+            if replay.quota_epsilon.to_bits() != live.quota_epsilon.to_bits() {
+                return Err(format!(
+                    "tenant `{tenant}`: replayed quota {} != live {}",
+                    replay.quota_epsilon, live.quota_epsilon
+                ));
+            }
+            if replay.spent_epsilon.to_bits() != live.spent_epsilon.to_bits() {
+                return Err(format!(
+                    "tenant `{tenant}`: replayed spent {} != live {} (bitwise)",
+                    replay.spent_epsilon, live.spent_epsilon
+                ));
+            }
+            if replay.utilization().to_bits() != live.utilization.to_bits() {
+                return Err(format!(
+                    "tenant `{tenant}`: replayed utilization {} != live {}",
+                    replay.utilization(),
+                    live.utilization
+                ));
+            }
+            if replay.charges != live.charges || replay.refusals != live.refusals {
+                return Err(format!(
+                    "tenant `{tenant}`: replayed charges/refusals {}/{} != live {}/{}",
+                    replay.charges, replay.refusals, live.charges, live.refusals
+                ));
+            }
+            if replay.stages.len() != live.stages.len()
+                || replay
+                    .stages
+                    .iter()
+                    .zip(live.stages.iter())
+                    .any(|(a, b)| a.0 != b.0 || a.1.to_bits() != b.1.to_bits())
+            {
+                return Err(format!(
+                    "tenant `{tenant}`: replayed stage ledger diverges from live ({} vs {} entries)",
+                    replay.stages.len(),
+                    live.stages.len()
+                ));
+            }
+        }
+        Ok(tenants.len())
     }
 
     /// All tenants, sorted.
@@ -198,7 +494,7 @@ impl BudgetLedger {
             .collect()
     }
 
-    fn account(&self, tenant: &TenantId) -> Result<Arc<Mutex<PrivacyBudget>>, ServeError> {
+    fn account(&self, tenant: &TenantId) -> Result<Arc<TenantEntry>, ServeError> {
         self.read()
             .get(tenant)
             .cloned()
@@ -207,14 +503,24 @@ impl BudgetLedger {
             })
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<TenantId, Arc<Mutex<PrivacyBudget>>>> {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<TenantId, Arc<TenantEntry>>> {
         self.tenants.read().unwrap_or_else(|p| p.into_inner())
     }
 
-    fn write(
-        &self,
-    ) -> std::sync::RwLockWriteGuard<'_, HashMap<TenantId, Arc<Mutex<PrivacyBudget>>>> {
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<TenantId, Arc<TenantEntry>>> {
         self.tenants.write().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Splits a ledger stage into its graph coordinates: the streaming tier
+/// names stages `id@version`, the serving tier names them by graph id.
+fn split_stage(stage: &str) -> (&str, Option<u64>) {
+    match stage.rsplit_once('@') {
+        Some((graph, version)) => match version.parse() {
+            Ok(v) => (graph, Some(v)),
+            Err(_) => (stage, None),
+        },
+        None => (stage, None),
     }
 }
 
@@ -314,6 +620,92 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.value("ccdp_dp_budget_charges_total"), Some(3.0));
         assert!((snap.value("ccdp_dp_budget_epsilon_spent_total").unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn journal_records_ledger_decisions_in_tenant_order() {
+        let ledger = BudgetLedger::new();
+        let journal = Arc::new(AuditJournal::with_capacity(64));
+        ledger.set_journal(Arc::clone(&journal));
+        ledger.register("acme", 1.0).unwrap();
+        let t = TenantId::new("acme");
+        ledger.try_spend(&t, "g0", 0.5).unwrap();
+        assert!(ledger.try_spend(&t, "g0@3", 0.75).is_err());
+        // Malformed requests are not budget decisions: no events.
+        let _ = ledger.try_spend(&t, "x", -1.0);
+        let _ = ledger.try_spend(&TenantId::new("ghost"), "x", 0.1);
+        let events = journal.events_for_tenant("acme");
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, AuditKind::TenantRegistered);
+        assert_eq!(events[0].epsilon_requested, 1.0);
+        assert_eq!(events[1].kind, AuditKind::BudgetCharge);
+        assert_eq!((events[1].graph.as_str(), events[1].version), ("g0", None));
+        assert_eq!(events[2].kind, AuditKind::BudgetRefusal);
+        assert_eq!(
+            (events[2].graph.as_str(), events[2].version),
+            ("g0", Some(3))
+        );
+        assert!(events[2].detail.contains("remaining"));
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn replay_reconstructs_the_live_account_bit_for_bit() {
+        let ledger = BudgetLedger::new();
+        let journal = Arc::new(AuditJournal::with_capacity(256));
+        ledger.set_journal(Arc::clone(&journal));
+        ledger.register("a", 1.0).unwrap();
+        ledger.register("b", 0.3).unwrap();
+        let (a, b) = (TenantId::new("a"), TenantId::new("b"));
+        // An awkward float mix so the bitwise claim is actually exercised.
+        for eps in [0.1, 0.2, 0.3, 0.1] {
+            let _ = ledger.try_spend(&a, "g", eps);
+        }
+        let _ = ledger.try_spend(&a, "g", 0.9); // refusal
+        let _ = ledger.try_spend(&b, "h@1", 0.2);
+        let _ = ledger.try_spend(&b, "h@2", 0.2); // refusal
+        let verified = ledger
+            .verify_replay(&journal)
+            .expect("replay must match live");
+        assert_eq!(verified, 2);
+        // And the replayed values really are the fold of the events.
+        let replay = ccdp_obs::replay_tenant("a", &journal.events_for_tenant("a"));
+        let live = ledger.audit_snapshot(&a).unwrap();
+        assert_eq!(replay.spent_epsilon.to_bits(), live.spent_epsilon.to_bits());
+        assert_eq!(replay.refusals, 1);
+        assert_eq!(live.stages.len(), 4);
+    }
+
+    #[test]
+    fn per_tenant_series_track_spends_and_survive_late_registration() {
+        let ledger = BudgetLedger::new();
+        ledger.register("early", 1.0).unwrap();
+        ledger
+            .try_spend(&TenantId::new("early"), "g", 0.25)
+            .unwrap();
+        let registry = Arc::new(MetricsRegistry::new());
+        ledger.publish_metrics_shared(&registry);
+        // Pre-publication spends are backfilled into the labeled series.
+        let snap = registry.snapshot();
+        assert!((snap.sum("ccdp_serve_budget_spent_total") - 0.25).abs() < 1e-12);
+        // Tenants registered after publication get series too.
+        ledger.register("late", 2.0).unwrap();
+        ledger.try_spend(&TenantId::new("late"), "g", 1.0).unwrap();
+        ledger
+            .try_spend(&TenantId::new("early"), "g", 0.25)
+            .unwrap();
+        let snap = registry.snapshot();
+        assert!((snap.sum("ccdp_serve_budget_spent_total") - 1.5).abs() < 1e-12);
+        let ppm: Vec<(String, f64)> = snap
+            .series
+            .iter()
+            .filter(|s| s.name == "ccdp_serve_budget_utilization_ppm")
+            .map(|s| (s.labels[0].1.clone(), snap.sum(&s.name)))
+            .collect();
+        assert_eq!(ppm.len(), 2, "one utilization gauge per tenant");
+        let early =
+            registry.gauge_with("ccdp_serve_budget_utilization_ppm", &[("tenant", "early")]);
+        assert_eq!(early.get(), 500_000, "0.5 utilization = 500000 ppm");
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use ccdp_dp::BudgetExceeded;
 pub use ccdp_graph::GraphVersion;
 pub use error::ServeError;
 pub use json::{JsonParseError, JsonValue, JsonWriter};
-pub use ledger::{BudgetLedger, TenantAccount, TenantId};
+pub use ledger::{BudgetLedger, TenantAccount, TenantAuditSnapshot, TenantId};
 pub use loadgen::{GraphSpec, LoadReport, LoadSpec, TenantSpec};
 pub use registry::{GraphId, GraphRegistry};
 pub use server::{PendingResponse, ServeConfig, ServeRequest, ServeResponse, Server};

@@ -18,6 +18,7 @@
 
 use crate::error::ServeError;
 use ccdp_graph::{io, Graph, GraphVersion};
+use ccdp_obs::{AuditEvent, AuditJournal, AuditKind};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
@@ -48,6 +49,9 @@ pub struct GraphRegistry {
     shards: Vec<RwLock<Shard>>,
     /// Per-id history bound enforced on publish (0 = unlimited).
     retention: usize,
+    /// Audit journal for `release_published` events (attached by the
+    /// serving tier; `None` for a standalone catalog).
+    journal: RwLock<Option<Arc<AuditJournal>>>,
 }
 
 impl GraphRegistry {
@@ -71,6 +75,32 @@ impl GraphRegistry {
                 .map(|_| RwLock::new(Shard::new()))
                 .collect(),
             retention,
+            journal: RwLock::new(None),
+        }
+    }
+
+    /// Attaches the audit journal every publish decision is recorded into
+    /// (the serving tier attaches its shared journal at
+    /// [`Server::start`](crate::Server::start)).
+    pub fn set_journal(&self, journal: Arc<AuditJournal>) {
+        *self
+            .journal
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(journal);
+    }
+
+    /// Records one `release_published` event, if a journal is attached.
+    fn audit_publish(&self, id: &GraphId, version: GraphVersion, detail: &str) {
+        let guard = self
+            .journal
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(journal) = guard.as_ref() {
+            journal.record(
+                AuditEvent::new(AuditKind::ReleasePublished)
+                    .graph(id.as_str(), Some(version.value()))
+                    .detail(detail),
+            );
         }
     }
 
@@ -118,11 +148,13 @@ impl GraphRegistry {
     ) -> Option<Arc<Graph>> {
         let id = id.into();
         let mut shard = self.write(&id);
-        let history = shard.entry(id).or_default();
+        let history = shard.entry(id.clone()).or_default();
         let version = next_version(history);
         let previous = history.last_key_value().map(|(_, g)| Arc::clone(g));
         history.insert(version, graph.into());
         enforce_retention(history, self.retention);
+        drop(shard);
+        self.audit_publish(&id, version, "published as next version");
         previous
     }
 
@@ -162,6 +194,8 @@ impl GraphRegistry {
         }
         history.insert(version, Arc::clone(&graph));
         enforce_retention(history, self.retention);
+        drop(shard);
+        self.audit_publish(&id, version, "published at explicit version");
         Ok(graph)
     }
 
@@ -693,6 +727,28 @@ mod tests {
         assert!(ok.is_ok());
         assert!(reg.get_version(&id, GraphVersion::new(9)).is_some());
         assert_eq!(reg.num_versions(), 3);
+    }
+
+    #[test]
+    fn publishes_land_in_an_attached_audit_journal() {
+        let reg = GraphRegistry::new();
+        let journal = Arc::new(AuditJournal::new());
+        reg.set_journal(Arc::clone(&journal));
+        reg.insert("g", generators::path(3));
+        reg.insert_version("g", GraphVersion::new(7), generators::path(4))
+            .unwrap();
+        // A refused re-publish emits nothing: the journal records decisions
+        // that changed the catalog, not attempts.
+        assert!(reg
+            .insert_version("g", GraphVersion::new(7), generators::path(4))
+            .is_err());
+        let events = journal.snapshot();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert!(events
+            .iter()
+            .all(|e| e.kind == AuditKind::ReleasePublished && e.graph == "g"));
+        assert_eq!(events[0].version, Some(0));
+        assert_eq!(events[1].version, Some(7));
     }
 
     #[test]

@@ -32,7 +32,10 @@ use ccdp_core::{
 };
 use ccdp_exec::PhaseProfiler;
 use ccdp_graph::GraphVersion;
-use ccdp_obs::{MetricsRegistry, SpanKind, TraceCtx, TraceId, TraceIdGen, Tracer};
+use ccdp_obs::{
+    AuditEvent, AuditJournal, AuditKind, Counter, MetricsRegistry, SloAlert, SloEngine,
+    SloObservation, SloStatus, SpanKind, TraceCtx, TraceId, TraceIdGen, Tracer,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +58,7 @@ pub struct ServeConfig {
     estimator_micro: bool,
     estimator_dedup: bool,
     tracing: bool,
+    audit: bool,
 }
 
 impl ServeConfig {
@@ -72,6 +76,7 @@ impl ServeConfig {
             estimator_micro: true,
             estimator_dedup: true,
             tracing: false,
+            audit: true,
         }
     }
 
@@ -87,6 +92,22 @@ impl ServeConfig {
     /// Whether request-scoped tracing is enabled.
     pub fn tracing(&self) -> bool {
         self.tracing
+    }
+
+    /// Enables or disables the privacy-budget audit journal (default on).
+    /// Off, every would-be event emission costs exactly one branch; on,
+    /// every budget decision (charge, refusal, registration, publish,
+    /// drain) lands as a typed [`AuditEvent`] in the server's
+    /// [`AuditJournal`] ring for `GET /audit/{tenant}` / `ccdp audit`
+    /// assembly and bit-for-bit ledger replay.
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
+        self
+    }
+
+    /// Whether the audit journal is enabled.
+    pub fn audit(&self) -> bool {
+        self.audit
     }
 
     /// Number of worker threads (clamped to ≥ 1).
@@ -283,6 +304,7 @@ struct WorkerShared {
     config: ServeConfig,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
+    slo: Arc<SloEngine>,
 }
 
 /// A multi-tenant serving instance: shared graph catalog, shared budget
@@ -299,6 +321,10 @@ pub struct Server {
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
     trace_ids: TraceIdGen,
+    journal: Arc<AuditJournal>,
+    slo: Arc<SloEngine>,
+    trace_dropped: Counter,
+    audit_dropped: Counter,
 }
 
 impl Server {
@@ -316,9 +342,26 @@ impl Server {
             &metrics,
         ));
         let stats = Arc::new(ServeStats::with_metrics(&metrics));
-        ledger.publish_metrics(&metrics);
+        ledger.publish_metrics_shared(&metrics);
         let tracer = Arc::new(Tracer::new());
         tracer.set_enabled(config.tracing);
+        // The audit journal is shared by every decision point: the ledger
+        // (charges/refusals), the registry (publishes), the scheduler
+        // (fires/invalidations, via its server handle) and the SLO engine
+        // (alerts). One ring means one totally-ordered sequence.
+        let journal = Arc::new(AuditJournal::new());
+        journal.set_enabled(config.audit);
+        ledger.set_journal(Arc::clone(&journal));
+        registry.set_journal(Arc::clone(&journal));
+        let slo = Arc::new(SloEngine::new());
+        slo.set_journal(Arc::clone(&journal));
+        for account in ledger.snapshot() {
+            slo.set_quota(account.tenant.as_str(), account.quota_epsilon);
+        }
+        // Ring-drop accounting is pull-based (the rings only know their own
+        // head), surfaced as counters refreshed on every metrics render.
+        let trace_dropped = metrics.counter("ccdp_obs_trace_dropped_total");
+        let audit_dropped = metrics.counter("ccdp_obs_audit_dropped_total");
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity());
         let rx = Arc::new(Mutex::new(rx));
         let shared = Arc::new(WorkerShared {
@@ -329,6 +372,7 @@ impl Server {
             config: config.clone(),
             metrics: Arc::clone(&metrics),
             tracer: Arc::clone(&tracer),
+            slo: Arc::clone(&slo),
         });
         let workers = (0..config.workers())
             .map(|_| {
@@ -350,6 +394,10 @@ impl Server {
             metrics,
             tracer,
             trace_ids,
+            journal,
+            slo,
+            trace_dropped,
+            audit_dropped,
         }
     }
 
@@ -361,6 +409,69 @@ impl Server {
     /// The server's span ring (the `GET /trace/{id}` / `ccdp top` source).
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.tracer
+    }
+
+    /// The server's audit journal (the `GET /audit/{tenant}` / `ccdp audit`
+    /// source). Toggle at runtime with
+    /// [`AuditJournal::set_enabled`]; attach a JSONL file sink with
+    /// [`AuditJournal::set_sink_path`].
+    pub fn journal(&self) -> &Arc<AuditJournal> {
+        &self.journal
+    }
+
+    /// The server's per-tenant SLO engine (the `GET /slo` / `ccdp slo`
+    /// source). Add objectives with [`SloEngine::add_spec`]; the worker
+    /// pool feeds it one observation per finished request.
+    pub fn slo(&self) -> &Arc<SloEngine> {
+        &self.slo
+    }
+
+    /// Evaluates every SLO spec against every tenant *now*, returning the
+    /// alerts that newly fired (each also recorded into the audit
+    /// journal). Tenant ε quotas are synced from the ledger first so
+    /// burn-rate objectives see late registrations.
+    pub fn evaluate_slos(&self) -> Vec<SloAlert> {
+        self.sync_slo_quotas();
+        self.slo.evaluate_at(unix_micros())
+    }
+
+    /// The current health of every `(spec, tenant)` pair — breached or not
+    /// — without mutating alert state.
+    pub fn slo_statuses(&self) -> Vec<SloStatus> {
+        self.sync_slo_quotas();
+        self.slo.statuses_at(unix_micros())
+    }
+
+    fn sync_slo_quotas(&self) {
+        for account in self.ledger.snapshot() {
+            self.slo
+                .set_quota(account.tenant.as_str(), account.quota_epsilon);
+        }
+    }
+
+    /// Folds the observability rings' drop counts into their exported
+    /// counters (`ccdp_obs_trace_dropped_total`,
+    /// `ccdp_obs_audit_dropped_total`). Counters are monotone, so the fold
+    /// is a delta-add against the last exported value.
+    pub fn refresh_drop_counters(&self) {
+        let dropped = self.tracer.dropped();
+        let exported = self.trace_dropped.get();
+        if dropped > exported {
+            self.trace_dropped.add(dropped - exported);
+        }
+        let dropped = self.journal.dropped();
+        let exported = self.audit_dropped.get();
+        if dropped > exported {
+            self.audit_dropped.add(dropped - exported);
+        }
+    }
+
+    /// Renders the Prometheus text exposition with ring-drop counters
+    /// refreshed first — the one call every scrape path (net tier, CLI)
+    /// should use instead of rendering the registry directly.
+    pub fn render_metrics(&self) -> String {
+        self.refresh_drop_counters();
+        self.metrics.render_prometheus()
     }
 
     /// Mints the next trace id from the server's deterministic generator.
@@ -479,6 +590,14 @@ impl Server {
     }
 
     fn shutdown_in_place(&mut self) {
+        if self.queue.is_some() {
+            // One Drain event marks the boundary: every event after it in
+            // the journal belongs to the drain, none to new admissions.
+            self.journal.record(
+                AuditEvent::new(AuditKind::Drain)
+                    .detail("queue closed; draining accepted requests"),
+            );
+        }
         // Dropping the sender closes the channel; workers finish what was
         // accepted, then their `recv` errors out and they exit.
         self.queue = None;
@@ -503,6 +622,14 @@ impl std::fmt::Debug for Server {
             .field("stats", &self.stats.snapshot())
             .finish()
     }
+}
+
+/// Wall-clock micros since the UNIX epoch (the audit/SLO time base).
+fn unix_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
 }
 
 /// Pulls jobs until the queue closes. The mutex is held only for the `recv`
@@ -588,6 +715,48 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &WorkerShared) {
         };
         let latency = job.accepted.elapsed();
         shared.stats.on_done(latency, outcome);
+        // Feed the SLO engine one observation per finished request. A
+        // budget refusal is the service working as designed — it counts as
+        // an availability success, and only its latency is recorded. ε is
+        // observed whenever the charge went through, which includes
+        // estimator failures after the reservation (spent budget is never
+        // refunded, so the burn-rate window must see it too).
+        let now = unix_micros();
+        let tenant = job.request.tenant.as_str();
+        let latency_micros = latency.as_micros() as u64;
+        match &result {
+            Ok(_) => {
+                shared
+                    .slo
+                    .observe_at(tenant, now, SloObservation::Success { latency_micros });
+                shared.slo.observe_at(
+                    tenant,
+                    now,
+                    SloObservation::BudgetSpend {
+                        epsilon: job.request.epsilon,
+                    },
+                );
+            }
+            Err(ServeError::BudgetExhausted { .. }) => {
+                shared
+                    .slo
+                    .observe_at(tenant, now, SloObservation::Success { latency_micros });
+            }
+            Err(err) => {
+                shared
+                    .slo
+                    .observe_at(tenant, now, SloObservation::Failure { latency_micros });
+                if matches!(err, ServeError::Estimator(_)) {
+                    shared.slo.observe_at(
+                        tenant,
+                        now,
+                        SloObservation::BudgetSpend {
+                            epsilon: job.request.epsilon,
+                        },
+                    );
+                }
+            }
+        }
         let version = result.as_ref().ok().map(|(_, v)| *v);
         // A dropped PendingResponse just means nobody is listening; the
         // request was still served and accounted.
@@ -625,10 +794,11 @@ fn handle_request(
     // can only over-count, never under-count, a tenant's exposure. The stage
     // name is the graph id (borrowed, not formatted — this is the hot path),
     // so the tenant ledger records which graph each grant funded.
-    let spend = ledger.try_spend(
+    let spend = ledger.try_spend_traced(
         &job.request.tenant,
         job.request.graph.as_str(),
         job.request.epsilon,
+        job.request.trace,
     );
     if let Some(ctx) = &trace {
         let kind = match &spend {
@@ -1070,6 +1240,127 @@ mod tests {
             "12 requests for one graph must evaluate the family once: {cache:?}"
         );
         assert_eq!(cache.hits + cache.coalesced, 11);
+        server.shutdown();
+    }
+
+    #[test]
+    fn audit_journal_records_decisions_and_replays_the_ledger() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(
+            ServeConfig::new().with_workers(1).with_tracing(true),
+            registry,
+            Arc::clone(&ledger),
+        );
+        let journal = Arc::clone(server.journal());
+        let ok = server
+            .submit(ServeRequest::new("acme", "stars", 2.0))
+            .unwrap()
+            .wait();
+        assert!(ok.result.is_ok());
+        let refused = server
+            .submit(ServeRequest::new("acme", "stars", 100.0))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            refused.result,
+            Err(ServeError::BudgetExhausted { .. })
+        ));
+        // The charge and the refusal carry the request's trace id.
+        let events = journal.events_for_tenant("acme");
+        let charge = events
+            .iter()
+            .find(|e| e.kind == AuditKind::BudgetCharge)
+            .expect("charge event");
+        assert_eq!(charge.trace, ok.trace);
+        assert_eq!(charge.epsilon_granted.to_bits(), 2.0f64.to_bits());
+        let refusal = events
+            .iter()
+            .find(|e| e.kind == AuditKind::BudgetRefusal)
+            .expect("refusal event");
+        assert_eq!(refusal.trace, refused.trace);
+        // Replaying the journal reconstructs the live accountant exactly.
+        assert_eq!(ledger.verify_replay(&journal), Ok(1));
+        // Shutdown marks the drain boundary in the same stream.
+        server.shutdown();
+        assert!(journal
+            .snapshot()
+            .iter()
+            .any(|e| e.kind == AuditKind::Drain));
+    }
+
+    #[test]
+    fn audit_off_records_nothing() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(
+            ServeConfig::new().with_workers(1).with_audit(false),
+            registry,
+            ledger,
+        );
+        assert!(!server.config().audit());
+        let ok = server
+            .submit(ServeRequest::new("acme", "stars", 1.0))
+            .unwrap()
+            .wait();
+        assert!(ok.result.is_ok());
+        assert_eq!(server.journal().recorded(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn burn_rate_alert_fires_and_lands_in_the_journal() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(ServeConfig::new().with_workers(1), registry, ledger);
+        // Quota 10 over a 1-hour horizon allows ~2.8e-3 ε/s; spending 2 ε
+        // inside a 10-second window is a burn of ~72× — far past 1.0.
+        server.slo().add_spec(ccdp_obs::SloSpec::new(
+            "budget-burn",
+            ccdp_obs::SloObjective::BurnRate {
+                horizon_micros: 3_600_000_000,
+                max_burn: 1.0,
+            },
+            10_000_000,
+        ));
+        let ok = server
+            .submit(ServeRequest::new("acme", "stars", 2.0))
+            .unwrap()
+            .wait();
+        assert!(ok.result.is_ok());
+        let fired = server.evaluate_slos();
+        assert_eq!(fired.len(), 1, "{fired:?}");
+        assert_eq!(fired[0].tenant, "acme");
+        assert!(fired[0].measured > fired[0].threshold);
+        // The alert is itself an audit event, retrievable per tenant.
+        assert!(server
+            .journal()
+            .events_for_tenant("acme")
+            .iter()
+            .any(|e| e.kind == AuditKind::SloAlert));
+        // Statuses report the breach without re-firing.
+        let statuses = server.slo_statuses();
+        assert!(statuses.iter().any(|s| s.breached));
+        assert!(server.evaluate_slos().is_empty(), "alert must deduplicate");
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_counters_surface_ring_overwrites_in_the_exposition() {
+        let (registry, ledger) = fleet();
+        let server = Server::start(ServeConfig::new().with_workers(1), registry, ledger);
+        let ok = server
+            .submit(ServeRequest::new("acme", "stars", 0.5))
+            .unwrap()
+            .wait();
+        assert!(ok.result.is_ok());
+        let text = server.render_metrics();
+        assert!(
+            text.contains("ccdp_obs_trace_dropped_total 0"),
+            "missing trace drop counter:\n{text}"
+        );
+        assert!(
+            text.contains("ccdp_obs_audit_dropped_total 0"),
+            "missing audit drop counter:\n{text}"
+        );
+        assert!(text.ends_with("# EOF\n"));
         server.shutdown();
     }
 }

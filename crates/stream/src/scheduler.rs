@@ -41,7 +41,7 @@ use crate::error::StreamError;
 use crate::stream::{GraphSnapshot, GraphStream};
 use ccdp_core::{Estimator, EstimatorConfig, ExtensionCache, PrivateCcEstimator, SolverBackend};
 use ccdp_graph::GraphVersion;
-use ccdp_obs::{Counter, MetricsRegistry};
+use ccdp_obs::{AuditEvent, AuditJournal, AuditKind, Counter, MetricsRegistry};
 use ccdp_serve::{
     BudgetLedger, GraphId, GraphRegistry, ServeError, ServeRequest, Server, TenantId,
 };
@@ -50,7 +50,7 @@ use rand::SeedableRng;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// When the scheduler fires a fresh release for a stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -153,6 +153,18 @@ pub enum ReleaseTrigger {
     Demand,
 }
 
+impl ReleaseTrigger {
+    /// Stable snake_case name (audit-event detail field).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReleaseTrigger::Baseline => "baseline",
+            ReleaseTrigger::Mutations => "mutations",
+            ReleaseTrigger::Drift => "drift",
+            ReleaseTrigger::Demand => "demand",
+        }
+    }
+}
+
 /// One entry of the versioned release log.
 #[derive(Clone, Debug)]
 pub struct ReleaseRecord {
@@ -198,6 +210,10 @@ pub struct ReleaseScheduler {
     /// into a [`MetricsRegistry`] (automatic under
     /// [`ReleaseScheduler::with_server`]).
     releases_total: Counter,
+    /// Audit journal for `scheduler_fire` / `cache_invalidation` events
+    /// (taken from the server under [`ReleaseScheduler::with_server`],
+    /// attachable via [`ReleaseScheduler::set_journal`] otherwise).
+    journal: RwLock<Option<Arc<AuditJournal>>>,
 }
 
 impl ReleaseScheduler {
@@ -218,6 +234,7 @@ impl ReleaseScheduler {
             state: Mutex::new(HashMap::new()),
             log: Mutex::new(Vec::new()),
             releases_total: Counter::detached(),
+            journal: RwLock::new(None),
         }
     }
 
@@ -244,6 +261,7 @@ impl ReleaseScheduler {
             ledger: Arc::clone(server.ledger()),
             cache: Arc::clone(server.cache()),
             releases_total: Counter::detached(),
+            journal: RwLock::new(Some(Arc::clone(server.journal()))),
             server: Some(server),
             state: Mutex::new(HashMap::new()),
             log: Mutex::new(Vec::new()),
@@ -251,6 +269,21 @@ impl ReleaseScheduler {
         let metrics = Arc::clone(scheduler.server.as_ref().expect("just set").metrics());
         scheduler.publish_metrics(&metrics);
         scheduler
+    }
+
+    /// Attaches the audit journal scheduler decisions are recorded into.
+    /// [`ReleaseScheduler::with_server`] attaches the server's journal
+    /// automatically; the inline constructor leaves it to the caller.
+    pub fn set_journal(&self, journal: Arc<AuditJournal>) {
+        *self.journal.write().unwrap_or_else(|p| p.into_inner()) = Some(journal);
+    }
+
+    /// Records one event into the attached journal, if any.
+    fn audit(&self, event: AuditEvent) {
+        let guard = self.journal.read().unwrap_or_else(|p| p.into_inner());
+        if let Some(journal) = guard.as_ref() {
+            journal.record(event);
+        }
     }
 
     /// Registers the scheduler's counters into `registry` (as
@@ -352,6 +385,17 @@ impl ReleaseScheduler {
         let id = stream.id().clone();
         let version = stream.next_version();
         let stage = format!("{id}@{version}");
+        // The fire *decision* is journaled before the charge: a refused
+        // release still shows up as "the policy fired here", followed by the
+        // ledger's own refusal event — the audit stream explains both what
+        // was attempted and why nothing changed.
+        self.audit(
+            AuditEvent::new(AuditKind::SchedulerFire)
+                .tenant(tenant.as_str())
+                .graph(id.as_str(), Some(version.value()))
+                .epsilon(self.config.epsilon_per_release, 0.0)
+                .detail(trigger.name()),
+        );
         self.ledger
             .try_spend(tenant, &stage, self.config.epsilon_per_release)?;
 
@@ -366,10 +410,22 @@ impl ReleaseScheduler {
         // Superseded versions can never be served again: drop their cached
         // families in bulk and expire their registry snapshots beyond the
         // retention window.
-        self.cache.invalidate_versions_below(id.as_str(), version);
+        let invalidated = self.cache.invalidate_versions_below(id.as_str(), version);
+        let mut expired = 0;
         if self.config.retain_versions > 0 {
-            self.registry
+            expired = self
+                .registry
                 .retain_latest(&id, self.config.retain_versions);
+        }
+        if invalidated > 0 || expired > 0 {
+            self.audit(
+                AuditEvent::new(AuditKind::CacheInvalidation)
+                    .tenant(tenant.as_str())
+                    .graph(id.as_str(), Some(version.value()))
+                    .detail(format!(
+                        "{invalidated} cached families invalidated, {expired} snapshots expired"
+                    )),
+            );
         }
 
         // Record the trigger state *before* estimating: the charge already
@@ -427,6 +483,13 @@ impl ReleaseScheduler {
         let id = stream.id().clone();
         let snapshot = stream.snapshot();
         let version = snapshot.version();
+        self.audit(
+            AuditEvent::new(AuditKind::SchedulerFire)
+                .tenant(tenant.as_str())
+                .graph(id.as_str(), Some(version.value()))
+                .epsilon(self.config.epsilon_per_release, 0.0)
+                .detail(trigger.name()),
+        );
         self.registry
             .insert_version(id.clone(), version, Arc::clone(snapshot.graph()))?;
 
@@ -466,10 +529,22 @@ impl ReleaseScheduler {
             }
         };
         self.mark_released(&id, &snapshot);
-        self.cache.invalidate_versions_below(id.as_str(), version);
+        let invalidated = self.cache.invalidate_versions_below(id.as_str(), version);
+        let mut expired = 0;
         if self.config.retain_versions > 0 {
-            self.registry
+            expired = self
+                .registry
                 .retain_latest(&id, self.config.retain_versions);
+        }
+        if invalidated > 0 || expired > 0 {
+            self.audit(
+                AuditEvent::new(AuditKind::CacheInvalidation)
+                    .tenant(tenant.as_str())
+                    .graph(id.as_str(), Some(version.value()))
+                    .detail(format!(
+                        "{invalidated} cached families invalidated, {expired} snapshots expired"
+                    )),
+            );
         }
 
         let record = ReleaseRecord {
@@ -820,6 +895,76 @@ mod tests {
             }
         }
         assert!(refused, "a 1-slot queue never refused a release");
+    }
+
+    #[test]
+    fn scheduler_decisions_land_in_the_audit_journal() {
+        let (registry, ledger, cache) = infra();
+        ledger.register("poor", 0.6).unwrap();
+        let journal = Arc::new(AuditJournal::new());
+        let sched = ReleaseScheduler::new(
+            SchedulerConfig::new(ReleasePolicy::OnDemand)
+                .with_epsilon(0.5)
+                .with_retain_versions(1),
+            registry,
+            Arc::clone(&ledger),
+            cache,
+        );
+        sched.set_journal(Arc::clone(&journal));
+        ledger.set_journal(Arc::clone(&journal));
+        let tenant = TenantId::new("poor");
+        let mut s = grow_stream("g", 3);
+        sched.release_now(&mut s, &tenant).unwrap();
+        s.apply(&Mutation::insert(10, 5, 6)).unwrap();
+        // Second release: refused (0.1 ε left) — the fire decision is still
+        // journaled, followed by the ledger's refusal.
+        assert!(sched.release_now(&mut s, &tenant).is_err());
+        let events = journal.events_for_tenant("poor");
+        let kinds: Vec<AuditKind> = events.iter().map(|e| e.kind).collect();
+        let fires = kinds
+            .iter()
+            .filter(|k| **k == AuditKind::SchedulerFire)
+            .count();
+        assert_eq!(fires, 2, "{kinds:?}");
+        assert!(kinds.contains(&AuditKind::BudgetCharge));
+        assert!(kinds.contains(&AuditKind::BudgetRefusal));
+        let fire = events
+            .iter()
+            .find(|e| e.kind == AuditKind::SchedulerFire)
+            .unwrap();
+        assert_eq!(fire.detail, "demand");
+        assert_eq!((fire.graph.as_str(), fire.version), ("g", Some(0)));
+        // The inline stage name is `id@version`; replay still reconstructs
+        // the account exactly from the journal.
+        assert_eq!(ledger.verify_replay(&journal), Ok(2));
+    }
+
+    #[test]
+    fn superseding_releases_journal_their_invalidations() {
+        let (registry, ledger, cache) = infra();
+        let journal = Arc::new(AuditJournal::new());
+        let sched = ReleaseScheduler::new(
+            SchedulerConfig::new(ReleasePolicy::OnDemand)
+                .with_epsilon(0.1)
+                .with_retain_versions(1),
+            registry,
+            ledger,
+            cache,
+        );
+        sched.set_journal(Arc::clone(&journal));
+        let tenant = TenantId::new("acme");
+        let mut s = grow_stream("g", 3);
+        sched.release_now(&mut s, &tenant).unwrap();
+        s.apply(&Mutation::insert(10, 5, 6)).unwrap();
+        sched.release_now(&mut s, &tenant).unwrap();
+        let invalidations: Vec<_> = journal
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == AuditKind::CacheInvalidation)
+            .collect();
+        assert_eq!(invalidations.len(), 1, "{invalidations:?}");
+        assert_eq!(invalidations[0].version, Some(1));
+        assert!(invalidations[0].detail.contains("1 cached families"));
     }
 
     #[test]

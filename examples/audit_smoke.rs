@@ -1,0 +1,364 @@
+//! Audit-tier acceptance smoke: the budget audit journal, replay equality,
+//! and burn-rate alerting, exercised over real sockets and gated on the
+//! journal's own overhead.
+//!
+//! Runs a deliberately refusal-heavy wire workload (quotas shrunk far below
+//! what the schedule wants to spend) against a listener with the audit
+//! journal and a hair-trigger burn-rate SLO, then asserts the invariants
+//! the CI `audit-smoke` job relies on:
+//!
+//! * **replay equality**: for every tenant, `GET /audit/{tenant}` reports
+//!   `replay.matches == true` — folding the journaled events reconstructs
+//!   the live [`BudgetLedger`] accountant bit-for-bit — and the ledger's
+//!   own bitwise verifier accepts the journal for all tenants at once;
+//! * **refusals are audited**: the workload drives real refusals and every
+//!   one is visible as a `budget_refusal` event with matching counts;
+//! * **the burn-rate alert fires**: the scrape of `GET /slo` evaluates the
+//!   hair-trigger spec, at least one `burn_rate` alert fires, and the
+//!   alert is retrievable both from `/slo` and as an `slo_alert` event in
+//!   the breaching tenant's `GET /audit/{tenant}` stream;
+//! * **the JSONL sink is a faithful log**: every event recorded while the
+//!   sink was attached is one parseable JSON line;
+//! * **the journal stays within its 5% budget**: the serve schedule runs
+//!   in-process against one long-lived pool, toggling only the journal
+//!   between fine-grained request chunks (the obs-smoke paired-chunk
+//!   methodology), and the median per-chunk-pair on/off throughput ratio
+//!   must be ≥ 0.95.
+//!
+//! With `--json PATH`, writes the measurements archived as
+//! `BENCH_audit.json` — the ratio in that file is the number the budget is
+//! gated on.
+//!
+//! ```text
+//! cargo run --release --example audit_smoke
+//! cargo run --release --example audit_smoke -- --requests 512 --json BENCH_audit.json
+//! ```
+
+use ccdp::obs::{SloObjective, SloSpec};
+use ccdp::prelude::*;
+use ccdp::serve::json::JsonValue;
+use std::sync::Arc;
+
+/// Overhead passes; the gate takes the median over every pass's
+/// per-chunk-pair ratios (see `obs_smoke` for why this shape).
+const OVERHEAD_RUNS: usize = 9;
+/// Requests per journal toggle: short enough that ambient machine noise
+/// lands on both modes of a pair and cancels out of the ratio.
+const OVERHEAD_CHUNK: usize = 64;
+/// The overhead passes run a longer schedule than the scrape run.
+const OVERHEAD_REQUEST_FACTOR: usize = 16;
+/// Floor on the journal-on/off throughput ratio.
+const MIN_THROUGHPUT_RATIO: f64 = 0.95;
+
+/// Median of a sample set (mutates order).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Measures the journal throughput ratio on ONE long-lived server,
+/// interleaving journal-on and journal-off at [`OVERHEAD_CHUNK`]-request
+/// granularity — the paired-chunk construction from `obs_smoke`, with
+/// [`AuditJournal::set_enabled`] as the only thing differing between
+/// chunks.
+fn measure_journal_ratio(spec: &LoadSpec, passes: usize) -> (f64, f64, f64) {
+    let mut base = spec.clone();
+    base.requests *= OVERHEAD_REQUEST_FACTOR;
+    // Fund every tenant far beyond the measurement: refusals are cheaper
+    // than releases, and a quota exhausted partway through would flatter
+    // whichever mode hit it.
+    for t in &mut base.tenants {
+        t.quota_epsilon = 1e12;
+    }
+    let registry = Arc::new(GraphRegistry::new());
+    let ledger = Arc::new(BudgetLedger::new());
+    let graph_ids = base.provision(&registry, &ledger);
+    let schedule = base.schedule(&graph_ids);
+    let server = Server::start(base.server.clone().with_seed(base.seed), registry, ledger);
+    let mut pair_ratios: Vec<f64> = Vec::new();
+    let run_pass = |parity: usize, pairs: Option<&mut Vec<f64>>| -> (f64, f64) {
+        let (mut secs, mut reqs) = ([0.0f64; 2], [0usize; 2]);
+        let mut chunk_rps = Vec::with_capacity(schedule.len() / OVERHEAD_CHUNK + 1);
+        for (c, chunk) in schedule.chunks(OVERHEAD_CHUNK).enumerate() {
+            let journal_on = (c + parity) % 2 == 1;
+            server.journal().set_enabled(journal_on);
+            let started = std::time::Instant::now();
+            for request in chunk {
+                let response = server
+                    .submit(request.clone())
+                    .expect("sequential submissions never overflow the queue")
+                    .wait();
+                assert!(
+                    response.result.is_ok(),
+                    "overhead chunk request failed: {:?}",
+                    response.result.err()
+                );
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            secs[journal_on as usize] += elapsed;
+            reqs[journal_on as usize] += chunk.len();
+            chunk_rps.push((journal_on, chunk.len() as f64 / elapsed));
+        }
+        if let Some(pairs) = pairs {
+            for w in chunk_rps.chunks_exact(2) {
+                let ((a_on, a_rps), (_, b_rps)) = (w[0], w[1]);
+                let (off_rps, on_rps) = if a_on { (b_rps, a_rps) } else { (a_rps, b_rps) };
+                pairs.push(on_rps / off_rps);
+            }
+        }
+        (reqs[0] as f64 / secs[0], reqs[1] as f64 / secs[1])
+    };
+    run_pass(0, None); // warm the family cache so no mode leads evaluations
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for pass in 0..passes {
+        let (off_rps, on_rps) = run_pass(pass % 2, Some(&mut pair_ratios));
+        println!(
+            "pass {pass}: journal off {off_rps:.0} req/s, on {on_rps:.0} req/s, ratio {:.3}",
+            on_rps / off_rps
+        );
+        off.push(off_rps);
+        on.push(on_rps);
+    }
+    (median(&mut off), median(&mut on), median(&mut pair_ratios))
+}
+
+fn json_array<'a>(value: &'a JsonValue, key: &str) -> &'a [JsonValue] {
+    match value.get(key) {
+        Some(JsonValue::Array(items)) => items.as_slice(),
+        _ => &[],
+    }
+}
+
+fn main() {
+    let mut spec = WireLoadSpec::ci_smoke();
+    let mut json_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("flag {} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--requests" => {
+                spec.base.requests = value(i).parse().expect("--requests takes a count");
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(value(i).to_string());
+                i += 2;
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    // Refusal-heavy: the schedule wants ~requests/tenants * ε per tenant;
+    // quotas a quarter of that guarantee every tenant hits its wall.
+    let per_tenant_demand =
+        spec.base.requests as f64 / spec.base.tenants.len() as f64 * spec.base.epsilon_per_request;
+    for t in &mut spec.base.tenants {
+        t.quota_epsilon = (per_tenant_demand / 4.0).max(spec.base.epsilon_per_request);
+    }
+    println!(
+        "audit-smoke: {} clients x {} requests, quotas {:.2} ε vs ~{:.2} ε demand, \
+journal gated at ratio ≥ {MIN_THROUGHPUT_RATIO}",
+        spec.base.clients,
+        spec.base.requests,
+        spec.base.tenants[0].quota_epsilon,
+        per_tenant_demand
+    );
+
+    // ------------------------------------------------------------------
+    // Part 1: the audited, alerted, refusal-heavy run.
+    // ------------------------------------------------------------------
+    let registry = Arc::new(GraphRegistry::new());
+    let ledger = Arc::new(BudgetLedger::new());
+    spec.provision(&registry, &ledger);
+    let server = Arc::new(Server::start(
+        spec.base.server.clone().with_seed(spec.base.seed),
+        registry,
+        ledger,
+    ));
+    // Hair-trigger burn-rate SLO: any spend at all against a 1 h horizon
+    // breaches burn 0.001 — the alert is guaranteed, not probabilistic.
+    server.slo().add_spec(SloSpec::new(
+        "budget-burn",
+        SloObjective::BurnRate {
+            horizon_micros: 3_600_000_000,
+            max_burn: 0.001,
+        },
+        60_000_000,
+    ));
+    // JSONL sink attached before any traffic: the file is the full log of
+    // everything from here on.
+    let sink_path = std::env::temp_dir().join("ccdp_audit_smoke.jsonl");
+    let sink_path = sink_path.to_str().expect("temp path is utf-8").to_string();
+    server
+        .journal()
+        .set_sink_path(&sink_path)
+        .expect("sink file must open");
+    let recorded_at_attach = server.journal().recorded();
+
+    let net = NetServer::start(
+        NetConfig::new().with_max_connections(spec.base.clients + 8),
+        Arc::clone(&server),
+    )
+    .expect("loopback listener must bind");
+    let addr = net.local_addr();
+    let report = spec.run(addr);
+    assert!(report.is_complete(), "workload incomplete: {report:?}");
+    assert!(
+        report.budget_refusals > 0,
+        "the shrunken quotas must drive refusals: {report:?}"
+    );
+    println!(
+        "refusal-heavy run: {}/{} completed, {} budget refusals, {:.0} req/s",
+        report.completed, report.spec_requests, report.budget_refusals, report.throughput_rps
+    );
+
+    // Replay equality, tenant by tenant over the wire, then all at once
+    // through the ledger's bitwise verifier.
+    let mut probe = NetClient::connect(addr);
+    let mut total_charges = 0u64;
+    let mut total_refusals = 0u64;
+    for t in &spec.base.tenants {
+        let audit = probe.audit(&t.name).expect("/audit/{tenant} answers");
+        let replay = audit.get("replay").expect("replay block");
+        assert_eq!(
+            replay.get("matches").and_then(JsonValue::as_bool),
+            Some(true),
+            "tenant {} replay must match the live ledger: {replay:?}",
+            t.name
+        );
+        let account = audit.get("account").expect("account block");
+        total_charges += account
+            .get("charges")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        total_refusals += account
+            .get("refusals")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        assert!(
+            json_array(&audit, "events")
+                .iter()
+                .any(|e| e.get("kind").and_then(JsonValue::as_str) == Some("budget_refusal")),
+            "tenant {} must have journaled refusals",
+            t.name
+        );
+    }
+    assert_eq!(
+        total_refusals, report.budget_refusals,
+        "audited refusals must equal the workload's count"
+    );
+    let verified = server
+        .ledger()
+        .verify_replay(server.journal())
+        .expect("bitwise replay verification");
+    assert_eq!(verified, spec.base.tenants.len());
+    println!(
+        "replay: {verified} tenants verified bit-for-bit ({total_charges} charges, \
+{total_refusals} refusals journaled)"
+    );
+
+    // The burn-rate alert: fired on the /slo scrape, visible in /slo and
+    // as an slo_alert audit event.
+    let slo = probe.slo().expect("/slo answers");
+    let alerts = json_array(&slo, "alerts");
+    let burn_alerts: Vec<&JsonValue> = alerts
+        .iter()
+        .filter(|a| a.get("objective").and_then(JsonValue::as_str) == Some("burn_rate"))
+        .collect();
+    assert!(
+        !burn_alerts.is_empty(),
+        "the hair-trigger burn-rate spec must fire: {slo:?}"
+    );
+    let breacher = burn_alerts[0]
+        .get("tenant")
+        .and_then(JsonValue::as_str)
+        .expect("alert names its tenant")
+        .to_string();
+    let audit = probe.audit(&breacher).expect("breacher's audit answers");
+    assert!(
+        json_array(&audit, "events")
+            .iter()
+            .any(|e| e.get("kind").and_then(JsonValue::as_str) == Some("slo_alert")),
+        "tenant {breacher}'s audit stream must carry the slo_alert event"
+    );
+    println!(
+        "alerting: {} burn-rate alert(s) fired, tenant {breacher}'s audit trail shows the breach",
+        burn_alerts.len()
+    );
+
+    // The JSONL sink: one parseable line per event recorded since attach.
+    server.journal().close_sink();
+    let sink = std::fs::read_to_string(&sink_path).expect("sink file readable");
+    let recorded_since_attach = server.journal().recorded() - recorded_at_attach;
+    let lines: Vec<&str> = sink.lines().collect();
+    assert_eq!(
+        lines.len() as u64,
+        recorded_since_attach,
+        "sink must hold one line per recorded event"
+    );
+    for line in &lines {
+        let event = ccdp::serve::json::parse(line).expect("sink line parses as JSON");
+        assert!(
+            event.get("kind").is_some(),
+            "sink line without kind: {line}"
+        );
+    }
+    println!(
+        "sink: {} JSONL lines at {sink_path}, all parseable",
+        lines.len()
+    );
+    let _ = std::fs::remove_file(&sink_path);
+
+    // The drop-accounting satellite on the same scrape.
+    let metrics = probe.metrics().expect("/metrics answers");
+    assert!(metrics.contains("ccdp_obs_audit_dropped_total"));
+    assert!(metrics.contains("ccdp_obs_trace_dropped_total"));
+    assert!(
+        metrics.ends_with("# EOF\n"),
+        "exposition must end with # EOF"
+    );
+    net.shutdown();
+
+    // ------------------------------------------------------------------
+    // Part 2: the overhead gate.
+    // ------------------------------------------------------------------
+    let (median_off, median_on, ratio) = measure_journal_ratio(&spec.base, OVERHEAD_RUNS);
+    println!(
+        "overhead: median off {median_off:.0} req/s, median on {median_on:.0} req/s, \
+median paired ratio {ratio:.3}"
+    );
+
+    if let Some(path) = &json_path {
+        let json = format!(
+            "{{\"requests\":{},\"overhead_requests\":{},\"clients\":{},\
+\"charges\":{},\"refusals\":{},\"replay_verified_tenants\":{},\"burn_alerts\":{},\
+\"sink_lines\":{},\
+\"throughput_off_rps\":{:.1},\"throughput_on_rps\":{:.1},\"journal_ratio\":{:.4},\
+\"min_ratio\":{}}}",
+            spec.base.requests,
+            spec.base.requests * OVERHEAD_REQUEST_FACTOR,
+            spec.base.clients,
+            total_charges,
+            total_refusals,
+            verified,
+            burn_alerts.len(),
+            lines.len(),
+            median_off,
+            median_on,
+            ratio,
+            MIN_THROUGHPUT_RATIO,
+        );
+        std::fs::write(path, format!("{json}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    assert!(
+        ratio >= MIN_THROUGHPUT_RATIO,
+        "journal overhead over budget: on/off throughput ratio {ratio:.3} < {MIN_THROUGHPUT_RATIO}"
+    );
+    println!("audit smoke OK");
+}

@@ -16,6 +16,8 @@
 //! ccdp health   [addr=..]
 //! ccdp top      [addr=..]
 //! ccdp trace    [addr=..] id=<hex trace id>
+//! ccdp audit    [addr=..] tenant=alpha [events=20]
+//! ccdp slo      [addr=..]
 //! ccdp bench    [addr=..] [clients=32] [requests=512] [epsilon=0.25]
 //!               [seed=2023] [out=BENCH_net.json] [n=100000] [threads=8]
 //! ```
@@ -53,7 +55,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: ccdp <serve|estimate|ingest|stats|health|top|trace|bench> [KEY=VALUE]...\n\
+    "usage: ccdp <serve|estimate|ingest|stats|health|top|trace|audit|slo|bench> [KEY=VALUE]...\n\
   serve     start a listener (fleet=smoke provisions the CI fleet;\n\
             tracing=on records per-request span traces)\n\
   estimate  one private release: tenant= graph= epsilon= [version=]\n\
@@ -63,6 +65,10 @@ const USAGE: &str =
   top       scrape /metrics and print the fleet dashboard (headline\n\
             counters plus the solver phase table)\n\
   trace     render one request's span tree: id=<hex, from X-Ccdp-Trace>\n\
+  audit     print a tenant's budget audit trail and the replay verdict:\n\
+            tenant= [events=20 caps the event tail]\n\
+  slo       print the declared SLOs, every (spec, tenant, window) status\n\
+            and the fired-alert history (exit 2 when any triple breaches)\n\
   bench     drive the wire load workload ([out=] writes the report JSON;\n\
             [n=] swaps in one ER graph of that size, [threads=] pins the\n\
             per-request estimator thread budget, [micro=on|off] and\n\
@@ -108,6 +114,8 @@ fn run(args: &[String]) -> Result<Outcome, CliError> {
         "health" => cmd_health(Args::parse(rest, &["addr"])?),
         "top" => cmd_top(Args::parse(rest, &["addr"])?),
         "trace" => cmd_trace(Args::parse(rest, &["addr", "id"])?),
+        "audit" => cmd_audit(Args::parse(rest, &["addr", "tenant", "events"])?),
+        "slo" => cmd_slo(Args::parse(rest, &["addr"])?),
         "bench" => cmd_bench(Args::parse(
             rest,
             &[
@@ -155,6 +163,35 @@ fn cmd_serve(args: Args) -> Result<Outcome, CliError> {
         .with_seed(args.u64_or("seed", 0)?)
         .with_tracing(args.toggle_opt("tracing")?.unwrap_or(false));
     let server = Arc::new(Server::start(config, registry, ledger));
+    // The stock SLO set: five-nines-ish availability, a generous p99, and
+    // the SRE fast/slow burn-rate pair against a 1 h quota horizon.
+    for spec in [
+        ccdp::obs::SloSpec::new(
+            "availability",
+            ccdp::obs::SloObjective::Availability {
+                min_success_ratio: 0.99,
+            },
+            60_000_000,
+        ),
+        ccdp::obs::SloSpec::new(
+            "latency-p99",
+            ccdp::obs::SloObjective::LatencyP99 {
+                max_micros: 2_000_000,
+            },
+            60_000_000,
+        ),
+        ccdp::obs::SloSpec::new(
+            "budget-burn",
+            ccdp::obs::SloObjective::BurnRate {
+                horizon_micros: 3_600_000_000,
+                max_burn: 14.0,
+            },
+            60_000_000,
+        )
+        .with_window(10_000_000),
+    ] {
+        server.slo().add_spec(spec);
+    }
     let net_config = NetConfig::new()
         .with_addr(addr)
         .with_max_connections(args.u64_or("max_connections", 64)? as usize);
@@ -369,6 +406,152 @@ fn cmd_trace(args: Args) -> Result<Outcome, CliError> {
         }
     }
     Ok(Outcome::Done)
+}
+
+fn cmd_audit(args: Args) -> Result<Outcome, CliError> {
+    use ccdp::serve::json::JsonValue;
+    let tenant = args.require("tenant")?;
+    let tail = args.u64_or("events", 20)? as usize;
+    let mut service = OpsService::connect(args.str_or("addr", DEFAULT_ADDR))?;
+    let audit = service.client.audit(tenant)?;
+
+    let f = |node: Option<&JsonValue>, key: &str| {
+        node.and_then(|n| n.get(key))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0)
+    };
+    let account = audit.get("account");
+    let replay = audit.get("replay");
+    println!(
+        "tenant {tenant}: spent {:.4} of {:.4} ε ({:.1}% utilized), {} charges, {} refusals",
+        f(account, "spent_epsilon"),
+        f(account, "quota_epsilon"),
+        100.0 * f(account, "utilization"),
+        f(account, "charges") as u64,
+        f(account, "refusals") as u64,
+    );
+    let matches = replay
+        .and_then(|r| r.get("matches"))
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    let complete = replay
+        .and_then(|r| r.get("complete"))
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    println!(
+        "replay: spent {:.4} ε over {} charges, {} refusals — {}",
+        f(replay, "spent_epsilon"),
+        f(replay, "charges") as u64,
+        f(replay, "refusals") as u64,
+        if matches {
+            "matches the live ledger"
+        } else if !complete {
+            "journal incomplete (ring wrapped); not verifiable"
+        } else {
+            "MISMATCH vs the live ledger"
+        },
+    );
+
+    let events = match audit.get("events") {
+        Some(JsonValue::Array(events)) => events.as_slice(),
+        _ => &[],
+    };
+    let shown = events.len().min(tail);
+    println!("events ({} total, last {shown}):", events.len());
+    for event in &events[events.len() - shown..] {
+        let get = |key: &str| event.get(key).and_then(JsonValue::as_str).unwrap_or("");
+        let seq = event.get("seq").and_then(JsonValue::as_u64).unwrap_or(0);
+        let granted = event
+            .get("epsilon_granted")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        let mut line = format!("  #{seq:<6} {:<18}", get("kind"));
+        if !get("graph").is_empty() {
+            let version = event
+                .get("version")
+                .and_then(JsonValue::as_u64)
+                .map_or_else(String::new, |v| format!("@v{v}"));
+            line.push_str(&format!(" {}{version}", get("graph")));
+        }
+        if granted != 0.0 {
+            line.push_str(&format!(" ε={granted}"));
+        }
+        if !get("detail").is_empty() {
+            line.push_str(&format!("  [{}]", get("detail")));
+        }
+        println!("{line}");
+    }
+    Ok(Outcome::Done)
+}
+
+fn cmd_slo(args: Args) -> Result<Outcome, CliError> {
+    use ccdp::serve::json::JsonValue;
+    let mut service = OpsService::connect(args.str_or("addr", DEFAULT_ADDR))?;
+    let slo = service.client.slo()?;
+    let array = |key: &str| match slo.get(key) {
+        Some(JsonValue::Array(items)) => items.clone(),
+        _ => Vec::new(),
+    };
+
+    let specs = array("specs");
+    println!("specs ({}):", specs.len());
+    for spec in &specs {
+        let windows = match spec.get("windows_micros") {
+            Some(JsonValue::Array(w)) => w
+                .iter()
+                .filter_map(JsonValue::as_f64)
+                .map(|w| format!("{:.0}s", w / 1e6))
+                .collect::<Vec<_>>()
+                .join(","),
+            _ => String::new(),
+        };
+        println!(
+            "  {:<16} {:<14} windows={windows}",
+            spec.get("name").and_then(JsonValue::as_str).unwrap_or("?"),
+            spec.get("objective")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?"),
+        );
+    }
+
+    let statuses = array("statuses");
+    let mut breached = 0usize;
+    println!("statuses ({}):", statuses.len());
+    for s in &statuses {
+        let is_breach = s
+            .get("breached")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false);
+        breached += is_breach as usize;
+        println!(
+            "  {:<16} tenant={:<12} window={:>6.0}s measured={:>10.4} threshold={:>10.4} {}",
+            s.get("spec").and_then(JsonValue::as_str).unwrap_or("?"),
+            s.get("tenant").and_then(JsonValue::as_str).unwrap_or("?"),
+            s.get("window_micros")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0)
+                / 1e6,
+            s.get("measured").and_then(JsonValue::as_f64).unwrap_or(0.0),
+            s.get("threshold")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+            if is_breach { "BREACHED" } else { "ok" },
+        );
+    }
+
+    let alerts = array("alerts");
+    println!("alerts fired ({}):", alerts.len());
+    for a in &alerts {
+        println!(
+            "  {}",
+            a.get("message").and_then(JsonValue::as_str).unwrap_or("?")
+        );
+    }
+    Ok(if breached > 0 {
+        Outcome::Degraded
+    } else {
+        Outcome::Done
+    })
 }
 
 fn cmd_bench(args: Args) -> Result<Outcome, CliError> {

@@ -69,7 +69,9 @@ pub use ccdp_dp::{BudgetExceeded, PrivacyBudget};
 pub use ccdp_exec::{PhaseProfiler, PhaseReport};
 pub use ccdp_graph::{CsrGraph, Graph, GraphVersion};
 pub use ccdp_obs::{
-    MetricsRegistry, MetricsSnapshot, SpanKind, TraceCtx, TraceId, TraceTree, Tracer,
+    replay_tenant, AuditEvent, AuditJournal, AuditKind, BudgetReplay, MetricsRegistry,
+    MetricsSnapshot, SloAlert, SloEngine, SloObjective, SloObservation, SloSpec, SloStatus,
+    SpanKind, TraceCtx, TraceId, TraceTree, Tracer,
 };
 
 /// Everything an application needs in one import: the estimator API, the graph
@@ -99,12 +101,14 @@ pub mod prelude {
         NetClient, NetConfig, NetError, NetServer, NetStatsSnapshot, WireLoadReport, WireLoadSpec,
     };
     pub use ccdp_obs::{
-        Counter, FloatCounter, Gauge, MetricsRegistry, MetricsSnapshot, SpanKind, TraceCtx,
-        TraceId, TraceTree, Tracer,
+        replay_tenant, AuditEvent, AuditJournal, AuditKind, BudgetReplay, Counter, FloatCounter,
+        Gauge, MetricsRegistry, MetricsSnapshot, SloAlert, SloEngine, SloObjective, SloObservation,
+        SloSpec, SloStatus, SpanKind, TraceCtx, TraceId, TraceTree, Tracer,
     };
     pub use ccdp_serve::{
         BudgetLedger, GraphId, GraphRegistry, LoadReport, LoadSpec, PendingResponse, ServeConfig,
-        ServeError, ServeRequest, ServeResponse, Server, StatsSnapshot, TenantId,
+        ServeError, ServeRequest, ServeResponse, Server, StatsSnapshot, TenantAuditSnapshot,
+        TenantId,
     };
     pub use ccdp_stream::{
         EdgeOp, GraphSnapshot, GraphStream, Mutation, MutationSpec, ReleasePolicy, ReleaseRecord,
